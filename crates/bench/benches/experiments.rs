@@ -1,0 +1,111 @@
+//! Criterion benches: one target per table and figure of the paper.
+//!
+//! Each bench measures the end-to-end regeneration of one artefact.
+//! Contexts are down-scaled (quick DOE, reduced Monte-Carlo trials) so a
+//! full `cargo bench` stays in the minutes range; the `repro` binary is
+//! the place for the full paper-scale run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mpvar_core::experiments::{
+    ablation_bl_width, ablation_delay_models, ablation_sadp_anticorrelation, fig4, fig5, table1,
+    table2, table3, table4, ExperimentContext,
+};
+use mpvar_core::montecarlo::McConfig;
+
+fn bench_ctx() -> ExperimentContext {
+    let mut ctx = ExperimentContext::quick().expect("context builds");
+    ctx.sizes = vec![16, 64];
+    ctx.mc = McConfig {
+        trials: 2_000,
+        seed: 2015,
+    };
+    ctx
+}
+
+fn table1_worst_case(c: &mut Criterion) {
+    let ctx = bench_ctx();
+    c.bench_function("table1_worst_case", |b| {
+        b.iter(|| table1(black_box(&ctx)).expect("table1 runs"))
+    });
+}
+
+fn fig4_worst_case_td(c: &mut Criterion) {
+    let ctx = bench_ctx();
+    let t1 = table1(&ctx).expect("table1 runs");
+    let mut group = c.benchmark_group("fig4_worst_case_td");
+    group.sample_size(10);
+    group.bench_function("sim_16_64", |b| {
+        b.iter(|| fig4(black_box(&ctx), black_box(&t1)).expect("fig4 runs"))
+    });
+    group.finish();
+}
+
+fn table2_formula_vs_sim(c: &mut Criterion) {
+    let ctx = bench_ctx();
+    let t1 = table1(&ctx).expect("table1 runs");
+    let f4 = fig4(&ctx, &t1).expect("fig4 runs");
+    c.bench_function("table2_formula_vs_sim", |b| {
+        b.iter(|| table2(black_box(&ctx), black_box(&f4)).expect("table2 runs"))
+    });
+}
+
+fn table3_tdp(c: &mut Criterion) {
+    let ctx = bench_ctx();
+    let t1 = table1(&ctx).expect("table1 runs");
+    let f4 = fig4(&ctx, &t1).expect("fig4 runs");
+    c.bench_function("table3_tdp", |b| {
+        b.iter(|| table3(black_box(&ctx), black_box(&t1), black_box(&f4)).expect("table3 runs"))
+    });
+}
+
+fn fig5_mc_histogram(c: &mut Criterion) {
+    let ctx = bench_ctx();
+    let mut group = c.benchmark_group("fig5_mc_histogram");
+    group.sample_size(10);
+    group.bench_function("mc_2000x3", |b| {
+        b.iter(|| fig5(black_box(&ctx)).expect("fig5 runs"))
+    });
+    group.finish();
+}
+
+fn table4_sigma(c: &mut Criterion) {
+    let ctx = bench_ctx();
+    let mut group = c.benchmark_group("table4_sigma");
+    group.sample_size(10);
+    group.bench_function("ol_sweep", |b| {
+        b.iter(|| table4(black_box(&ctx)).expect("table4 runs"))
+    });
+    group.finish();
+}
+
+fn ablation_benches(c: &mut Criterion) {
+    let ctx = bench_ctx();
+    let t1 = table1(&ctx).expect("table1 runs");
+    let f4 = fig4(&ctx, &t1).expect("fig4 runs");
+    c.bench_function("ablation_delay_models", |b| {
+        b.iter(|| ablation_delay_models(black_box(&ctx), black_box(&f4)).expect("a1 runs"))
+    });
+    c.bench_function("ablation_bl_width", |b| {
+        b.iter(|| ablation_bl_width(black_box(&ctx)).expect("a2 runs"))
+    });
+    let mut group = c.benchmark_group("ablation_sadp_vss");
+    group.sample_size(10);
+    group.bench_function("anticorrelation", |b| {
+        b.iter(|| ablation_sadp_anticorrelation(black_box(&ctx)).expect("a3 runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    experiments,
+    table1_worst_case,
+    fig4_worst_case_td,
+    table2_formula_vs_sim,
+    table3_tdp,
+    fig5_mc_histogram,
+    table4_sigma,
+    ablation_benches
+);
+criterion_main!(experiments);

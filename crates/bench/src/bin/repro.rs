@@ -1,0 +1,106 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--out DIR] <experiment | all>
+//! ```
+//!
+//! Experiments: table1 fig4 table2 table3 fig5 table4 ablation-delay
+//! ablation-bl-width ablation-sadp-vss. `--quick` uses the down-scaled
+//! context (small arrays, fewer Monte-Carlo trials); the default is the
+//! paper's full design of experiments. CSV artefacts land in `--out`
+//! (default `results/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mpvar_bench::{run, EXPERIMENT_IDS};
+use mpvar_core::experiments::ExperimentContext;
+
+fn usage() -> String {
+    format!(
+        "usage: repro [--quick] [--out DIR] <experiment | all>\n\
+         experiments: {}",
+        EXPERIMENT_IDS.join(" ")
+    )
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut target: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if target.is_none() && !other.starts_with('-') => {
+                target = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let Some(target) = target else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+
+    let ctx = match if quick {
+        ExperimentContext::quick()
+    } else {
+        ExperimentContext::paper()
+    } {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to build experiment context: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "running `{target}` ({} context: sizes {:?}, {} MC trials)",
+        if quick { "quick" } else { "paper" },
+        ctx.sizes,
+        ctx.mc.trials
+    );
+
+    let artifacts = match run(&target, &ctx) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create output directory {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    for artifact in &artifacts {
+        println!("{}", artifact.text);
+        if !artifact.csv.is_empty() {
+            let path = out_dir.join(format!("{}.csv", artifact.id));
+            if let Err(e) = std::fs::write(&path, &artifact.csv) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}

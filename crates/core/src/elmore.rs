@@ -1,0 +1,145 @@
+//! Elmore-delay refinement of the analytical model.
+//!
+//! The paper notes (§III.A) that the deviation between its lumped
+//! formula and simulation "is expected since the formula is based on the
+//! lumped RC equation, though bl is a distributed line which can be
+//! better approximated with the Elmore delay". This module implements
+//! that refinement.
+//!
+//! The read discharge drives the bit line from the *far* end (the
+//! accessed cell) while the sense amp watches the *near* end. For a
+//! uniform ladder of `n` segments with per-cell `R_bl`/`C_bl + C_FE`,
+//! driver resistance `R_FE` and the precharge load `C_pre(n)` at the
+//! near end, the Elmore time constant seen from the driver is
+//!
+//! ```text
+//! tau = R_FE · (C_wire_total + C_pre)
+//!     + R_bl_total · (C_wire_total / 2 + C_pre)
+//! ```
+//!
+//! — every distributed capacitor discharges through `R_FE` plus, on
+//! average, half the wire; the lumped near-end load sees the whole wire.
+
+use mpvar_sram::FormulaParams;
+
+use crate::error::CoreError;
+use crate::formula::AnalyticalModel;
+
+/// The Elmore-refined analytical `td` model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElmoreModel {
+    params: FormulaParams,
+    a: f64,
+}
+
+impl ElmoreModel {
+    /// Creates a model for the given parameters and discharge level.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for a discharge level outside
+    /// `(0, 1)`.
+    pub fn new(params: FormulaParams, discharge_level: f64) -> Result<Self, CoreError> {
+        // Reuse the lumped model's validation for the level constant.
+        let lumped = AnalyticalModel::new(params, discharge_level)?;
+        Ok(Self {
+            params,
+            a: lumped.a(),
+        })
+    }
+
+    /// The per-cell parameters.
+    pub fn params(&self) -> &FormulaParams {
+        &self.params
+    }
+
+    /// Elmore `td` in seconds for an `n`-cell column with variation
+    /// multipliers.
+    pub fn td_s(&self, n: usize, r_var: f64, c_var: f64) -> f64 {
+        let p = &self.params;
+        let nf = n as f64;
+        let c_wire = nf * (p.cbl_f * c_var + p.cfe_f);
+        let c_pre = p.cpre_f(n);
+        let r_wire = nf * p.rbl_ohm * r_var;
+        let tau = p.rfe_ohm * (c_wire + c_pre) + r_wire * (c_wire / 2.0 + c_pre);
+        self.a * tau
+    }
+
+    /// Nominal Elmore `td`.
+    pub fn td_nominal_s(&self, n: usize) -> f64 {
+        self.td_s(n, 1.0, 1.0)
+    }
+
+    /// Read-time penalty ratio under the Elmore model.
+    pub fn tdp(&self, n: usize, r_var: f64, c_var: f64) -> f64 {
+        self.td_s(n, r_var, c_var) / self.td_nominal_s(n) - 1.0
+    }
+
+    /// Read-time penalty in percent.
+    pub fn tdp_percent(&self, n: usize, r_var: f64, c_var: f64) -> f64 {
+        self.tdp(n, r_var, c_var) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpvar_sram::BitcellGeometry;
+    use mpvar_tech::preset::n10;
+
+    fn models() -> (AnalyticalModel, ElmoreModel) {
+        let tech = n10();
+        let cell = BitcellGeometry::n10_hd(&tech).unwrap();
+        let params = FormulaParams::derive(&tech, &cell, 0.7).unwrap();
+        (
+            AnalyticalModel::new(params, 0.10).unwrap(),
+            ElmoreModel::new(params, 0.10).unwrap(),
+        )
+    }
+
+    #[test]
+    fn elmore_is_faster_than_lumped() {
+        // Distributed wire halves the wire-R x wire-C product: Elmore td
+        // must be below the lumped td, more so for long arrays.
+        let (lumped, elmore) = models();
+        for n in [16usize, 64, 256, 1024] {
+            assert!(elmore.td_nominal_s(n) < lumped.td_nominal_s(n), "n = {n}");
+        }
+        let gap16 = 1.0 - elmore.td_nominal_s(16) / lumped.td_nominal_s(16);
+        let gap1024 = 1.0 - elmore.td_nominal_s(1024) / lumped.td_nominal_s(1024);
+        assert!(gap1024 > gap16);
+    }
+
+    #[test]
+    fn agrees_with_lumped_when_wire_r_is_negligible() {
+        // With r_var -> 0 the two models coincide (all R is the FET).
+        let (lumped, elmore) = models();
+        let l = lumped.td_s(256, 1e-9, 1.0);
+        let e = elmore.td_s(256, 1e-9, 1.0);
+        assert!(((l - e) / l).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tdp_nominal_is_zero() {
+        let (_, elmore) = models();
+        assert!(elmore.tdp(64, 1.0, 1.0).abs() < 1e-12);
+        assert!(elmore.tdp_percent(64, 1.0, 1.2) > 0.0);
+    }
+
+    #[test]
+    fn validation_propagates() {
+        let p = *models().1.params();
+        assert!(ElmoreModel::new(p, 1.5).is_err());
+    }
+
+    #[test]
+    fn monotone_in_n() {
+        let (_, elmore) = models();
+        let mut last = 0.0;
+        for n in [1usize, 4, 16, 64, 256, 1024] {
+            let td = elmore.td_nominal_s(n);
+            assert!(td > last);
+            last = td;
+        }
+    }
+}

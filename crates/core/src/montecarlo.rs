@@ -1,0 +1,251 @@
+//! Monte-Carlo distribution of the read-time penalty (paper §III.B).
+//!
+//! Each trial samples one process-variation draw, prints the bit-line
+//! window, extracts `R_var`/`C_var`, and evaluates the analytical
+//! formula — "this formula ... allows a fast extraction of the
+//! statistical distribution of the read time penalty, using the
+//! Monte-Carlo method". Draws whose geometry shorts (deep-tail overlay
+//! events) are yield losses, not timing samples; they are counted and
+//! excluded, mirroring inspection screening.
+
+use mpvar_extract::{extract_track, RelativeVariation};
+use mpvar_litho::{apply_draw, sample_draw, Draw};
+use mpvar_sram::BitcellGeometry;
+use mpvar_stats::{Histogram, RngStream, Summary};
+use mpvar_tech::{PatterningOption, TechDb, VariationBudget};
+
+use crate::error::CoreError;
+
+/// Monte-Carlo configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McConfig {
+    /// Number of trials.
+    pub trials: usize,
+    /// RNG seed (every run with the same seed is bit-identical).
+    pub seed: u64,
+}
+
+impl Default for McConfig {
+    /// 20 000 trials, seed 2015 (the paper's year).
+    fn default() -> Self {
+        Self {
+            trials: 20_000,
+            seed: 2015,
+        }
+    }
+}
+
+/// The sampled `tdp` distribution of one patterning option.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TdpDistribution {
+    option: PatterningOption,
+    n: usize,
+    samples_percent: Vec<f64>,
+    summary: Summary,
+    shorted_draws: usize,
+}
+
+impl TdpDistribution {
+    /// The patterning option sampled.
+    pub fn option(&self) -> PatterningOption {
+        self.option
+    }
+
+    /// The array size the formula was evaluated at.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Per-trial `tdp` values, in percent.
+    pub fn samples_percent(&self) -> &[f64] {
+        &self.samples_percent
+    }
+
+    /// Summary statistics of `tdp` (percent).
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// The standard deviation of `tdp` in percent — Table IV's metric.
+    pub fn sigma_percent(&self) -> f64 {
+        self.summary.std_dev()
+    }
+
+    /// Sampled draws that printed shorted geometry and were excluded.
+    pub fn shorted_draws(&self) -> usize {
+        self.shorted_draws
+    }
+
+    /// Histogram of the distribution (Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates histogram construction failure (degenerate range).
+    pub fn histogram(&self, bins: usize) -> Result<Histogram, CoreError> {
+        Ok(Histogram::from_data(&self.samples_percent, bins)?)
+    }
+}
+
+/// Samples the `tdp` distribution of `option` at array size `n` using
+/// the analytical formula with extracted `R_var`/`C_var` per trial.
+///
+/// # Errors
+///
+/// Propagated tech/extraction/statistics failures (per-trial shorted
+/// geometry is handled internally, not an error).
+pub fn tdp_distribution(
+    tech: &TechDb,
+    cell: &BitcellGeometry,
+    option: PatterningOption,
+    budget: &VariationBudget,
+    n: usize,
+    config: &McConfig,
+) -> Result<TdpDistribution, CoreError> {
+    let m1 = tech
+        .metal(1)
+        .ok_or_else(|| CoreError::Tech("technology lacks metal1".to_string()))?;
+    if config.trials == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "trials",
+            value: 0.0,
+            constraint: "must be at least 1",
+        });
+    }
+
+    // One-cell window (multipliers are length-independent).
+    let stack = cell.column_stack(mpvar_sram::array::PAPER_BL_PAIRS, 5, 1)?;
+    let nominal_printed = apply_draw(&stack, &Draw::nominal(option))?;
+    let bl_index = nominal_printed
+        .index_of_net("BL")
+        .ok_or_else(|| CoreError::Sram("column stack lost its BL track".to_string()))?;
+    let nominal = extract_track(&nominal_printed, bl_index, m1)?;
+
+    let params = mpvar_sram::FormulaParams::derive(tech, cell, 0.7)?;
+    let model = crate::formula::AnalyticalModel::new(params, 0.10)?;
+
+    let base = RngStream::from_seed(config.seed);
+    let mut samples = Vec::with_capacity(config.trials);
+    let mut shorted = 0usize;
+    let mut k = 0u64;
+    while samples.len() < config.trials {
+        let mut rng = base.substream(k);
+        k += 1;
+        // Hard stop so a pathological budget cannot loop forever.
+        if k > 20 * config.trials as u64 + 1000 {
+            return Err(CoreError::NoFeasibleCorner {
+                option: option.to_string(),
+            });
+        }
+        let draw = sample_draw(option, budget, &mut rng)?;
+        let printed = match apply_draw(&stack, &draw) {
+            Ok(p) => p,
+            Err(_) => {
+                shorted += 1;
+                continue;
+            }
+        };
+        let parasitics = extract_track(&printed, bl_index, m1)?;
+        let var = RelativeVariation::between(&nominal, &parasitics);
+        samples.push(model.tdp_percent(n, var.r_var, var.c_var));
+    }
+
+    let summary = samples.iter().copied().collect();
+    Ok(TdpDistribution {
+        option,
+        n,
+        samples_percent: samples,
+        summary,
+        shorted_draws: shorted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpvar_tech::preset::n10;
+
+    fn setup() -> (TechDb, BitcellGeometry) {
+        let tech = n10();
+        let cell = BitcellGeometry::n10_hd(&tech).unwrap();
+        (tech, cell)
+    }
+
+    fn dist(option: PatterningOption, ol: f64, trials: usize) -> TdpDistribution {
+        let (tech, cell) = setup();
+        let budget = VariationBudget::paper_default(option, ol).unwrap();
+        tdp_distribution(
+            &tech,
+            &cell,
+            option,
+            &budget,
+            64,
+            &McConfig { trials, seed: 7 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn distributions_center_near_zero() {
+        for option in PatterningOption::ALL {
+            let d = dist(option, 8.0, 4000);
+            assert_eq!(d.samples_percent().len(), 4000);
+            // Mean tdp near 0 (variation is zero-mean), slight positive
+            // skew for LE3 (coupling is convex in gap).
+            assert!(d.summary().mean().abs() < 2.0, "{option}: mean {}", d.summary().mean());
+        }
+    }
+
+    #[test]
+    fn le3_sigma_dominates_and_grows_with_overlay() {
+        let le3_8 = dist(PatterningOption::Le3, 8.0, 4000).sigma_percent();
+        let le3_3 = dist(PatterningOption::Le3, 3.0, 4000).sigma_percent();
+        let sadp = dist(PatterningOption::Sadp, 8.0, 4000).sigma_percent();
+        let euv = dist(PatterningOption::Euv, 8.0, 4000).sigma_percent();
+        // Table IV's qualitative content.
+        assert!(le3_8 > le3_3, "OL raises sigma: {le3_8} vs {le3_3}");
+        assert!(le3_8 > 1.5 * sadp, "LE3(8nm) {le3_8} vs SADP {sadp}");
+        assert!(le3_8 > euv, "LE3(8nm) {le3_8} vs EUV {euv}");
+        // With tight 3nm OL, LE3 approaches the others (paper's
+        // conclusion).
+        assert!(le3_3 < 2.5 * euv.max(sadp), "le3_3 = {le3_3}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = dist(PatterningOption::Sadp, 8.0, 500);
+        let b = dist(PatterningOption::Sadp, 8.0, 500);
+        assert_eq!(a.samples_percent(), b.samples_percent());
+        assert_eq!(a.sigma_percent(), b.sigma_percent());
+    }
+
+    #[test]
+    fn histogram_covers_all_samples() {
+        let d = dist(PatterningOption::Le3, 8.0, 2000);
+        let h = d.histogram(40).unwrap();
+        assert_eq!(h.total(), 2000);
+        assert_eq!(h.underflow() + h.overflow(), 0);
+    }
+
+    #[test]
+    fn zero_trials_rejected() {
+        let (tech, cell) = setup();
+        let budget = VariationBudget::paper_default(PatterningOption::Euv, 8.0).unwrap();
+        assert!(tdp_distribution(
+            &tech,
+            &cell,
+            PatterningOption::Euv,
+            &budget,
+            64,
+            &McConfig { trials: 0, seed: 1 }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let d = dist(PatterningOption::Euv, 8.0, 100);
+        assert_eq!(d.option(), PatterningOption::Euv);
+        assert_eq!(d.n(), 64);
+        assert_eq!(d.shorted_draws(), 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A simple column-aligned text table with a title and a header row.
+///
+/// # Example
+///
+/// ```
+/// use mpvar_core::report::TextTable;
+///
+/// let mut t = TextTable::new("Table I: worst case", &["option", "dC_bl", "dR_bl"]);
+/// t.row(&["LELELE", "+49.5%", "-13.7%"]);
+/// t.row(&["SADP", "+7.8%", "-24.4%"]);
+/// let s = t.render();
+/// assert!(s.contains("LELELE"));
+/// assert!(s.lines().count() >= 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows
+    /// are truncated to the header width.
+    pub fn row(&mut self, cells: &[&str]) {
+        let mut row: Vec<String> = cells
+            .iter()
+            .take(self.header.len())
+            .map(|s| s.to_string())
+            .collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned table.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            let mut s = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+            }
+            s.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        out.push_str(&line(&self.header));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (title omitted).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| -> String {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(esc)
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a signed percentage with two decimals (`+12.34%`).
+pub fn pct(value: f64) -> String {
+    format!("{value:+.2}%")
+}
+
+/// Formats seconds as picoseconds with two decimals (`12.34 ps`).
+pub fn ps(seconds: f64) -> String {
+    format!("{:.2} ps", seconds * 1e12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_structure() {
+        let mut t = TextTable::new("T", &["a", "bbbb", "c"]);
+        t.row(&["xxxx", "y", "z"]);
+        t.row(&["1", "2"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "T");
+        assert!(lines[1].starts_with("a     bbbb"));
+        assert!(lines[2].chars().all(|c| c == '-'));
+        assert_eq!(lines.len(), 5);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn long_rows_truncated() {
+        let mut t = TextTable::new("T", &["a"]);
+        t.row(&["1", "2", "3"]);
+        assert!(t.render().lines().count() == 4);
+        assert!(!t.render().contains('2'));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = TextTable::new("T", &["name", "value"]);
+        t.row(&["has,comma", "has\"quote"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(12.345), "+12.35%");
+        assert_eq!(pct(-3.0), "-3.00%");
+        assert_eq!(ps(22.27e-12), "22.27 ps");
+    }
+}

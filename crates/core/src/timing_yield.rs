@@ -1,0 +1,228 @@
+//! Timing-yield estimation from the Monte-Carlo tdp distribution.
+//!
+//! A designer consumes the paper's Fig. 5 as a yield question: *what
+//! fraction of dies keeps the read-time penalty under my margin?* This
+//! module answers it two ways — empirically from the samples, and with
+//! a Gaussian fit (valid for the near-normal SADP/EUV distributions,
+//! conservative for LE3's right-skewed tail).
+
+use mpvar_stats::sampler::erf;
+
+use crate::error::CoreError;
+use crate::montecarlo::TdpDistribution;
+use crate::report::TextTable;
+
+/// Yield estimates for one tdp margin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldPoint {
+    /// The tdp margin, percent.
+    pub margin_percent: f64,
+    /// Empirical yield: fraction of samples with `tdp <= margin`.
+    pub empirical: f64,
+    /// Gaussian-fit yield using the distribution's mean/sigma.
+    pub gaussian_fit: f64,
+}
+
+/// A yield curve over a set of margins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldCurve {
+    /// Option label (for reports).
+    pub label: String,
+    /// The evaluated points, in margin order.
+    pub points: Vec<YieldPoint>,
+}
+
+impl YieldCurve {
+    /// The smallest margin (among the evaluated points) achieving at
+    /// least `target` empirical yield.
+    pub fn margin_for(&self, target: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.empirical >= target)
+            .map(|p| p.margin_percent)
+    }
+
+    /// Renders the report table.
+    pub fn report(&self) -> TextTable {
+        let mut t = TextTable::new(
+            &format!("timing yield: {}", self.label),
+            &["tdp margin", "empirical yield", "gaussian fit"],
+        );
+        for p in &self.points {
+            t.row(&[
+                &format!("{:+.1}%", p.margin_percent),
+                &format!("{:.4}", p.empirical),
+                &format!("{:.4}", p.gaussian_fit),
+            ]);
+        }
+        t
+    }
+}
+
+/// Standard normal CDF.
+fn phi(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Builds the yield curve of a sampled tdp distribution over the given
+/// margins (percent).
+///
+/// # Errors
+///
+/// [`CoreError::InvalidParameter`] for an empty margin list or a
+/// distribution with fewer than two samples.
+pub fn yield_curve(
+    dist: &TdpDistribution,
+    margins_percent: &[f64],
+) -> Result<YieldCurve, CoreError> {
+    if margins_percent.is_empty() {
+        return Err(CoreError::InvalidParameter {
+            name: "margins_percent",
+            value: 0.0,
+            constraint: "must not be empty",
+        });
+    }
+    let samples = dist.samples_percent();
+    if samples.len() < 2 {
+        return Err(CoreError::InvalidParameter {
+            name: "samples",
+            value: samples.len() as f64,
+            constraint: "need at least two Monte-Carlo samples",
+        });
+    }
+    let mean = dist.summary().mean();
+    let sigma = dist.summary().std_dev();
+    let n = samples.len() as f64;
+
+    let mut points: Vec<YieldPoint> = margins_percent
+        .iter()
+        .map(|&margin| {
+            let hits = samples.iter().filter(|&&s| s <= margin).count() as f64;
+            let gaussian_fit = if sigma > 0.0 {
+                phi((margin - mean) / sigma)
+            } else if margin >= mean {
+                1.0
+            } else {
+                0.0
+            };
+            YieldPoint {
+                margin_percent: margin,
+                empirical: hits / n,
+                gaussian_fit,
+            }
+        })
+        .collect();
+    points.sort_by(|a, b| {
+        a.margin_percent
+            .partial_cmp(&b.margin_percent)
+            .expect("finite margins")
+    });
+
+    Ok(YieldCurve {
+        label: format!("{} (n = {})", dist.option().paper_label(), dist.n()),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo::{tdp_distribution, McConfig};
+    use mpvar_sram::BitcellGeometry;
+    use mpvar_tech::{preset::n10, PatterningOption, VariationBudget};
+
+    fn dist(option: PatterningOption) -> TdpDistribution {
+        let tech = n10();
+        let cell = BitcellGeometry::n10_hd(&tech).unwrap();
+        let budget = VariationBudget::paper_default(option, 8.0).unwrap();
+        tdp_distribution(
+            &tech,
+            &cell,
+            option,
+            &budget,
+            64,
+            &McConfig {
+                trials: 4000,
+                seed: 11,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn yield_is_monotone_in_margin() {
+        let d = dist(PatterningOption::Le3);
+        let margins: Vec<f64> = (-10..=20).map(|k| k as f64).collect();
+        let curve = yield_curve(&d, &margins).unwrap();
+        let mut last = 0.0;
+        for p in &curve.points {
+            assert!(p.empirical >= last);
+            assert!((0.0..=1.0).contains(&p.empirical));
+            assert!((0.0..=1.0).contains(&p.gaussian_fit));
+            last = p.empirical;
+        }
+        // Extremes saturate.
+        assert_eq!(curve.points.first().unwrap().empirical, 0.0);
+        assert_eq!(curve.points.last().unwrap().empirical, 1.0);
+    }
+
+    #[test]
+    fn gaussian_fit_tracks_empirical_for_sadp() {
+        // SADP is near-normal: the fit agrees within a couple of points.
+        let d = dist(PatterningOption::Sadp);
+        let curve = yield_curve(&d, &[-1.0, 0.0, 1.0, 2.0]).unwrap();
+        for p in &curve.points {
+            assert!(
+                (p.empirical - p.gaussian_fit).abs() < 0.03,
+                "margin {}: {} vs {}",
+                p.margin_percent,
+                p.empirical,
+                p.gaussian_fit
+            );
+        }
+    }
+
+    #[test]
+    fn le3_needs_larger_margin_than_sadp() {
+        // The design takeaway: at the same yield target, LE3 demands a
+        // much wider timing margin.
+        let margins: Vec<f64> = (0..40).map(|k| 0.25 * k as f64).collect();
+        let le3 = yield_curve(&dist(PatterningOption::Le3), &margins).unwrap();
+        let sadp = yield_curve(&dist(PatterningOption::Sadp), &margins).unwrap();
+        let m_le3 = le3.margin_for(0.997).expect("margin exists");
+        let m_sadp = sadp.margin_for(0.997).expect("margin exists");
+        assert!(
+            m_le3 > 1.5 * m_sadp,
+            "LE3 margin {m_le3}% vs SADP {m_sadp}%"
+        );
+    }
+
+    #[test]
+    fn normality_structure_matches_the_physics() {
+        // SADP's tdp is near-normal; LE3's is right-skewed by the convex
+        // coupling-vs-gap law. KS quantifies it: LE3's fitted-Gaussian
+        // distance is several times SADP's.
+        use mpvar_stats::ks_test_fitted;
+        let sadp = ks_test_fitted(dist(PatterningOption::Sadp).samples_percent()).unwrap();
+        let le3 = ks_test_fitted(dist(PatterningOption::Le3).samples_percent()).unwrap();
+        assert!(
+            le3.statistic > 2.0 * sadp.statistic,
+            "LE3 D = {} vs SADP D = {}",
+            le3.statistic,
+            sadp.statistic
+        );
+        // And LE3's skew is positive, as Fig. 5 shows.
+        let le3_dist = dist(PatterningOption::Le3);
+        assert!(le3_dist.summary().skewness() > 0.2);
+    }
+
+    #[test]
+    fn report_and_errors() {
+        let d = dist(PatterningOption::Euv);
+        let curve = yield_curve(&d, &[2.0, -2.0, 0.0]).unwrap();
+        // Sorted by margin.
+        assert_eq!(curve.points[0].margin_percent, -2.0);
+        assert!(curve.report().render().contains("EUV"));
+        assert!(yield_curve(&d, &[]).is_err());
+    }
+}

@@ -1,0 +1,383 @@
+//! Design-rule checks (DRC-lite): minimum width and spacing.
+//!
+//! Two check surfaces:
+//!
+//! * [`check_layout`] — drawn-layout checks against the tech's per-metal
+//!   minimum width and space, over a flattened cell;
+//! * [`check_printed_stack`] — printed-geometry checks after a
+//!   variation draw: flags gaps that fall below a process floor, the
+//!   physical events the Monte-Carlo engine screens out as yield loss.
+
+use mpvar_geometry::{Layout, Nm, Rect};
+use mpvar_litho::PerturbedStack;
+use mpvar_tech::{MetalSpec, TechDb};
+
+use crate::error::ExtractError;
+
+/// One design-rule violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrcViolation {
+    /// Which rule fired.
+    pub kind: DrcViolationKind,
+    /// Metal level the rule belongs to.
+    pub metal_level: u8,
+    /// Human-readable location/net context.
+    pub context: String,
+}
+
+/// The rule classes checked.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DrcViolationKind {
+    /// A shape narrower than the layer minimum (nm: actual, required).
+    MinWidth {
+        /// Measured width, nm.
+        actual_nm: f64,
+        /// Required minimum, nm.
+        required_nm: f64,
+    },
+    /// Two shapes closer than the layer minimum space (nm: actual,
+    /// required).
+    MinSpace {
+        /// Measured spacing, nm.
+        actual_nm: f64,
+        /// Required minimum, nm.
+        required_nm: f64,
+    },
+}
+
+impl std::fmt::Display for DrcViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            DrcViolationKind::MinWidth {
+                actual_nm,
+                required_nm,
+            } => write!(
+                f,
+                "metal{} min-width: {actual_nm:.2}nm < {required_nm:.2}nm at {}",
+                self.metal_level, self.context
+            ),
+            DrcViolationKind::MinSpace {
+                actual_nm,
+                required_nm,
+            } => write!(
+                f,
+                "metal{} min-space: {actual_nm:.2}nm < {required_nm:.2}nm at {}",
+                self.metal_level, self.context
+            ),
+        }
+    }
+}
+
+/// Checks the flattened `top` cell of `layout` against the drawn-layer
+/// rules of `tech` (minimum width as the smaller bbox dimension, minimum
+/// space between same-layer shapes whose projections overlap).
+///
+/// # Errors
+///
+/// [`ExtractError::Circuit`] wrapping flattening failures (unknown cell,
+/// recursive hierarchy).
+pub fn check_layout(
+    layout: &Layout,
+    top: &str,
+    tech: &TechDb,
+) -> Result<Vec<DrcViolation>, ExtractError> {
+    let shapes = layout
+        .flatten(top)
+        .map_err(|e| ExtractError::Circuit(e.to_string()))?;
+    let mut violations = Vec::new();
+
+    for metal in tech.metals() {
+        let level = metal.level();
+        let min_w = metal.min_width();
+        let min_s = metal.min_space();
+        let on_layer: Vec<(&mpvar_geometry::Shape, Rect)> = shapes
+            .iter()
+            .filter(|s| s.layer().metal_level() == Some(level))
+            .map(|s| (s, s.bbox()))
+            .collect();
+
+        // Min width: the smaller bbox dimension of each shape.
+        for (s, bb) in &on_layer {
+            let w = bb.width().min(bb.height());
+            if w < min_w {
+                violations.push(DrcViolation {
+                    kind: DrcViolationKind::MinWidth {
+                        actual_nm: w.to_f64(),
+                        required_nm: min_w.to_f64(),
+                    },
+                    metal_level: level,
+                    context: format!(
+                        "{} {}",
+                        s.net().unwrap_or("<unlabelled>"),
+                        bb
+                    ),
+                });
+            }
+        }
+
+        // Min space: pairwise gaps where projections overlap.
+        for i in 0..on_layer.len() {
+            for j in i + 1..on_layer.len() {
+                let (sa, a) = &on_layer[i];
+                let (sb, b) = &on_layer[j];
+                if a.intersects(b) {
+                    continue; // overlapping same-layer shapes merge
+                }
+                let gap = rect_gap(a, b);
+                if let Some(gap) = gap {
+                    if gap > Nm(0) && gap < min_s {
+                        violations.push(DrcViolation {
+                            kind: DrcViolationKind::MinSpace {
+                                actual_nm: gap.to_f64(),
+                                required_nm: min_s.to_f64(),
+                            },
+                            metal_level: level,
+                            context: format!(
+                                "{} vs {}",
+                                sa.net().unwrap_or("<unlabelled>"),
+                                sb.net().unwrap_or("<unlabelled>")
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(violations)
+}
+
+/// The edge-to-edge gap between two disjoint rectangles whose spans
+/// overlap on the orthogonal axis; `None` when they are diagonal
+/// neighbours (no facing edges).
+fn rect_gap(a: &Rect, b: &Rect) -> Option<Nm> {
+    let x_overlap = a.x0() < b.x1() && b.x0() < a.x1();
+    let y_overlap = a.y0() < b.y1() && b.y0() < a.y1();
+    if x_overlap && !y_overlap {
+        Some(a.vertical_gap(b))
+    } else if y_overlap && !x_overlap {
+        let gap = if b.x0() >= a.x1() {
+            b.x0() - a.x1()
+        } else {
+            a.x0() - b.x1()
+        };
+        Some(gap)
+    } else {
+        None
+    }
+}
+
+/// Checks a *printed* stack against a post-litho process floor:
+/// `floor_fraction` of the drawn minimum space (a typical short-risk
+/// screen uses 0.4–0.6). Widths are checked against the same fraction of
+/// the drawn minimum width.
+pub fn check_printed_stack(
+    stack: &PerturbedStack,
+    spec: &MetalSpec,
+    floor_fraction: f64,
+) -> Vec<DrcViolation> {
+    let min_w = spec.min_width().to_f64() * floor_fraction;
+    let min_s = spec.min_space().to_f64() * floor_fraction;
+    let mut violations = Vec::new();
+    for (i, t) in stack.iter().enumerate() {
+        if t.width_nm() < min_w {
+            violations.push(DrcViolation {
+                kind: DrcViolationKind::MinWidth {
+                    actual_nm: t.width_nm(),
+                    required_nm: min_w,
+                },
+                metal_level: spec.level(),
+                context: t.net().to_string(),
+            });
+        }
+        if let Some(gap) = stack.gap_above_nm(i) {
+            if gap < min_s {
+                violations.push(DrcViolation {
+                    kind: DrcViolationKind::MinSpace {
+                        actual_nm: gap,
+                        required_nm: min_s,
+                    },
+                    metal_level: spec.level(),
+                    context: format!(
+                        "{} vs {}",
+                        t.net(),
+                        stack.track(i + 1).net()
+                    ),
+                });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpvar_geometry::{Cell, Layer, Shape, Track, TrackStack};
+    use mpvar_litho::{apply_draw, Draw, Le3Draw};
+    use mpvar_tech::preset::n10;
+
+    fn layout_with(shapes: Vec<Shape>) -> Layout {
+        let mut cell = Cell::new("top");
+        for s in shapes {
+            cell.add_shape(s);
+        }
+        [cell].into_iter().collect()
+    }
+
+    fn m1_rect(x0: i64, y0: i64, x1: i64, y1: i64, net: &str) -> Shape {
+        Shape::rect(
+            Layer::metal(1),
+            Rect::new(Nm(x0), Nm(y0), Nm(x1), Nm(y1)).unwrap(),
+        )
+        .with_net(net)
+    }
+
+    #[test]
+    fn clean_layout_passes() {
+        // Two 24nm-wide wires at 24nm space: exactly at rule.
+        let layout = layout_with(vec![
+            m1_rect(0, 0, 1000, 24, "a"),
+            m1_rect(0, 48, 1000, 72, "b"),
+        ]);
+        let v = check_layout(&layout, "top", &n10()).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn min_width_flagged() {
+        let layout = layout_with(vec![m1_rect(0, 0, 1000, 20, "thin")]);
+        let v = check_layout(&layout, "top", &n10()).unwrap();
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0].kind, DrcViolationKind::MinWidth { .. }));
+        assert!(v[0].to_string().contains("thin"));
+    }
+
+    #[test]
+    fn min_space_flagged_vertically_and_horizontally() {
+        // Vertical spacing violation.
+        let layout = layout_with(vec![
+            m1_rect(0, 0, 1000, 24, "a"),
+            m1_rect(0, 40, 1000, 64, "b"), // 16nm gap < 24nm
+        ]);
+        let v = check_layout(&layout, "top", &n10()).unwrap();
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            v[0].kind,
+            DrcViolationKind::MinSpace { actual_nm, .. } if (actual_nm - 16.0).abs() < 1e-9
+        ));
+
+        // Horizontal (end-to-end) spacing violation.
+        let layout = layout_with(vec![
+            m1_rect(0, 0, 100, 24, "a"),
+            m1_rect(110, 0, 200, 24, "b"), // 10nm end gap
+        ]);
+        let v = check_layout(&layout, "top", &n10()).unwrap();
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn diagonal_neighbours_not_flagged() {
+        let layout = layout_with(vec![
+            m1_rect(0, 0, 100, 24, "a"),
+            m1_rect(105, 30, 200, 54, "b"), // diagonal: no facing edges
+        ]);
+        let v = check_layout(&layout, "top", &n10()).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn overlapping_shapes_not_flagged_as_space() {
+        let layout = layout_with(vec![
+            m1_rect(0, 0, 100, 24, "a"),
+            m1_rect(50, 0, 200, 24, "a"),
+        ]);
+        let v = check_layout(&layout, "top", &n10()).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn other_layers_ignored() {
+        let layout = layout_with(vec![Shape::rect(
+            Layer::gate(),
+            Rect::new(Nm(0), Nm(0), Nm(5), Nm(5)).unwrap(),
+        )]);
+        let v = check_layout(&layout, "top", &n10()).unwrap();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn unknown_top_reported() {
+        let layout = Layout::new();
+        assert!(check_layout(&layout, "nope", &n10()).is_err());
+    }
+
+    fn sram_row(bl_width: i64) -> Layout {
+        let m1 = Layer::metal(1);
+        let mut cell = Cell::new("row");
+        for (i, net) in ["VSS", "BL", "VDD", "BLB"].iter().enumerate() {
+            let w = if i % 2 == 0 { 24 } else { bl_width };
+            let y = 48 * i as i64;
+            cell.add_shape(
+                Shape::rect(
+                    m1,
+                    Rect::new(Nm(0), Nm(y - w / 2), Nm(1300), Nm(y - w / 2 + w)).unwrap(),
+                )
+                .with_net(*net),
+            );
+        }
+        [cell].into_iter().collect()
+    }
+
+    #[test]
+    fn minimum_width_sram_row_is_drc_clean() {
+        let v = check_layout(&sram_row(24), "row", &n10()).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn non_minimum_bitline_needs_multiple_patterning() {
+        // The paper's 26nm bit line at the 48nm pitch leaves only 23nm of
+        // space — illegal under SINGLE-patterning same-mask rules, which
+        // is precisely why the layer is multiple-patterned: adjacent
+        // tracks land on different masks (LE3) or are self-aligned
+        // (SADP), relaxing the same-mask space constraint.
+        let v = check_layout(&sram_row(26), "row", &n10()).unwrap();
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v
+            .iter()
+            .all(|x| matches!(x.kind, DrcViolationKind::MinSpace { actual_nm, .. }
+                if (actual_nm - 23.0).abs() < 1e-9)));
+    }
+
+    #[test]
+    fn printed_stack_floor_check() {
+        let tech = n10();
+        let spec = tech.metal(1).unwrap();
+        let drawn = TrackStack::new(vec![
+            Track::new("VSS", Nm(0), Nm(24), Nm(0), Nm(1000)).unwrap(),
+            Track::new("BL", Nm(48), Nm(26), Nm(0), Nm(1000)).unwrap(),
+            Track::new("VDD", Nm(96), Nm(24), Nm(0), Nm(1000)).unwrap(),
+        ])
+        .unwrap();
+        // Nominal print: clean at a 0.5 floor.
+        let nominal = apply_draw(&drawn, &Draw::nominal(mpvar_tech::PatterningOption::Le3))
+            .unwrap();
+        assert!(check_printed_stack(&nominal, spec, 0.5).is_empty());
+
+        // Extreme overlay squeeze: both BL gaps go to 23-3-8 = 12nm,
+        // flagged at a 0.6 floor (14.4nm).
+        let squeezed = apply_draw(
+            &drawn,
+            &Draw::Le3(Le3Draw {
+                cd_nm: [3.0, 3.0, 3.0],
+                overlay_nm: [8.0, 0.0, -8.0],
+            }),
+        )
+        .unwrap();
+        let v = check_printed_stack(&squeezed, spec, 0.6);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v
+            .iter()
+            .all(|x| matches!(x.kind, DrcViolationKind::MinSpace { .. })));
+    }
+}

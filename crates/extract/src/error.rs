@@ -1,0 +1,74 @@
+//! Error type for the extraction crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from parasitic extraction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExtractError {
+    /// A geometric input was outside the model's validity range.
+    InvalidGeometry {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value (nm unless stated otherwise).
+        value: f64,
+        /// Constraint description.
+        constraint: &'static str,
+    },
+    /// A track index was out of range for the stack.
+    TrackOutOfRange {
+        /// Requested index.
+        index: usize,
+        /// Stack length.
+        len: usize,
+    },
+    /// Deck emission was asked for zero segments.
+    ZeroSegments,
+    /// An underlying circuit error while emitting the deck.
+    Circuit(String),
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::InvalidGeometry {
+                name,
+                value,
+                constraint,
+            } => write!(f, "geometry `{name}` = {value} is invalid: {constraint}"),
+            ExtractError::TrackOutOfRange { index, len } => {
+                write!(f, "track index {index} out of range for stack of {len}")
+            }
+            ExtractError::ZeroSegments => {
+                write!(f, "rc deck needs at least one segment per track")
+            }
+            ExtractError::Circuit(msg) => write!(f, "circuit construction failed: {msg}"),
+        }
+    }
+}
+
+impl Error for ExtractError {}
+
+impl From<mpvar_spice::SpiceError> for ExtractError {
+    fn from(e: mpvar_spice::SpiceError) -> Self {
+        ExtractError::Circuit(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ExtractError::TrackOutOfRange { index: 5, len: 3 };
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExtractError>();
+    }
+}

@@ -1,0 +1,118 @@
+//! Error type for the geometry crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::units::Nm;
+
+/// Errors produced by geometric constructors and the layout database.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GeometryError {
+    /// A rectangle had non-positive extent in x or y.
+    DegenerateRect {
+        /// Width as supplied.
+        width: Nm,
+        /// Height as supplied.
+        height: Nm,
+    },
+    /// A polygon needs at least three vertices.
+    TooFewVertices {
+        /// Vertices supplied.
+        got: usize,
+    },
+    /// A track was created with a non-positive width.
+    NonPositiveWidth {
+        /// Width as supplied.
+        width: Nm,
+    },
+    /// A track span was empty or inverted.
+    EmptySpan {
+        /// Span start.
+        x0: Nm,
+        /// Span end.
+        x1: Nm,
+    },
+    /// A referenced cell does not exist in the layout.
+    UnknownCell {
+        /// The missing cell name.
+        name: String,
+    },
+    /// A cell with this name already exists in the layout.
+    DuplicateCell {
+        /// The duplicated cell name.
+        name: String,
+    },
+    /// Instance graph contains a cycle (a cell transitively instantiates
+    /// itself), so it cannot be flattened.
+    RecursiveHierarchy {
+        /// The cell at which the cycle was detected.
+        name: String,
+    },
+    /// Text-GDS parse failure.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable message.
+        message: String,
+    },
+    /// Tracks in a stack must be sorted by centerline and non-overlapping.
+    TrackOrdering {
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::DegenerateRect { width, height } => {
+                write!(f, "rectangle must have positive extent, got {width} x {height}")
+            }
+            GeometryError::TooFewVertices { got } => {
+                write!(f, "polygon needs at least 3 vertices, got {got}")
+            }
+            GeometryError::NonPositiveWidth { width } => {
+                write!(f, "track width must be positive, got {width}")
+            }
+            GeometryError::EmptySpan { x0, x1 } => {
+                write!(f, "track span is empty: [{x0}, {x1}]")
+            }
+            GeometryError::UnknownCell { name } => write!(f, "unknown cell `{name}`"),
+            GeometryError::DuplicateCell { name } => write!(f, "duplicate cell `{name}`"),
+            GeometryError::RecursiveHierarchy { name } => {
+                write!(f, "recursive hierarchy detected at cell `{name}`")
+            }
+            GeometryError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GeometryError::TrackOrdering { message } => {
+                write!(f, "invalid track stack: {message}")
+            }
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GeometryError::UnknownCell { name: "sram".into() };
+        assert!(e.to_string().contains("sram"));
+        let e = GeometryError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeometryError>();
+    }
+}

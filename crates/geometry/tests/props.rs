@@ -1,0 +1,114 @@
+//! Property-based tests of the geometric primitives.
+
+use proptest::prelude::*;
+
+use mpvar_geometry::{gds, Cell, Instance, Layer, Layout, Nm, Orientation, Point, Rect, Shape};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-10_000i64..10_000, -10_000i64..10_000).prop_map(|(x, y)| Point::new(Nm(x), Nm(y)))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (
+        -10_000i64..10_000,
+        -10_000i64..10_000,
+        1i64..5_000,
+        1i64..5_000,
+    )
+        .prop_map(|(x, y, w, h)| Rect::new(Nm(x), Nm(y), Nm(x + w), Nm(y + h)).expect("positive extent"))
+}
+
+fn arb_orientation() -> impl Strategy<Value = Orientation> {
+    prop::sample::select(Orientation::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Orientation composition is closed and associative; inverses work.
+    #[test]
+    fn orientation_group_laws(
+        a in arb_orientation(),
+        b in arb_orientation(),
+        c in arb_orientation(),
+        p in arb_point(),
+    ) {
+        // Associativity through application.
+        let left = c.apply(b.apply(a.apply(p)));
+        let right = a.then(b).then(c).apply(p);
+        prop_assert_eq!(left, right);
+        // Inverse.
+        prop_assert_eq!(a.inverse().apply(a.apply(p)), p);
+        // Application preserves L2 norm.
+        let origin = Point::ORIGIN;
+        prop_assert_eq!(p.distance_sq(origin), a.apply(p).distance_sq(origin));
+    }
+
+    /// Rect intersection is commutative, contained in both, and the
+    /// union contains both operands.
+    #[test]
+    fn rect_lattice_laws(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(i.area_nm2() <= a.area_nm2());
+            prop_assert!(i.area_nm2() <= b.area_nm2());
+            prop_assert!(a.contains(i.ll()) && a.contains(i.ur()));
+            prop_assert!(b.contains(i.ll()) && b.contains(i.ur()));
+        }
+        let u = a.union(&b);
+        prop_assert!(u.area_nm2() >= a.area_nm2().max(b.area_nm2()));
+        prop_assert!(u.contains(a.ll()) && u.contains(b.ur()));
+    }
+
+    /// Translation preserves area and relative containment.
+    #[test]
+    fn rect_translation_invariants(r in arb_rect(), d in arb_point()) {
+        let t = r.translate(d);
+        prop_assert_eq!(t.area_nm2(), r.area_nm2());
+        prop_assert_eq!(t.width(), r.width());
+        prop_assert_eq!(t.height(), r.height());
+    }
+
+    /// Orientation transforms of rects preserve area.
+    #[test]
+    fn rect_orientation_preserves_area(r in arb_rect(), o in arb_orientation()) {
+        prop_assert_eq!(o.apply_rect(&r).area_nm2(), r.area_nm2());
+    }
+
+    /// Flattening an instance equals transforming the flattened child.
+    #[test]
+    fn flatten_commutes_with_placement(
+        r in arb_rect(),
+        o in arb_orientation(),
+        d in arb_point(),
+    ) {
+        let mut leaf = Cell::new("leaf");
+        leaf.add_shape(Shape::rect(Layer::metal(1), r));
+        let mut top = Cell::new("top");
+        top.add_instance(Instance::new("leaf", d).with_orientation(o));
+        let mut layout = Layout::new();
+        layout.add_cell(leaf).expect("fresh name");
+        layout.add_cell(top).expect("fresh name");
+        let flat = layout.flatten("top").expect("flattens");
+        prop_assert_eq!(flat.len(), 1);
+        let expected = o.apply_rect(&r).translate(d);
+        prop_assert_eq!(flat[0].bbox(), expected);
+    }
+
+    /// TGDS round-trips arbitrary single-cell layouts.
+    #[test]
+    fn tgds_roundtrip(rects in prop::collection::vec(arb_rect(), 1..20)) {
+        let mut cell = Cell::new("c");
+        for (i, r) in rects.iter().enumerate() {
+            let mut s = Shape::rect(Layer::metal(1 + (i % 3) as u8), *r);
+            if i % 2 == 0 {
+                s = s.with_net(format!("net{i}"));
+            }
+            cell.add_shape(s);
+        }
+        let layout: Layout = [cell].into_iter().collect();
+        let text = gds::to_text(&layout);
+        let back = gds::from_text(&text).expect("parses back");
+        prop_assert_eq!(layout, back);
+    }
+}

@@ -1,0 +1,401 @@
+//! Applying a variation draw to drawn geometry: the patterning physics.
+
+use mpvar_geometry::{Track, TrackStack};
+
+use crate::decompose::{le3_mask_of, sadp_role_of, SadpRole};
+use crate::draw::Draw;
+use crate::error::LithoError;
+use crate::perturbed::{PerturbedStack, PerturbedTrack};
+
+/// Prints the drawn `stack` under variation `draw`, producing the
+/// post-lithography geometry.
+///
+/// Per-option behaviour (paper §II, Fig. 2):
+///
+/// * **LE3** — track `i` belongs to mask `i mod 3`; its width grows by
+///   that mask's CD error and its centerline shifts by the mask's
+///   overlay error.
+/// * **EUV** — every width grows by the single mask's CD error; centers
+///   are unmoved.
+/// * **SADP** — even-index tracks are mandrels: width grows by the core
+///   CD error around a fixed center. Spacers of thickness `drawn gap +
+///   spacer error` grow on every mandrel sidewall; odd-index tracks fill
+///   the space left between spacers, so each of their gaps equals the
+///   spacer thickness exactly and their width absorbs both errors with
+///   opposite sign. A spacer-defined track at the top (or bottom) of the
+///   stack uses a periodic-image mandrel — the mandrel below reflected
+///   about the track center — matching an array that continues beyond
+///   the analysed window.
+///
+/// # Errors
+///
+/// * [`LithoError::NonFiniteDraw`] for NaN/inf parameters;
+/// * [`LithoError::CollapsedLine`] when variation drives a width to zero;
+/// * [`LithoError::ShortedLines`] when adjacent printed lines touch;
+/// * [`LithoError::UndecomposableStack`] for SADP on an empty stack.
+pub fn apply_draw(stack: &TrackStack, draw: &Draw) -> Result<PerturbedStack, LithoError> {
+    draw.validate()?;
+    match draw {
+        Draw::Le3(d) => {
+            let tracks = stack
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let mask = le3_mask_of(i);
+                    let width = t.width().to_f64() + d.cd_nm[mask.index()];
+                    let center = t.y_center().to_f64() + d.overlay_nm[mask.index()];
+                    PerturbedTrack::new(
+                        t.net(),
+                        center - width / 2.0,
+                        center + width / 2.0,
+                        t.length().to_f64(),
+                    )
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            PerturbedStack::new(tracks)
+        }
+        Draw::Euv(d) => {
+            let tracks = stack
+                .iter()
+                .map(|t| {
+                    let width = t.width().to_f64() + d.cd_nm;
+                    let center = t.y_center().to_f64();
+                    PerturbedTrack::new(
+                        t.net(),
+                        center - width / 2.0,
+                        center + width / 2.0,
+                        t.length().to_f64(),
+                    )
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            PerturbedStack::new(tracks)
+        }
+        Draw::Sadp(d) => apply_sadp(stack, d.core_cd_nm, d.spacer_nm),
+        Draw::Le2(d) => {
+            // Two-mask coloring: track i is on mask i mod 2; only mask B
+            // carries an overlay error (A is the reference).
+            let tracks = stack
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let mask = i % 2;
+                    let width = t.width().to_f64() + d.cd_nm[mask];
+                    let shift = if mask == 1 { d.overlay_nm } else { 0.0 };
+                    let center = t.y_center().to_f64() + shift;
+                    PerturbedTrack::new(
+                        t.net(),
+                        center - width / 2.0,
+                        center + width / 2.0,
+                        t.length().to_f64(),
+                    )
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            PerturbedStack::new(tracks)
+        }
+    }
+}
+
+/// Printed edges `(bottom, top)` of the mandrel at index `i` (center
+/// fixed, width grown by the core CD error).
+fn mandrel_edges(t: &Track, core_cd_nm: f64) -> (f64, f64) {
+    let width = t.width().to_f64() + core_cd_nm;
+    let center = t.y_center().to_f64();
+    (center - width / 2.0, center + width / 2.0)
+}
+
+fn apply_sadp(
+    stack: &TrackStack,
+    core_cd_nm: f64,
+    spacer_nm: f64,
+) -> Result<PerturbedStack, LithoError> {
+    if stack.is_empty() {
+        return Err(LithoError::UndecomposableStack {
+            reason: "empty stack".into(),
+        });
+    }
+    let tracks = stack.tracks();
+    let mut printed = Vec::with_capacity(tracks.len());
+
+    for (i, t) in tracks.iter().enumerate() {
+        match sadp_role_of(i) {
+            SadpRole::MandrelDefined => {
+                let (bottom, top) = mandrel_edges(t, core_cd_nm);
+                printed.push(PerturbedTrack::new(
+                    t.net(),
+                    bottom,
+                    top,
+                    t.length().to_f64(),
+                )?);
+            }
+            SadpRole::SpacerDefined => {
+                // Edge from the mandrel below (always exists: index 0 is
+                // a mandrel).
+                let below = &tracks[i - 1];
+                let spacer_below = below.spacing_to(t).to_f64() + spacer_nm;
+                let (_, below_top) = mandrel_edges(below, core_cd_nm);
+                let bottom = below_top + spacer_below;
+
+                // Edge from the mandrel above, real or periodic image.
+                let top = if let Some(above) = tracks.get(i + 1) {
+                    let spacer_above = t.spacing_to(above).to_f64() + spacer_nm;
+                    let (above_bottom, _) = mandrel_edges(above, core_cd_nm);
+                    above_bottom - spacer_above
+                } else {
+                    // Periodic image: reflect the mandrel below about this
+                    // track's drawn center.
+                    let t_center = t.y_center().to_f64();
+                    let below_center = below.y_center().to_f64();
+                    let image_center = 2.0 * t_center - below_center;
+                    let image_width = below.width().to_f64() + core_cd_nm;
+                    let image_bottom = image_center - image_width / 2.0;
+                    let spacer_above = t.spacing_to(below).to_f64() + spacer_nm;
+                    image_bottom - spacer_above
+                };
+
+                printed.push(PerturbedTrack::new(
+                    t.net(),
+                    bottom,
+                    top,
+                    t.length().to_f64(),
+                )?);
+            }
+        }
+    }
+    PerturbedStack::new(printed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::draw::{EuvDraw, Le3Draw, SadpDraw};
+    use mpvar_geometry::Nm;
+
+    /// The paper's SRAM metal1 stack for one cell plus the next cell's
+    /// first rail: VSS(24) BL(26) VDD(24) BLB(26) VSS(24) at 48nm pitch.
+    fn sram_stack() -> TrackStack {
+        TrackStack::new(vec![
+            Track::new("VSS", Nm(0), Nm(24), Nm(0), Nm(1000)).unwrap(),
+            Track::new("BL", Nm(48), Nm(26), Nm(0), Nm(1000)).unwrap(),
+            Track::new("VDD", Nm(96), Nm(24), Nm(0), Nm(1000)).unwrap(),
+            Track::new("BLB", Nm(144), Nm(26), Nm(0), Nm(1000)).unwrap(),
+            Track::new("VSS2", Nm(192), Nm(24), Nm(0), Nm(1000)).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn nominal_draw_reproduces_drawn_geometry() {
+        let stack = sram_stack();
+        for option in mpvar_tech::PatterningOption::ALL {
+            let printed = apply_draw(&stack, &Draw::nominal(option)).unwrap();
+            for (drawn, p) in stack.iter().zip(printed.iter()) {
+                assert!(
+                    (p.width_nm() - drawn.width().to_f64()).abs() < 1e-9,
+                    "{option}: width of {}",
+                    drawn.net()
+                );
+                assert!(
+                    (p.center_nm() - drawn.y_center().to_f64()).abs() < 1e-9,
+                    "{option}: center of {}",
+                    drawn.net()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn euv_cd_widens_all_lines_and_shrinks_gaps() {
+        let stack = sram_stack();
+        let printed = apply_draw(&stack, &Draw::Euv(EuvDraw { cd_nm: 3.0 })).unwrap();
+        for (i, t) in stack.iter().enumerate() {
+            assert!((printed.track(i).width_nm() - t.width().to_f64() - 3.0).abs() < 1e-9);
+        }
+        // Nominal BL gaps are 23nm; CD +3 shrinks each by 3 (1.5 per edge).
+        let bl = printed.index_of_net("BL").unwrap();
+        assert!((printed.gap_below_nm(bl).unwrap() - 20.0).abs() < 1e-9);
+        assert!((printed.gap_above_nm(bl).unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn le3_worst_case_squeezes_bitline() {
+        // BL is at index 1 (mask B). The paper's worst case shifts its
+        // neighbours toward it with OL and widens everything with CD.
+        // Neighbours of BL: VSS (A, below), VDD (C, above). Shift B? BL
+        // itself is on B. Worst for BL's gaps: move BL up toward VDD
+        // (ol_b +) while VDD moves down (ol_c -)... Here we directly
+        // check geometry arithmetic, not the corner search.
+        let stack = sram_stack();
+        let d = Le3Draw {
+            cd_nm: [3.0, 3.0, 3.0],
+            overlay_nm: [0.0, 4.0, -4.0],
+        };
+        let printed = apply_draw(&stack, &Draw::Le3(d)).unwrap();
+        let bl = printed.index_of_net("BL").unwrap();
+        // Gap below: drawn 23, minus CD (1.5+1.5), plus BL's own +4
+        // upward shift away from VSS.
+        assert!((printed.gap_below_nm(bl).unwrap() - (23.0 - 3.0 + 4.0)).abs() < 1e-9);
+        // Gap above: drawn 23, minus CD 3, minus the 8nm relative
+        // approach (BL up 4, VDD down 4).
+        assert!((printed.gap_above_nm(bl).unwrap() - (23.0 - 3.0 - 8.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn le3_same_mask_tracks_move_together() {
+        let stack = sram_stack();
+        let d = Le3Draw {
+            cd_nm: [0.0; 3],
+            overlay_nm: [2.0, 0.0, 0.0],
+        };
+        let printed = apply_draw(&stack, &Draw::Le3(d)).unwrap();
+        // Tracks 0 and 3 are both mask A: both shift by +2.
+        assert!((printed.track(0).center_nm() - 2.0).abs() < 1e-9);
+        assert!((printed.track(3).center_nm() - 146.0).abs() < 1e-9);
+        // Track 1 (mask B) unmoved.
+        assert!((printed.track(1).center_nm() - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sadp_gaps_equal_spacer_thickness() {
+        let stack = sram_stack();
+        let d = SadpDraw {
+            core_cd_nm: -3.0,
+            spacer_nm: -0.5,
+        };
+        let printed = apply_draw(&stack, &Draw::Sadp(d)).unwrap();
+        let bl = printed.index_of_net("BL").unwrap();
+        // Every gap adjacent to a spacer-defined line is exactly
+        // drawn_gap + spacer error = 23 - 0.5 = 22.5: self-alignment.
+        assert!((printed.gap_below_nm(bl).unwrap() - 22.5).abs() < 1e-9);
+        assert!((printed.gap_above_nm(bl).unwrap() - 22.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sadp_spacer_defined_width_anticorrelates() {
+        let stack = sram_stack();
+        // Core shrink and spacer shrink both WIDEN the spacer-defined BL:
+        // width = 2*pitch - mandrel - 2*spacer.
+        let d = SadpDraw {
+            core_cd_nm: -3.0,
+            spacer_nm: -0.5,
+        };
+        let printed = apply_draw(&stack, &Draw::Sadp(d)).unwrap();
+        let bl = printed.index_of_net("BL").unwrap();
+        // Mandrel widths 24-3=21 (±1.5 per edge); spacers 22.5.
+        // BL spans from VSS top + 22.5 to VDD bottom - 22.5:
+        // VSS top = 12 - 1.5 = 10.5; VDD bottom = 84 + 1.5 = 85.5.
+        // Width = (85.5 - 22.5) - (10.5 + 22.5) = 63 - 33 = 30.
+        assert!((printed.track(bl).width_nm() - 30.0).abs() < 1e-9, "width {}", printed.track(bl).width_nm());
+        // Rails got narrower while BL got wider: anti-correlation.
+        let vss = printed.index_of_net("VSS").unwrap();
+        assert!(printed.track(vss).width_nm() < 24.0);
+        assert!(printed.track(bl).width_nm() > 26.0);
+    }
+
+    #[test]
+    fn sadp_periodic_image_matches_interior() {
+        // In a long tiled stack, the last BLB (no mandrel above) must get
+        // the same width as an interior BLB under the same draw.
+        let base = sram_stack();
+        let d = Draw::Sadp(SadpDraw {
+            core_cd_nm: 2.0,
+            spacer_nm: 0.8,
+        });
+        let printed = apply_draw(&base, &d).unwrap();
+        // Stack without the trailing VSS2: BLB becomes the boundary track.
+        let truncated = TrackStack::new(
+            base.tracks()[..4].to_vec(),
+        )
+        .unwrap();
+        let printed_trunc = apply_draw(&truncated, &d).unwrap();
+        let interior = printed.index_of_net("BLB").unwrap();
+        let boundary = printed_trunc.index_of_net("BLB").unwrap();
+        assert!(
+            (printed.track(interior).width_nm() - printed_trunc.track(boundary).width_nm()).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn le2_overlay_moves_gaps_antisymmetrically() {
+        // With two masks, BOTH neighbours of a mask-B line are mask A:
+        // shifting B closes one gap exactly as much as it opens the
+        // other — the defining LELE behaviour.
+        use crate::draw::Le2Draw;
+        let stack = sram_stack();
+        let printed = apply_draw(
+            &stack,
+            &Draw::Le2(Le2Draw {
+                cd_nm: [0.0, 0.0],
+                overlay_nm: 5.0,
+            }),
+        )
+        .unwrap();
+        let bl = printed.index_of_net("BL").unwrap(); // index 1: mask B
+        assert!((printed.gap_below_nm(bl).unwrap() - 28.0).abs() < 1e-9);
+        assert!((printed.gap_above_nm(bl).unwrap() - 18.0).abs() < 1e-9);
+        // Widths untouched by pure overlay.
+        for (drawn, p) in stack.iter().zip(printed.iter()) {
+            assert!((p.width_nm() - drawn.width().to_f64()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn le2_per_mask_cd() {
+        use crate::draw::Le2Draw;
+        let stack = sram_stack();
+        let printed = apply_draw(
+            &stack,
+            &Draw::Le2(Le2Draw {
+                cd_nm: [2.0, -1.0],
+                overlay_nm: 0.0,
+            }),
+        )
+        .unwrap();
+        // Even indices (VSS, VDD, VSS2) on mask A (+2), odd (BL, BLB) on
+        // mask B (-1).
+        assert!((printed.track(0).width_nm() - 26.0).abs() < 1e-9);
+        assert!((printed.track(1).width_nm() - 25.0).abs() < 1e-9);
+        assert!((printed.track(2).width_nm() - 26.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collapsing_draw_is_an_error() {
+        let stack = sram_stack();
+        let r = apply_draw(&stack, &Draw::Euv(EuvDraw { cd_nm: -26.0 }));
+        assert!(matches!(r, Err(LithoError::CollapsedLine { .. })));
+    }
+
+    #[test]
+    fn shorting_draw_is_an_error() {
+        let stack = sram_stack();
+        let d = Le3Draw {
+            cd_nm: [0.0; 3],
+            overlay_nm: [0.0, 24.0, 0.0], // BL slams into VDD
+        };
+        assert!(matches!(
+            apply_draw(&stack, &Draw::Le3(d)),
+            Err(LithoError::ShortedLines { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_draw_rejected() {
+        let stack = sram_stack();
+        let d = Draw::Euv(EuvDraw { cd_nm: f64::NAN });
+        assert!(matches!(
+            apply_draw(&stack, &d),
+            Err(LithoError::NonFiniteDraw { .. })
+        ));
+    }
+
+    #[test]
+    fn sadp_empty_stack_rejected() {
+        let empty = TrackStack::new(vec![]).unwrap();
+        assert!(matches!(
+            apply_draw(&empty, &Draw::Sadp(SadpDraw::default())),
+            Err(LithoError::UndecomposableStack { .. })
+        ));
+        // LE3/EUV on empty stacks are fine (empty result).
+        assert!(apply_draw(&empty, &Draw::nominal(mpvar_tech::PatterningOption::Euv)).is_ok());
+    }
+}

@@ -1,0 +1,183 @@
+//! Worst-case corner enumeration (paper §II.B).
+//!
+//! "Using all combinations of CD and OL errors as input parameters, we
+//! identified the worst case scenario for each option with respect to
+//! C_bl increase." — this module produces exactly those combinations:
+//! every active variation parameter of an option at its −3σ / +3σ
+//! extreme (optionally also 0), with mask A's overlay pinned to zero
+//! (B and C are aligned to A).
+
+use mpvar_tech::{PatterningOption, VariationBudget};
+
+use crate::draw::{Draw, EuvDraw, Le2Draw, Le3Draw, SadpDraw};
+
+/// Corner-enumeration configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CornerSpec {
+    /// When `true`, each parameter takes values {−3σ, 0, +3σ}; when
+    /// `false` only the ±3σ extremes (the paper's search space).
+    pub include_zero: bool,
+}
+
+fn levels(three_sigma: f64, spec: CornerSpec) -> Vec<f64> {
+    if three_sigma == 0.0 {
+        vec![0.0]
+    } else if spec.include_zero {
+        vec![-three_sigma, 0.0, three_sigma]
+    } else {
+        vec![-three_sigma, three_sigma]
+    }
+}
+
+/// Enumerates every corner draw of `option` under `budget`.
+///
+/// The count is `L^p` with `L` the per-parameter level count and `p` the
+/// number of active parameters (LE3: 3 CDs + 2 overlays; SADP: core CD +
+/// spacer; EUV: 1 CD). Parameters with a zero budget contribute a single
+/// zero level.
+///
+/// # Example
+///
+/// ```
+/// use mpvar_litho::{corner_draws, CornerSpec};
+/// use mpvar_tech::{PatterningOption, VariationBudget};
+///
+/// let budget = VariationBudget::paper_default(PatterningOption::Le3, 8.0)?;
+/// let corners = corner_draws(PatterningOption::Le3, &budget, CornerSpec::default());
+/// assert_eq!(corners.len(), 2usize.pow(5)); // 3 CD + 2 OL at +/-3sigma
+/// # Ok::<(), mpvar_tech::TechError>(())
+/// ```
+pub fn corner_draws(
+    option: PatterningOption,
+    budget: &VariationBudget,
+    spec: CornerSpec,
+) -> Vec<Draw> {
+    match option {
+        PatterningOption::Le3 => {
+            let cd = levels(budget.cd_three_sigma_nm(), spec);
+            let ol = levels(budget.overlay_three_sigma_nm(), spec);
+            let mut out = Vec::new();
+            for &ca in &cd {
+                for &cb in &cd {
+                    for &cc in &cd {
+                        for &ob in &ol {
+                            for &oc in &ol {
+                                out.push(Draw::Le3(Le3Draw {
+                                    cd_nm: [ca, cb, cc],
+                                    overlay_nm: [0.0, ob, oc],
+                                }));
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        }
+        PatterningOption::Sadp => {
+            let cd = levels(budget.cd_three_sigma_nm(), spec);
+            let sp = levels(budget.spacer_three_sigma_nm(), spec);
+            let mut out = Vec::new();
+            for &c in &cd {
+                for &s in &sp {
+                    out.push(Draw::Sadp(SadpDraw {
+                        core_cd_nm: c,
+                        spacer_nm: s,
+                    }));
+                }
+            }
+            out
+        }
+        PatterningOption::Euv => levels(budget.cd_three_sigma_nm(), spec)
+            .into_iter()
+            .map(|c| Draw::Euv(EuvDraw { cd_nm: c }))
+            .collect(),
+        PatterningOption::Le2 => {
+            let cd = levels(budget.cd_three_sigma_nm(), spec);
+            let ol = levels(budget.overlay_three_sigma_nm(), spec);
+            let mut out = Vec::new();
+            for &ca in &cd {
+                for &cb in &cd {
+                    for &o in &ol {
+                        out.push(Draw::Le2(Le2Draw {
+                            cd_nm: [ca, cb],
+                            overlay_nm: o,
+                        }));
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budgets() -> (VariationBudget, VariationBudget, VariationBudget) {
+        (
+            VariationBudget::paper_default(PatterningOption::Le3, 8.0).unwrap(),
+            VariationBudget::paper_default(PatterningOption::Sadp, 8.0).unwrap(),
+            VariationBudget::paper_default(PatterningOption::Euv, 8.0).unwrap(),
+        )
+    }
+
+    #[test]
+    fn corner_counts() {
+        let (le3, sadp, euv) = budgets();
+        let spec = CornerSpec::default();
+        assert_eq!(corner_draws(PatterningOption::Le3, &le3, spec).len(), 32);
+        assert_eq!(corner_draws(PatterningOption::Sadp, &sadp, spec).len(), 4);
+        assert_eq!(corner_draws(PatterningOption::Euv, &euv, spec).len(), 2);
+
+        let spec0 = CornerSpec { include_zero: true };
+        assert_eq!(corner_draws(PatterningOption::Le3, &le3, spec0).len(), 243);
+        assert_eq!(corner_draws(PatterningOption::Sadp, &sadp, spec0).len(), 9);
+        assert_eq!(corner_draws(PatterningOption::Euv, &euv, spec0).len(), 3);
+    }
+
+    #[test]
+    fn le3_mask_a_overlay_always_zero() {
+        let (le3, _, _) = budgets();
+        for d in corner_draws(PatterningOption::Le3, &le3, CornerSpec::default()) {
+            match d {
+                Draw::Le3(d) => assert_eq!(d.overlay_nm[0], 0.0),
+                _ => panic!("wrong option"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_collapses_axis() {
+        // EUV has no overlay; the budget carries 0 -> only CD varies.
+        let b = VariationBudget::new(3.0, 0.0, 0.0).unwrap();
+        let draws = corner_draws(PatterningOption::Euv, &b, CornerSpec::default());
+        assert_eq!(draws.len(), 2);
+        // A fully-zero budget gives exactly the nominal draw.
+        let z = VariationBudget::new(0.0, 0.0, 0.0).unwrap();
+        let draws = corner_draws(PatterningOption::Le3, &z, CornerSpec::default());
+        assert_eq!(draws.len(), 1);
+        assert_eq!(draws[0], Draw::nominal(PatterningOption::Le3));
+    }
+
+    #[test]
+    fn corners_take_extreme_values() {
+        let (le3, _, _) = budgets();
+        let draws = corner_draws(PatterningOption::Le3, &le3, CornerSpec::default());
+        // Every CD is +/-3; every B/C overlay is +/-8.
+        for d in &draws {
+            if let Draw::Le3(d) = d {
+                for cd in d.cd_nm {
+                    assert_eq!(cd.abs(), 3.0);
+                }
+                assert_eq!(d.overlay_nm[1].abs(), 8.0);
+                assert_eq!(d.overlay_nm[2].abs(), 8.0);
+            }
+        }
+        // All combinations are distinct.
+        let mut keys: Vec<String> = draws.iter().map(|d| format!("{d:?}")).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 32);
+    }
+}

@@ -1,0 +1,177 @@
+//! Monte-Carlo sampling of variation draws (paper §III.B).
+//!
+//! Every active parameter of an option is an independent Gaussian with
+//! the 3σ value from the tech budget. Draws are truncated at ±3.5σ —
+//! beyond that, LE3's extreme overlay budget could print physically
+//! shorted lines, which in silicon is a yield failure screened at
+//! inspection, not a read-time sample.
+
+use mpvar_stats::{RngStream, StatsError, TruncatedGaussian};
+use mpvar_tech::{PatterningOption, VariationBudget};
+
+use crate::draw::{Draw, EuvDraw, Le2Draw, Le3Draw, SadpDraw};
+
+/// Truncation bound, in sigmas, applied to every sampled parameter.
+pub const TRUNCATION_SIGMAS: f64 = 3.5;
+
+fn sample_param(three_sigma: f64, rng: &mut RngStream) -> Result<f64, StatsError> {
+    if three_sigma == 0.0 {
+        return Ok(0.0);
+    }
+    let sigma = three_sigma / 3.0;
+    let dist = TruncatedGaussian::new(
+        0.0,
+        sigma,
+        -TRUNCATION_SIGMAS * sigma,
+        TRUNCATION_SIGMAS * sigma,
+    )?;
+    dist.sample(rng)
+}
+
+/// Samples one variation draw for `option` under `budget`.
+///
+/// # Errors
+///
+/// Propagates [`StatsError`] from distribution construction (only
+/// possible with a corrupted budget).
+///
+/// # Example
+///
+/// ```
+/// use mpvar_litho::sample_draw;
+/// use mpvar_stats::RngStream;
+/// use mpvar_tech::{PatterningOption, VariationBudget};
+///
+/// let budget = VariationBudget::paper_default(PatterningOption::Sadp, 8.0)?;
+/// let mut rng = RngStream::from_seed(7);
+/// let draw = sample_draw(PatterningOption::Sadp, &budget, &mut rng)?;
+/// assert_eq!(draw.option(), PatterningOption::Sadp);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn sample_draw(
+    option: PatterningOption,
+    budget: &VariationBudget,
+    rng: &mut RngStream,
+) -> Result<Draw, StatsError> {
+    match option {
+        PatterningOption::Le3 => {
+            let mut cd = [0.0; 3];
+            for c in &mut cd {
+                *c = sample_param(budget.cd_three_sigma_nm(), rng)?;
+            }
+            // Mask A is the overlay reference; B and C are independent.
+            let ob = sample_param(budget.overlay_three_sigma_nm(), rng)?;
+            let oc = sample_param(budget.overlay_three_sigma_nm(), rng)?;
+            Ok(Draw::Le3(Le3Draw {
+                cd_nm: cd,
+                overlay_nm: [0.0, ob, oc],
+            }))
+        }
+        PatterningOption::Sadp => Ok(Draw::Sadp(SadpDraw {
+            core_cd_nm: sample_param(budget.cd_three_sigma_nm(), rng)?,
+            spacer_nm: sample_param(budget.spacer_three_sigma_nm(), rng)?,
+        })),
+        PatterningOption::Euv => Ok(Draw::Euv(EuvDraw {
+            cd_nm: sample_param(budget.cd_three_sigma_nm(), rng)?,
+        })),
+        PatterningOption::Le2 => {
+            let cd_a = sample_param(budget.cd_three_sigma_nm(), rng)?;
+            let cd_b = sample_param(budget.cd_three_sigma_nm(), rng)?;
+            let ol = sample_param(budget.overlay_three_sigma_nm(), rng)?;
+            Ok(Draw::Le2(Le2Draw {
+                cd_nm: [cd_a, cd_b],
+                overlay_nm: ol,
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpvar_stats::Summary;
+
+    #[test]
+    fn samples_have_budgeted_spread() {
+        let budget = VariationBudget::paper_default(PatterningOption::Euv, 8.0).unwrap();
+        let mut rng = RngStream::from_seed(11);
+        let s: Summary = (0..50_000)
+            .map(|_| match sample_draw(PatterningOption::Euv, &budget, &mut rng).unwrap() {
+                Draw::Euv(d) => d.cd_nm,
+                _ => unreachable!(),
+            })
+            .collect();
+        // sigma = 1nm (3sigma = 3nm), slightly reduced by truncation.
+        assert!(s.mean().abs() < 0.02, "mean {}", s.mean());
+        assert!((s.std_dev() - 1.0).abs() < 0.02, "std {}", s.std_dev());
+        assert!(s.min() >= -3.5 && s.max() <= 3.5);
+    }
+
+    #[test]
+    fn le3_reference_mask_never_shifts() {
+        let budget = VariationBudget::paper_default(PatterningOption::Le3, 8.0).unwrap();
+        let mut rng = RngStream::from_seed(3);
+        for _ in 0..100 {
+            match sample_draw(PatterningOption::Le3, &budget, &mut rng).unwrap() {
+                Draw::Le3(d) => {
+                    assert_eq!(d.overlay_nm[0], 0.0);
+                    assert!(d.overlay_nm[1].abs() <= 3.5 * 8.0 / 3.0);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn le3_masks_are_independent() {
+        let budget = VariationBudget::paper_default(PatterningOption::Le3, 8.0).unwrap();
+        let mut rng = RngStream::from_seed(5);
+        let mut cda = Vec::new();
+        let mut cdb = Vec::new();
+        for _ in 0..20_000 {
+            if let Draw::Le3(d) = sample_draw(PatterningOption::Le3, &budget, &mut rng).unwrap() {
+                cda.push(d.cd_nm[0]);
+                cdb.push(d.cd_nm[1]);
+            }
+        }
+        let r = mpvar_stats::pearson(&cda, &cdb).unwrap();
+        assert!(r.abs() < 0.03, "correlation {r}");
+    }
+
+    #[test]
+    fn sadp_has_no_overlay_component() {
+        let budget = VariationBudget::paper_default(PatterningOption::Sadp, 8.0).unwrap();
+        let mut rng = RngStream::from_seed(9);
+        for _ in 0..10 {
+            match sample_draw(PatterningOption::Sadp, &budget, &mut rng).unwrap() {
+                Draw::Sadp(d) => {
+                    assert!(d.spacer_nm.abs() <= 3.5 * 1.5 / 3.0 + 1e-12);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_gives_nominal() {
+        let budget = VariationBudget::new(0.0, 0.0, 0.0).unwrap();
+        let mut rng = RngStream::from_seed(1);
+        for option in PatterningOption::ALL_WITH_EXTENSIONS {
+            let d = sample_draw(option, &budget, &mut rng).unwrap();
+            assert_eq!(d, Draw::nominal(option));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let budget = VariationBudget::paper_default(PatterningOption::Le3, 8.0).unwrap();
+        let mut r1 = RngStream::from_seed(42);
+        let mut r2 = RngStream::from_seed(42);
+        for _ in 0..10 {
+            assert_eq!(
+                sample_draw(PatterningOption::Le3, &budget, &mut r1).unwrap(),
+                sample_draw(PatterningOption::Le3, &budget, &mut r2).unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Error type for the circuit simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by netlist construction, analysis, and deck parsing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// An element value was outside its physical range.
+    InvalidValue {
+        /// Element name.
+        element: String,
+        /// What was wrong.
+        message: String,
+    },
+    /// An element name was reused.
+    DuplicateElement {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A node id did not belong to the netlist it was used with.
+    UnknownNode {
+        /// The offending node index.
+        index: usize,
+    },
+    /// The MNA matrix was singular (floating node, loop of ideal sources).
+    SingularMatrix {
+        /// Row at which elimination failed.
+        row: usize,
+    },
+    /// Newton–Raphson failed to converge.
+    NoConvergence {
+        /// Iterations attempted.
+        iterations: usize,
+        /// Largest voltage update in the last iteration, V.
+        last_delta_v: f64,
+    },
+    /// Transient configuration was invalid (non-positive step/stop, etc.).
+    InvalidAnalysis {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// A measurement target was never reached within the simulated window.
+    MeasurementNotFound {
+        /// Human-readable description of the measurement.
+        message: String,
+    },
+    /// SPICE-deck parse failure.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::InvalidValue { element, message } => {
+                write!(f, "invalid value for `{element}`: {message}")
+            }
+            SpiceError::DuplicateElement { name } => {
+                write!(f, "duplicate element name `{name}`")
+            }
+            SpiceError::UnknownNode { index } => {
+                write!(f, "node index {index} does not belong to this netlist")
+            }
+            SpiceError::SingularMatrix { row } => {
+                write!(
+                    f,
+                    "singular MNA matrix at row {row} (floating node or ideal-source loop)"
+                )
+            }
+            SpiceError::NoConvergence {
+                iterations,
+                last_delta_v,
+            } => write!(
+                f,
+                "newton iteration did not converge after {iterations} iterations \
+                 (last |dV| = {last_delta_v:.3e} V)"
+            ),
+            SpiceError::InvalidAnalysis { message } => {
+                write!(f, "invalid analysis configuration: {message}")
+            }
+            SpiceError::MeasurementNotFound { message } => {
+                write!(f, "measurement not found: {message}")
+            }
+            SpiceError::Parse { line, message } => {
+                write!(f, "deck parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for SpiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SpiceError::NoConvergence {
+            iterations: 100,
+            last_delta_v: 0.5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100"));
+        assert!(s.contains("dV"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpiceError>();
+    }
+}

@@ -1,0 +1,492 @@
+//! Modified nodal analysis: assembly and the Newton–Raphson solver.
+//!
+//! The unknown vector is `[v(1) .. v(N-1), i(V1) .. i(Vm)]`: every
+//! non-ground node voltage followed by one branch current per independent
+//! voltage source. Nonlinear devices (MOSFETs) are stamped as their
+//! Norton-equivalent linearization around the current guess and iterated
+//! to convergence.
+
+use std::collections::HashMap;
+
+use crate::error::SpiceError;
+use crate::netlist::{Element, Netlist, NodeId};
+use crate::sparse::SparseMatrix;
+
+/// Conductance added from every node to ground for numerical robustness
+/// (keeps gates and capacitor-only nodes from making the matrix singular).
+pub const GMIN: f64 = 1e-12;
+
+/// Absolute Newton convergence tolerance on voltage updates, V.
+const VTOL: f64 = 1e-9;
+
+/// Maximum voltage change applied per Newton iteration, V (damping).
+const VSTEP_MAX: f64 = 0.3;
+
+/// Maximum Newton iterations before reporting non-convergence.
+const MAX_ITERS: usize = 200;
+
+/// How reactive elements (capacitors) are treated during assembly.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ReactivePolicy<'a> {
+    /// DC: capacitors are open circuits.
+    Dc,
+    /// Backward-Euler companion: `G = C/dt`, `Ieq = (C/dt) v_prev`.
+    BackwardEuler {
+        /// Time step, s.
+        dt: f64,
+        /// Node voltages at the previous step (indexed by node, incl. ground).
+        prev_v: &'a [f64],
+    },
+    /// Trapezoidal companion: `G = 2C/dt`,
+    /// `Ieq = (2C/dt) v_prev + i_prev`.
+    Trapezoidal {
+        /// Time step, s.
+        dt: f64,
+        /// Node voltages at the previous step.
+        prev_v: &'a [f64],
+        /// Capacitor currents at the previous step, in capacitor order.
+        prev_ic: &'a [f64],
+    },
+}
+
+/// A solved DC operating point.
+///
+/// # Example
+///
+/// ```
+/// use mpvar_spice::prelude::*;
+///
+/// // Resistive divider: 0.7V across two equal 10k resistors.
+/// let mut net = Netlist::new();
+/// let vdd = net.node("vdd");
+/// let mid = net.node("mid");
+/// net.add_vsource("VDD", vdd, Netlist::GROUND, Waveform::dc(0.7))?;
+/// net.add_resistor("R1", vdd, mid, 10e3)?;
+/// net.add_resistor("R2", mid, Netlist::GROUND, 10e3)?;
+/// let op = OperatingPoint::solve(&net)?;
+/// assert!((op.voltage(mid) - 0.35).abs() < 1e-6);
+/// # Ok::<(), mpvar_spice::SpiceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OperatingPoint {
+    voltages: Vec<f64>,
+    source_currents: HashMap<String, f64>,
+}
+
+impl OperatingPoint {
+    /// Solves the DC operating point of `net` (sources at their `t = 0`
+    /// values, capacitors open).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::SingularMatrix`] or [`SpiceError::NoConvergence`].
+    pub fn solve(net: &Netlist) -> Result<OperatingPoint, SpiceError> {
+        let x0 = vec![0.0; system_size(net)];
+        let x = solve_nonlinear(net, 0.0, ReactivePolicy::Dc, x0)?;
+        Ok(Self::from_solution(net, &x))
+    }
+
+    pub(crate) fn from_solution(net: &Netlist, x: &[f64]) -> OperatingPoint {
+        let nn = net.num_nodes();
+        let mut voltages = vec![0.0; nn];
+        voltages[1..nn].copy_from_slice(&x[..nn - 1]);
+        let mut source_currents = HashMap::new();
+        let mut j = 0;
+        for e in net.elements() {
+            if let Element::VSource { name, .. } = e {
+                source_currents.insert(name.clone(), x[nn - 1 + j]);
+                j += 1;
+            }
+        }
+        OperatingPoint {
+            voltages,
+            source_currents,
+        }
+    }
+
+    /// Voltage at a node, V.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to the solved netlist.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        self.voltages[node.index()]
+    }
+
+    /// All node voltages, indexed by node id (ground included as 0.0).
+    pub fn voltages(&self) -> &[f64] {
+        &self.voltages
+    }
+
+    /// Current through a named voltage source, A (positive from + to −
+    /// through the source, SPICE convention).
+    pub fn source_current(&self, name: &str) -> Option<f64> {
+        self.source_currents.get(name).copied()
+    }
+}
+
+/// Size of the MNA unknown vector for `net`.
+pub(crate) fn system_size(net: &Netlist) -> usize {
+    net.num_nodes() - 1 + net.num_vsources()
+}
+
+/// Solves the (possibly nonlinear) MNA system at time `t` under the given
+/// reactive policy, starting from `x0`.
+pub(crate) fn solve_nonlinear(
+    net: &Netlist,
+    t: f64,
+    policy: ReactivePolicy<'_>,
+    mut x: Vec<f64>,
+) -> Result<Vec<f64>, SpiceError> {
+    let size = system_size(net);
+    debug_assert_eq!(x.len(), size);
+    let linear = is_linear(net);
+    let mut last_delta = f64::INFINITY;
+
+    for _iter in 0..MAX_ITERS {
+        let (matrix, rhs) = assemble(net, t, policy, &x);
+        let x_new = matrix.factor()?.solve(&rhs);
+
+        let mut max_delta = 0.0f64;
+        for (a, b) in x.iter().zip(&x_new) {
+            max_delta = max_delta.max((a - b).abs());
+        }
+
+        if linear {
+            return Ok(x_new);
+        }
+
+        if max_delta <= VTOL {
+            return Ok(x_new);
+        }
+
+        // Damped update: limit the largest component change to VSTEP_MAX.
+        let scale = if max_delta > VSTEP_MAX {
+            VSTEP_MAX / max_delta
+        } else {
+            1.0
+        };
+        for (xi, xn) in x.iter_mut().zip(&x_new) {
+            *xi += scale * (xn - *xi);
+        }
+        last_delta = max_delta;
+    }
+    Err(SpiceError::NoConvergence {
+        iterations: MAX_ITERS,
+        last_delta_v: last_delta,
+    })
+}
+
+/// `true` when the netlist has no nonlinear elements.
+pub(crate) fn is_linear(net: &Netlist) -> bool {
+    !net.elements()
+        .iter()
+        .any(|e| matches!(e, Element::Mosfet { .. }))
+}
+
+/// Assembles the linearized MNA system around guess `x` at time `t`.
+pub(crate) fn assemble(
+    net: &Netlist,
+    t: f64,
+    policy: ReactivePolicy<'_>,
+    x: &[f64],
+) -> (SparseMatrix, Vec<f64>) {
+    let nn = net.num_nodes();
+    let size = system_size(net);
+    let mut m = SparseMatrix::new(size);
+    let mut rhs = vec![0.0; size];
+
+    // Node voltage lookup from the current guess (ground = 0).
+    let v_of = |node: NodeId| -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            x[node.index() - 1]
+        }
+    };
+    // Matrix row/col of a node (None for ground).
+    let idx = |node: NodeId| -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    };
+
+    let stamp_conductance = |m: &mut SparseMatrix, a: NodeId, b: NodeId, g: f64| {
+        if let Some(ia) = idx(a) {
+            m.add(ia, ia, g);
+        }
+        if let Some(ib) = idx(b) {
+            m.add(ib, ib, g);
+        }
+        if let (Some(ia), Some(ib)) = (idx(a), idx(b)) {
+            m.add(ia, ib, -g);
+            m.add(ib, ia, -g);
+        }
+    };
+    // Current `i` injected INTO node `into` (from node `from`).
+    let stamp_current = |rhs: &mut Vec<f64>, into: NodeId, i: f64| {
+        if let Some(ii) = idx(into) {
+            rhs[ii] += i;
+        }
+    };
+
+    // GMIN to ground on every node keeps floating subcircuits solvable.
+    for node in 1..nn {
+        m.add(node - 1, node - 1, GMIN);
+    }
+
+    let mut vsrc = 0usize;
+    let mut cap_index = 0usize;
+    for e in net.elements() {
+        match e {
+            Element::Resistor { a, b, ohms, .. } => {
+                stamp_conductance(&mut m, *a, *b, 1.0 / ohms);
+            }
+            Element::Capacitor { a, b, farads, .. } => {
+                match policy {
+                    ReactivePolicy::Dc => {}
+                    ReactivePolicy::BackwardEuler { dt, prev_v } => {
+                        let g = farads / dt;
+                        let vprev = prev_v[a.index()] - prev_v[b.index()];
+                        stamp_conductance(&mut m, *a, *b, g);
+                        stamp_current(&mut rhs, *a, g * vprev);
+                        stamp_current(&mut rhs, *b, -g * vprev);
+                    }
+                    ReactivePolicy::Trapezoidal { dt, prev_v, prev_ic } => {
+                        let g = 2.0 * farads / dt;
+                        let vprev = prev_v[a.index()] - prev_v[b.index()];
+                        let ieq = g * vprev + prev_ic[cap_index];
+                        stamp_conductance(&mut m, *a, *b, g);
+                        stamp_current(&mut rhs, *a, ieq);
+                        stamp_current(&mut rhs, *b, -ieq);
+                    }
+                }
+                cap_index += 1;
+            }
+            Element::VSource { p, n, waveform, .. } => {
+                let row = nn - 1 + vsrc;
+                if let Some(ip) = idx(*p) {
+                    m.add(ip, row, 1.0);
+                    m.add(row, ip, 1.0);
+                }
+                if let Some(in_) = idx(*n) {
+                    m.add(in_, row, -1.0);
+                    m.add(row, in_, -1.0);
+                }
+                rhs[row] = waveform.eval(t);
+                vsrc += 1;
+            }
+            Element::ISource { p, n, waveform, .. } => {
+                let i = waveform.eval(t);
+                // Positive source current flows p -> n through the source,
+                // i.e. it is pulled out of p and injected into n.
+                stamp_current(&mut rhs, *p, -i);
+                stamp_current(&mut rhs, *n, i);
+            }
+            Element::Mosfet { d, g, s, model, .. } => {
+                let vgs = v_of(*g) - v_of(*s);
+                let vds = v_of(*d) - v_of(*s);
+                let ss = model.evaluate(vgs, vds);
+                // Norton linearization: id ≈ Ieq + gm*vgs + gds*vds.
+                let ieq = ss.id - ss.gm * vgs - ss.gds * vds;
+
+                if let Some(id_) = idx(*d) {
+                    m.add(id_, id_, ss.gds);
+                    if let Some(ig) = idx(*g) {
+                        m.add(id_, ig, ss.gm);
+                    }
+                    if let Some(is_) = idx(*s) {
+                        m.add(id_, is_, -(ss.gm + ss.gds));
+                    }
+                    rhs[id_] -= ieq;
+                }
+                if let Some(is_) = idx(*s) {
+                    m.add(is_, is_, ss.gm + ss.gds);
+                    if let Some(ig) = idx(*g) {
+                        m.add(is_, ig, -ss.gm);
+                    }
+                    if let Some(id_) = idx(*d) {
+                        m.add(is_, id_, -ss.gds);
+                    }
+                    rhs[is_] += ieq;
+                }
+            }
+        }
+    }
+
+    (m, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mosfet::MosfetModel;
+    use crate::waveform::Waveform;
+    use mpvar_tech::preset::n10;
+
+    #[test]
+    fn resistive_divider() {
+        let mut net = Netlist::new();
+        let vdd = net.node("vdd");
+        let mid = net.node("mid");
+        net.add_vsource("V1", vdd, Netlist::GROUND, Waveform::dc(1.0))
+            .unwrap();
+        net.add_resistor("R1", vdd, mid, 1e3).unwrap();
+        net.add_resistor("R2", mid, Netlist::GROUND, 3e3).unwrap();
+        let op = OperatingPoint::solve(&net).unwrap();
+        assert!((op.voltage(mid) - 0.75).abs() < 1e-9);
+        assert!((op.voltage(vdd) - 1.0).abs() < 1e-12);
+        // Source current: 1V across 4k, flowing out of + terminal = -0.25mA
+        // by SPICE convention (current into the + node is negative).
+        let i = op.source_current("V1").unwrap();
+        assert!((i + 0.25e-3).abs() < 1e-9, "i = {i}");
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        // 1mA pulled from ground into node a (p=ground, n=a).
+        net.add_isource("I1", Netlist::GROUND, a, Waveform::dc(1e-3))
+            .unwrap();
+        net.add_resistor("R1", a, Netlist::GROUND, 1e3).unwrap();
+        let op = OperatingPoint::solve(&net).unwrap();
+        assert!((op.voltage(a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capacitor_open_at_dc() {
+        let mut net = Netlist::new();
+        let vdd = net.node("vdd");
+        let mid = net.node("mid");
+        net.add_vsource("V1", vdd, Netlist::GROUND, Waveform::dc(1.0))
+            .unwrap();
+        net.add_resistor("R1", vdd, mid, 1e3).unwrap();
+        net.add_capacitor("C1", mid, Netlist::GROUND, 1e-12).unwrap();
+        let op = OperatingPoint::solve(&net).unwrap();
+        // No DC path through the cap: mid floats up to vdd.
+        assert!((op.voltage(mid) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_vsources() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.add_vsource("VA", a, Netlist::GROUND, Waveform::dc(2.0))
+            .unwrap();
+        net.add_vsource("VB", b, Netlist::GROUND, Waveform::dc(1.0))
+            .unwrap();
+        net.add_resistor("R1", a, b, 1e3).unwrap();
+        let op = OperatingPoint::solve(&net).unwrap();
+        assert!((op.voltage(a) - 2.0).abs() < 1e-9);
+        assert!((op.voltage(b) - 1.0).abs() < 1e-9);
+        // 1mA flows a -> b; into VB's + terminal: +1mA.
+        assert!((op.source_current("VB").unwrap() - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmos_inverter_transfer_points() {
+        // Resistor-loaded NMOS inverter: vdd -R- out -M- gnd.
+        let tech = n10();
+        let mut net = Netlist::new();
+        let vdd = net.node("vdd");
+        let out = net.node("out");
+        let gate = net.node("gate");
+        net.add_vsource("VDD", vdd, Netlist::GROUND, Waveform::dc(0.7))
+            .unwrap();
+        net.add_vsource("VG", gate, Netlist::GROUND, Waveform::dc(0.7))
+            .unwrap();
+        net.add_resistor("RL", vdd, out, 100e3).unwrap();
+        net.add_mosfet(
+            "M1",
+            out,
+            gate,
+            Netlist::GROUND,
+            MosfetModel::new(*tech.nmos()),
+        )
+        .unwrap();
+        let op = OperatingPoint::solve(&net).unwrap();
+        // Gate high with a load much weaker than the device: output low.
+        assert!(op.voltage(out) < 0.25, "out = {}", op.voltage(out));
+
+        // Gate low: output near vdd.
+        let mut net2 = Netlist::new();
+        let vdd2 = net2.node("vdd");
+        let out2 = net2.node("out");
+        let gate2 = net2.node("gate");
+        net2.add_vsource("VDD", vdd2, Netlist::GROUND, Waveform::dc(0.7))
+            .unwrap();
+        net2.add_vsource("VG", gate2, Netlist::GROUND, Waveform::dc(0.0))
+            .unwrap();
+        net2.add_resistor("RL", vdd2, out2, 100e3).unwrap();
+        net2.add_mosfet(
+            "M1",
+            out2,
+            gate2,
+            Netlist::GROUND,
+            MosfetModel::new(*n10().nmos()),
+        )
+        .unwrap();
+        let op2 = OperatingPoint::solve(&net2).unwrap();
+        assert!(op2.voltage(out2) > 0.65, "out = {}", op2.voltage(out2));
+    }
+
+    #[test]
+    fn kcl_holds_at_op() {
+        // Current through R1 equals current through R2 at the midpoint.
+        let mut net = Netlist::new();
+        let vdd = net.node("vdd");
+        let mid = net.node("mid");
+        net.add_vsource("V1", vdd, Netlist::GROUND, Waveform::dc(0.7))
+            .unwrap();
+        net.add_resistor("R1", vdd, mid, 7e3).unwrap();
+        net.add_resistor("R2", mid, Netlist::GROUND, 3e3).unwrap();
+        let op = OperatingPoint::solve(&net).unwrap();
+        let i1 = (op.voltage(vdd) - op.voltage(mid)) / 7e3;
+        let i2 = op.voltage(mid) / 3e3;
+        assert!((i1 - i2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn floating_node_is_held_by_gmin() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.add_capacitor("C1", a, Netlist::GROUND, 1e-15).unwrap();
+        let op = OperatingPoint::solve(&net).unwrap();
+        assert!(op.voltage(a).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ideal_source_loop_is_singular() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.add_vsource("V1", a, Netlist::GROUND, Waveform::dc(1.0))
+            .unwrap();
+        net.add_vsource("V2", a, Netlist::GROUND, Waveform::dc(2.0))
+            .unwrap();
+        assert!(matches!(
+            OperatingPoint::solve(&net),
+            Err(SpiceError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn is_linear_detection() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.add_resistor("R1", a, Netlist::GROUND, 1e3).unwrap();
+        assert!(is_linear(&net));
+        net.add_mosfet(
+            "M1",
+            a,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            MosfetModel::new(*n10().nmos()),
+        )
+        .unwrap();
+        assert!(!is_linear(&net));
+    }
+}

@@ -1,0 +1,343 @@
+//! The alpha-power-law MOSFET compact model.
+//!
+//! Sakurai & Newton's alpha-power law captures velocity saturation in
+//! short-channel devices with three regions:
+//!
+//! * cutoff (`Vgs < Vth`) — here smoothed into a soft turn-on so Newton
+//!   iteration never sees a derivative discontinuity;
+//! * triode (`Vds < Vdsat`) — a parabolic interpolation that meets the
+//!   saturation curve with matching value and slope;
+//! * saturation — `Id = k (Vgs - Vth)^alpha (1 + lambda Vds)`.
+//!
+//! `Vdsat = vd0 (Vgs - Vth)^(alpha/2)` per the original paper. PMOS
+//! devices are evaluated by mirroring all voltages; source/drain are
+//! swapped automatically for negative `Vds` (the channel is symmetric).
+
+use mpvar_tech::transistor::{Polarity, TransistorParams};
+
+/// Smoothing half-width for the soft threshold turn-on, V.
+///
+/// Below `Vth` the overdrive is smoothly clamped to ~`SOFT_VOV/2 * exp(..)`
+/// rather than 0, which keeps the Jacobian nonsingular when devices are
+/// off. 2mV is far below any voltage of interest at a 0.7V rail.
+const SOFT_VOV: f64 = 2e-3;
+
+/// Operating-point small-signal parameters returned by
+/// [`MosfetModel::evaluate`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SmallSignal {
+    /// Drain current, A (positive into the drain for NMOS orientation).
+    pub id: f64,
+    /// Transconductance `dId/dVgs`, S.
+    pub gm: f64,
+    /// Output conductance `dId/dVds`, S.
+    pub gds: f64,
+}
+
+/// An evaluable MOSFET bound to tech-file parameters.
+///
+/// # Example
+///
+/// ```
+/// use mpvar_spice::MosfetModel;
+/// use mpvar_tech::preset::n10;
+///
+/// let nmos = MosfetModel::new(*n10().nmos());
+/// // Fully on: Vgs = Vds = 0.7V.
+/// let on = nmos.evaluate(0.7, 0.7);
+/// // Off: Vgs = 0.
+/// let off = nmos.evaluate(0.0, 0.7);
+/// assert!(on.id > 1e-6);
+/// assert!(off.id < 1e-8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosfetModel {
+    params: TransistorParams,
+}
+
+impl MosfetModel {
+    /// Wraps tech-file parameters into an evaluable model.
+    pub fn new(params: TransistorParams) -> Self {
+        Self { params }
+    }
+
+    /// The underlying parameters.
+    pub fn params(&self) -> &TransistorParams {
+        &self.params
+    }
+
+    /// Evaluates drain current and small-signal conductances at the given
+    /// terminal voltages (`vgs`, `vds` as seen from the source, true sign
+    /// conventions; PMOS takes negative values when on).
+    ///
+    /// The returned `id` is the current flowing drain→source through the
+    /// channel (negative for PMOS in normal operation).
+    pub fn evaluate(&self, vgs: f64, vds: f64) -> SmallSignal {
+        match self.params.polarity() {
+            Polarity::Nmos => self.evaluate_canonical(vgs, vds),
+            Polarity::Pmos => {
+                // Mirror: a PMOS with (vgs, vds) behaves like an NMOS with
+                // (-vgs, -vds), with the current direction reversed.
+                let m = self.evaluate_canonical(-vgs, -vds);
+                SmallSignal {
+                    id: -m.id,
+                    gm: m.gm,
+                    gds: m.gds,
+                }
+            }
+        }
+    }
+
+    /// Canonical NMOS-orientation evaluation with source/drain swap for
+    /// negative `vds`.
+    fn evaluate_canonical(&self, vgs: f64, vds: f64) -> SmallSignal {
+        if vds < 0.0 {
+            // Swap source and drain: vgs' = vgd = vgs - vds, vds' = -vds.
+            let m = self.forward(vgs - vds, -vds);
+            // id reverses; derivatives transform by the chain rule:
+            // id(vgs,vds) = -id'(vgs - vds, -vds)
+            // d/dvgs = -gm'
+            // d/dvds = gm' + gds'
+            SmallSignal {
+                id: -m.id,
+                gm: -m.gm,
+                gds: m.gm + m.gds,
+            }
+        } else {
+            self.forward(vgs, vds)
+        }
+    }
+
+    /// Forward-region evaluation (`vds >= 0`), analytic derivatives.
+    fn forward(&self, vgs: f64, vds: f64) -> SmallSignal {
+        let p = &self.params;
+        let vov_raw = vgs - p.vth_v();
+
+        // Smooth overdrive: vov_eff = softplus-like blend, always > 0.
+        let (vov, dvov) = soft_overdrive(vov_raw);
+
+        let alpha = p.alpha();
+        let idsat0 = p.k_sat_a() * vov.powf(alpha);
+        let didsat0_dvov = p.k_sat_a() * alpha * vov.powf(alpha - 1.0);
+
+        let vdsat = p.vd0_v() * vov.powf(alpha / 2.0);
+        let dvdsat_dvov = p.vd0_v() * (alpha / 2.0) * vov.powf(alpha / 2.0 - 1.0);
+
+        let clm = 1.0 + p.lambda_per_v() * vds;
+
+        if vds >= vdsat {
+            // Saturation.
+            let id = idsat0 * clm;
+            let gm = didsat0_dvov * dvov * clm;
+            let gds = idsat0 * p.lambda_per_v();
+            SmallSignal { id, gm, gds }
+        } else {
+            // Triode: parabolic interpolation u(2-u), u = vds/vdsat.
+            let u = vds / vdsat;
+            let shape = u * (2.0 - u);
+            let id = idsat0 * shape * clm;
+
+            // d(shape)/dvds = (2 - 2u)/vdsat
+            let dshape_dvds = (2.0 - 2.0 * u) / vdsat;
+            // d(shape)/dvdsat = -vds*(2 - 2u)/vdsat^2 = -u * dshape_dvds
+            let dshape_dvdsat = -u * (2.0 - 2.0 * u) / vdsat;
+
+            let gm = (didsat0_dvov * shape + idsat0 * dshape_dvdsat * dvdsat_dvov)
+                * dvov
+                * clm;
+            let gds = idsat0 * (dshape_dvds * clm + shape * p.lambda_per_v());
+            SmallSignal { id, gm, gds }
+        }
+    }
+}
+
+/// Smoothly clamps the overdrive to positive values.
+///
+/// Returns `(vov_eff, d vov_eff / d vov_raw)`. For `vov_raw >> SOFT_VOV`
+/// this is the identity; for `vov_raw << -SOFT_VOV` it decays to a tiny
+/// positive floor, emulating (very steep) subthreshold conduction.
+fn soft_overdrive(vov_raw: f64) -> (f64, f64) {
+    // softplus with scale s: s*ln(1 + exp(x/s)) — smooth, monotone,
+    // derivative in (0,1).
+    let s = SOFT_VOV;
+    let x = vov_raw / s;
+    if x > 30.0 {
+        (vov_raw, 1.0)
+    } else if x < -30.0 {
+        // Deep subthreshold: ln(1 + e^x) -> e^x, still strictly monotone.
+        let e = x.exp().max(1e-290);
+        (s * e, e)
+    } else {
+        let e = x.exp();
+        let v = s * e.ln_1p();
+        let d = e / (1.0 + e);
+        (v.max(1e-30), d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpvar_tech::preset::n10;
+
+    fn nmos() -> MosfetModel {
+        MosfetModel::new(*n10().nmos())
+    }
+
+    fn pmos() -> MosfetModel {
+        MosfetModel::new(*n10().pmos())
+    }
+
+    #[test]
+    fn off_device_conducts_negligibly() {
+        let m = nmos();
+        let s = m.evaluate(0.0, 0.7);
+        assert!(s.id.abs() < 1e-8, "off current {}", s.id);
+        assert!(s.id > 0.0, "soft model keeps a positive floor");
+    }
+
+    #[test]
+    fn on_current_magnitude() {
+        // SRAM-class device at full gate drive: tens of uA.
+        let s = nmos().evaluate(0.7, 0.7);
+        assert!(s.id > 5e-6 && s.id < 100e-6, "Ion {}", s.id);
+    }
+
+    #[test]
+    fn saturation_region_flatness() {
+        let m = nmos();
+        let a = m.evaluate(0.7, 0.5);
+        let b = m.evaluate(0.7, 0.7);
+        // Only lambda-slope difference.
+        let ratio = b.id / a.id;
+        assert!(ratio > 1.0 && ratio < 1.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn triode_region_resistive() {
+        let m = nmos();
+        let a = m.evaluate(0.7, 0.01);
+        let b = m.evaluate(0.7, 0.02);
+        // Near-linear: doubling vds nearly doubles current.
+        let ratio = b.id / a.id;
+        assert!(ratio > 1.8 && ratio < 2.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn id_continuous_across_vdsat() {
+        let m = nmos();
+        let p = m.params();
+        let vov: f64 = 0.45;
+        let vdsat = p.vd0_v() * vov.powf(p.alpha() / 2.0);
+        let below = m.evaluate(p.vth_v() + vov, vdsat - 1e-9);
+        let above = m.evaluate(p.vth_v() + vov, vdsat + 1e-9);
+        assert!(((below.id - above.id) / above.id).abs() < 1e-6);
+        // Slope also continuous (both ~ lambda-limited).
+        assert!((below.gds - above.gds).abs() / above.gds.max(1e-12) < 0.05);
+    }
+
+    #[test]
+    fn analytic_derivatives_match_finite_differences() {
+        let m = nmos();
+        let h = 1e-7;
+        for (vgs, vds) in [
+            (0.7, 0.7),
+            (0.7, 0.05),
+            (0.4, 0.3),
+            (0.3, 0.01),
+            (0.2, 0.5), // near threshold
+            (0.7, 0.0),
+        ] {
+            let s = m.evaluate(vgs, vds);
+            let gm_fd = (m.evaluate(vgs + h, vds).id - m.evaluate(vgs - h, vds).id) / (2.0 * h);
+            let gds_fd = (m.evaluate(vgs, vds + h).id - m.evaluate(vgs, vds - h).id) / (2.0 * h);
+            let scale = s.gm.abs().max(1e-9);
+            assert!(
+                (s.gm - gm_fd).abs() / scale < 1e-3,
+                "gm mismatch at ({vgs},{vds}): {} vs {}",
+                s.gm,
+                gm_fd
+            );
+            let scale = s.gds.abs().max(1e-9);
+            assert!(
+                (s.gds - gds_fd).abs() / scale < 1e-3,
+                "gds mismatch at ({vgs},{vds}): {} vs {}",
+                s.gds,
+                gds_fd
+            );
+        }
+    }
+
+    #[test]
+    fn source_drain_swap_antisymmetric() {
+        let m = nmos();
+        // A symmetric channel: id(vg; vd, vs) = -id(vg; vs, vd).
+        // With vs as reference: evaluate(vgs, vds) vs swapped device.
+        let fwd = m.evaluate(0.7, 0.3);
+        // Swapped: gate-to-"new source" voltage = 0.7 - 0.3 = 0.4, vds = -0.3.
+        let rev = m.evaluate(0.4, -0.3);
+        assert!(
+            ((fwd.id + rev.id) / fwd.id).abs() < 1e-9,
+            "fwd {} rev {}",
+            fwd.id,
+            rev.id
+        );
+    }
+
+    #[test]
+    fn reverse_derivatives_match_finite_differences() {
+        let m = nmos();
+        let h = 1e-7;
+        let (vgs, vds) = (0.4, -0.3);
+        let s = m.evaluate(vgs, vds);
+        let gm_fd = (m.evaluate(vgs + h, vds).id - m.evaluate(vgs - h, vds).id) / (2.0 * h);
+        let gds_fd = (m.evaluate(vgs, vds + h).id - m.evaluate(vgs, vds - h).id) / (2.0 * h);
+        assert!((s.gm - gm_fd).abs() / gm_fd.abs().max(1e-9) < 1e-3);
+        assert!((s.gds - gds_fd).abs() / gds_fd.abs().max(1e-9) < 1e-3);
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos_behaviour() {
+        let m = pmos();
+        // PMOS on: vgs = -0.7, vds = -0.7 -> current flows source->drain,
+        // i.e. negative id in NMOS orientation.
+        let on = m.evaluate(-0.7, -0.7);
+        assert!(on.id < -1e-6, "pmos on current {}", on.id);
+        let off = m.evaluate(0.0, -0.7);
+        assert!(off.id.abs() < 1e-8);
+        // Conductances stay positive.
+        assert!(on.gm > 0.0);
+        assert!(on.gds > 0.0);
+    }
+
+    #[test]
+    fn monotone_in_vgs() {
+        let m = nmos();
+        let mut last = -1.0;
+        for k in 0..20 {
+            let vgs = 0.1 + 0.03 * k as f64;
+            let id = m.evaluate(vgs, 0.7).id;
+            assert!(id > last, "id must rise with vgs");
+            last = id;
+        }
+    }
+
+    #[test]
+    fn soft_overdrive_is_smooth_and_monotone() {
+        let mut last_v = 0.0;
+        for k in -100..100 {
+            let x = k as f64 * 1e-3;
+            let (v, d) = soft_overdrive(x);
+            assert!(v > 0.0);
+            assert!((0.0..=1.0).contains(&d));
+            if k > -100 {
+                assert!(v >= last_v);
+            }
+            last_v = v;
+        }
+        // Far above threshold: identity.
+        let (v, d) = soft_overdrive(0.5);
+        assert!((v - 0.5).abs() < 1e-6);
+        assert!((d - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,568 @@
+//! Sparse and dense linear solvers for MNA systems.
+//!
+//! The MNA matrices of SRAM-column netlists are large (thousands of
+//! unknowns for a 1024-cell bit line) but extremely sparse and nearly
+//! banded when nodes are numbered along the wire. [`SparseMatrix`] stores
+//! rows as ordered maps and factors with partial-pivoted Gaussian
+//! elimination, tracking column occupancy so pivot search and elimination
+//! touch only structural nonzeros. The resulting [`LuFactors`] can be
+//! reused across right-hand sides — transient analysis of a linear
+//! circuit factors once and back-substitutes per step.
+//!
+//! [`DenseMatrix`] is the O(n³) reference implementation used in tests
+//! and for tiny systems.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::error::SpiceError;
+
+/// Relative pivot threshold: a pivot smaller than this times the largest
+/// assembled entry is treated as structural singularity.
+const PIVOT_RTOL: f64 = 1e-13;
+
+/// A square sparse matrix assembled by accumulation.
+///
+/// # Example
+///
+/// ```
+/// use mpvar_spice::SparseMatrix;
+///
+/// // [2 1][x]   [3]      x = 1, y = 1
+/// // [1 3][y] = [4]
+/// let mut m = SparseMatrix::new(2);
+/// m.add(0, 0, 2.0);
+/// m.add(0, 1, 1.0);
+/// m.add(1, 0, 1.0);
+/// m.add(1, 1, 3.0);
+/// let x = m.factor()?.solve(&[3.0, 4.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// # Ok::<(), mpvar_spice::SpiceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    n: usize,
+    rows: Vec<BTreeMap<usize, f64>>,
+    max_abs: f64,
+}
+
+impl SparseMatrix {
+    /// Creates an `n x n` zero matrix.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            rows: vec![BTreeMap::new(); n],
+            max_abs: 0.0,
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Accumulates `v` into entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of range.
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.n && c < self.n, "index out of range");
+        if v == 0.0 {
+            return;
+        }
+        let entry = self.rows[r].entry(c).or_insert(0.0);
+        *entry += v;
+        let a = entry.abs();
+        if a > self.max_abs {
+            self.max_abs = a;
+        }
+    }
+
+    /// Reads entry `(r, c)` (zero when structurally absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of range.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.n && c < self.n, "index out of range");
+        self.rows[r].get(&c).copied().unwrap_or(0.0)
+    }
+
+    /// Resets all entries to zero, keeping the dimension.
+    pub fn clear(&mut self) {
+        for row in &mut self.rows {
+            row.clear();
+        }
+        self.max_abs = 0.0;
+    }
+
+    /// Number of structural nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(BTreeMap::len).sum()
+    }
+
+    /// Computes `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn multiply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "dimension mismatch");
+        self.rows
+            .iter()
+            .map(|row| row.iter().map(|(&c, &v)| v * x[c]).sum())
+            .collect()
+    }
+
+    /// Factors the matrix with partial-pivoted elimination.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::SingularMatrix`] when no acceptable pivot exists in
+    /// some column (floating node, ideal-source loop, or an exactly
+    /// singular system).
+    pub fn factor(&self) -> Result<LuFactors, SpiceError> {
+        let n = self.n;
+        let mut rows = self.rows.clone();
+        // Column occupancy: cols[c] = set of rows with a structural
+        // nonzero in column c.
+        let mut cols: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for (r, row) in rows.iter().enumerate() {
+            for &c in row.keys() {
+                cols[c].insert(r);
+            }
+        }
+
+        let tol = (self.max_abs * PIVOT_RTOL).max(f64::MIN_POSITIVE);
+        // swap_at[k] = row swapped with k at elimination step k, if any.
+        // Swaps interleave with the multiplier updates, so solve() must
+        // replay them in step order, not up front.
+        let mut swap_at: Vec<Option<usize>> = vec![None; n];
+        let mut lower: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+
+        for k in 0..n {
+            // Pivot search: the row >= k with the largest |a[r][k]|.
+            let mut pivot_row = usize::MAX;
+            let mut pivot_mag = tol;
+            for &r in cols[k].range(k..) {
+                let mag = rows[r].get(&k).map(|v| v.abs()).unwrap_or(0.0);
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_row == usize::MAX {
+                return Err(SpiceError::SingularMatrix { row: k });
+            }
+            if pivot_row != k {
+                // Physical row swap; update occupancy for both rows.
+                for &c in rows[k].keys() {
+                    cols[c].remove(&k);
+                }
+                for &c in rows[pivot_row].keys() {
+                    cols[c].remove(&pivot_row);
+                }
+                rows.swap(k, pivot_row);
+                for &c in rows[k].keys() {
+                    cols[c].insert(k);
+                }
+                for &c in rows[pivot_row].keys() {
+                    cols[c].insert(pivot_row);
+                }
+                swap_at[k] = Some(pivot_row);
+            }
+
+            let piv = *rows[k].get(&k).expect("pivot present by construction");
+            // Snapshot pivot-row tail (columns > k) for the updates.
+            let tail: Vec<(usize, f64)> = rows[k]
+                .range(k + 1..)
+                .map(|(&c, &v)| (c, v))
+                .collect();
+
+            // Eliminate every row below k that has column k occupied.
+            let below: Vec<usize> = cols[k].range(k + 1..).copied().collect();
+            for i in below {
+                let aik = match rows[i].remove(&k) {
+                    Some(v) => v,
+                    None => continue,
+                };
+                cols[k].remove(&i);
+                let m = aik / piv;
+                if m != 0.0 {
+                    lower[k].push((i, m));
+                    for &(c, v) in &tail {
+                        let entry = rows[i].entry(c).or_insert_with(|| {
+                            cols[c].insert(i);
+                            0.0
+                        });
+                        *entry -= m * v;
+                    }
+                }
+            }
+        }
+
+        // Extract U rows (cols >= diagonal).
+        let upper: Vec<Vec<(usize, f64)>> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(k, row)| row.into_iter().filter(|&(c, _)| c >= k).collect())
+            .collect();
+
+        Ok(LuFactors {
+            n,
+            swap_at,
+            lower,
+            upper,
+        })
+    }
+
+    /// Convenience: factor and solve in one call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseMatrix::factor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SpiceError> {
+        Ok(self.factor()?.solve(b))
+    }
+}
+
+/// Reusable LU factors of a [`SparseMatrix`].
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    swap_at: Vec<Option<usize>>,
+    lower: Vec<Vec<(usize, f64)>>,
+    upper: Vec<Vec<(usize, f64)>>,
+}
+
+impl LuFactors {
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "dimension mismatch");
+        let mut x = b.to_vec();
+        // Forward phase: replay the elimination sequence — swap for step
+        // k (if any) and then the step-k multiplier updates, in order.
+        for k in 0..self.n {
+            if let Some(p) = self.swap_at[k] {
+                x.swap(k, p);
+            }
+            let xk = x[k];
+            if xk != 0.0 {
+                for &(i, m) in &self.lower[k] {
+                    x[i] -= m * xk;
+                }
+            }
+        }
+        // Backward substitution with U.
+        for k in (0..self.n).rev() {
+            let mut acc = x[k];
+            let mut diag = 0.0;
+            for &(c, v) in &self.upper[k] {
+                if c == k {
+                    diag = v;
+                } else {
+                    acc -= v * x[c];
+                }
+            }
+            x[k] = acc / diag;
+        }
+        x
+    }
+}
+
+/// A dense reference matrix with naive partial-pivoted elimination.
+///
+/// Exists so sparse results can be cross-checked in tests; use
+/// [`SparseMatrix`] for anything sized like a real netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    a: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `n x n` zero matrix.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            a: vec![0.0; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Accumulates `v` into `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.n && c < self.n, "index out of range");
+        self.a[r * self.n + c] += v;
+    }
+
+    /// Reads entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.n && c < self.n, "index out of range");
+        self.a[r * self.n + c]
+    }
+
+    /// Solves `A x = b` by Gaussian elimination with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::SingularMatrix`] for singular systems.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SpiceError> {
+        assert_eq!(b.len(), self.n, "dimension mismatch");
+        let n = self.n;
+        let mut a = self.a.clone();
+        let mut x = b.to_vec();
+        let scale = a.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let tol = (scale * PIVOT_RTOL).max(f64::MIN_POSITIVE);
+
+        for k in 0..n {
+            let (p, mag) = (k..n)
+                .map(|r| (r, a[r * n + k].abs()))
+                .max_by(|x, y| x.1.partial_cmp(&y.1).expect("no NaN in matrix"))
+                .expect("non-empty range");
+            if mag <= tol {
+                return Err(SpiceError::SingularMatrix { row: k });
+            }
+            if p != k {
+                for c in 0..n {
+                    a.swap(k * n + c, p * n + c);
+                }
+                x.swap(k, p);
+            }
+            let piv = a[k * n + k];
+            for r in k + 1..n {
+                let m = a[r * n + k] / piv;
+                if m != 0.0 {
+                    a[r * n + k] = 0.0;
+                    for c in k + 1..n {
+                        a[r * n + c] -= m * a[k * n + c];
+                    }
+                    x[r] -= m * x[k];
+                }
+            }
+        }
+        for k in (0..n).rev() {
+            let mut acc = x[k];
+            for c in k + 1..n {
+                acc -= a[k * n + c] * x[c];
+            }
+            x[k] = acc / a[k * n + k];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual_norm(m: &SparseMatrix, x: &[f64], b: &[f64]) -> f64 {
+        m.multiply(x)
+            .iter()
+            .zip(b)
+            .map(|(ax, bb)| (ax - bb).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solves_2x2() {
+        let mut m = SparseMatrix::new(2);
+        m.add(0, 0, 2.0);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        m.add(1, 1, 3.0);
+        let x = m.solve(&[3.0, 4.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [0 1][x] = [2] -> x = 3, y = 2
+        // [1 0][y]   [3]
+        let mut m = SparseMatrix::new(2);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        let x = m.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let mut m = SparseMatrix::new(2);
+        m.add(0, 0, 1.0);
+        m.add(0, 1, 2.0);
+        m.add(1, 0, 2.0);
+        m.add(1, 1, 4.0);
+        assert!(matches!(
+            m.solve(&[1.0, 2.0]),
+            Err(SpiceError::SingularMatrix { .. })
+        ));
+        // Empty column.
+        let mut m2 = SparseMatrix::new(2);
+        m2.add(0, 0, 1.0);
+        assert!(m2.solve(&[1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn accumulation_sums_entries() {
+        let mut m = SparseMatrix::new(1);
+        m.add(0, 0, 1.5);
+        m.add(0, 0, 2.5);
+        assert_eq!(m.get(0, 0), 4.0);
+        assert_eq!(m.nnz(), 1);
+        m.clear();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn matches_dense_on_random_band_systems() {
+        // Pseudo-random banded diagonally-dominant systems.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for n in [1usize, 3, 10, 40] {
+            let mut s = SparseMatrix::new(n);
+            let mut d = DenseMatrix::new(n);
+            for r in 0..n {
+                for off in -2i64..=2 {
+                    let c = r as i64 + off;
+                    if c < 0 || c >= n as i64 {
+                        continue;
+                    }
+                    let v = if off == 0 { 8.0 + next() } else { next() };
+                    s.add(r, c as usize, v);
+                    d.add(r, c as usize, v);
+                }
+            }
+            let b: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
+            let xs = s.solve(&b).unwrap();
+            let xd = d.solve(&b).unwrap();
+            for (a, bb) in xs.iter().zip(&xd) {
+                assert!((a - bb).abs() < 1e-9, "n={n}: {a} vs {bb}");
+            }
+            assert!(residual_norm(&s, &xs, &b) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn factors_reusable_across_rhs() {
+        let mut m = SparseMatrix::new(3);
+        m.add(0, 0, 4.0);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        m.add(1, 1, 3.0);
+        m.add(1, 2, 1.0);
+        m.add(2, 1, 1.0);
+        m.add(2, 2, 2.0);
+        let f = m.factor().unwrap();
+        for b in [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [3.0, -1.0, 2.0]] {
+            let x = f.solve(&b);
+            assert!(residual_norm(&m, &x, &b) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fill_in_is_handled() {
+        // An arrow matrix generates fill-in when eliminated top-down.
+        let n = 20;
+        let mut m = SparseMatrix::new(n);
+        for i in 0..n {
+            m.add(i, i, 4.0);
+            if i > 0 {
+                m.add(0, i, 1.0);
+                m.add(i, 0, 1.0);
+            }
+        }
+        let b = vec![1.0; n];
+        let x = m.solve(&b).unwrap();
+        assert!(residual_norm(&m, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn multiply_works() {
+        let mut m = SparseMatrix::new(2);
+        m.add(0, 0, 1.0);
+        m.add(0, 1, 2.0);
+        m.add(1, 1, 3.0);
+        assert_eq!(m.multiply(&[1.0, 1.0]), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn dense_singular_detection() {
+        let mut d = DenseMatrix::new(2);
+        d.add(0, 0, 1.0);
+        d.add(1, 0, 1.0);
+        assert!(d.solve(&[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn out_of_range_panics() {
+        let mut m = SparseMatrix::new(2);
+        m.add(2, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rhs_length_checked() {
+        let mut m = SparseMatrix::new(2);
+        m.add(0, 0, 1.0);
+        m.add(1, 1, 1.0);
+        let _ = m.solve(&[1.0]);
+    }
+
+    #[test]
+    fn large_tridiagonal_performance_smoke() {
+        // 2000-node RC-ladder-like system must solve quickly and accurately.
+        let n = 2000;
+        let mut m = SparseMatrix::new(n);
+        for i in 0..n {
+            m.add(i, i, 2.0);
+            if i > 0 {
+                m.add(i, i - 1, -1.0);
+                m.add(i - 1, i, -1.0);
+            }
+        }
+        m.add(n - 1, n - 1, 1.0); // make it nonsingular at the end
+        let b = vec![1.0; n];
+        let x = m.solve(&b).unwrap();
+        assert!(residual_norm(&m, &x, &b) < 1e-8);
+    }
+}

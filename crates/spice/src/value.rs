@@ -1,0 +1,185 @@
+//! Engineering-notation number parsing and formatting (SPICE style).
+
+use crate::error::SpiceError;
+
+/// Parses a SPICE-style value: a float optionally followed by an
+/// engineering suffix (`f p n u m k meg g t`, case-insensitive; `mil` is
+/// not supported). Anything after a recognized suffix is ignored, matching
+/// SPICE convention (`10pF` parses as `10p`).
+///
+/// # Errors
+///
+/// [`SpiceError::Parse`] (with line 0 — callers add context) when the
+/// numeric part does not parse.
+///
+/// # Example
+///
+/// ```
+/// use mpvar_spice::value::parse_value;
+///
+/// assert_eq!(parse_value("4.7k")?, 4700.0);
+/// assert!((parse_value("10f")? - 1e-14).abs() < 1e-20);
+/// assert_eq!(parse_value("2meg")?, 2e6);
+/// assert_eq!(parse_value("-3.3")?, -3.3);
+/// assert!((parse_value("100pF")? - 1e-10).abs() < 1e-16);
+/// # Ok::<(), mpvar_spice::SpiceError>(())
+/// ```
+pub fn parse_value(token: &str) -> Result<f64, SpiceError> {
+    let t = token.trim();
+    let lower = t.to_ascii_lowercase();
+    let err = || SpiceError::Parse {
+        line: 0,
+        message: format!("cannot parse value `{token}`"),
+    };
+
+    // Split numeric prefix from the alphabetic tail.
+    let split = lower
+        .char_indices()
+        .find(|(i, c)| {
+            c.is_ascii_alphabetic() && !(*i > 0 && (*c == 'e') && has_digit_after(&lower, *i))
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(lower.len());
+    let (num_part, tail) = lower.split_at(split);
+    let base: f64 = num_part.parse().map_err(|_| err())?;
+
+    let mult = if tail.starts_with("meg") {
+        1e6
+    } else {
+        match tail.chars().next() {
+            None => 1.0,
+            Some('t') => 1e12,
+            Some('g') => 1e9,
+            Some('k') => 1e3,
+            Some('m') => 1e-3,
+            Some('u') => 1e-6,
+            Some('n') => 1e-9,
+            Some('p') => 1e-12,
+            Some('f') => 1e-15,
+            Some('a') => 1e-18,
+            Some(_) => return Err(err()),
+        }
+    };
+    Ok(base * mult)
+}
+
+fn has_digit_after(s: &str, i: usize) -> bool {
+    s[i + 1..]
+        .chars()
+        .next()
+        .map(|c| c.is_ascii_digit() || c == '+' || c == '-')
+        .unwrap_or(false)
+}
+
+/// Formats a value with an engineering suffix, 6 significant digits.
+///
+/// # Example
+///
+/// ```
+/// use mpvar_spice::value::format_value;
+///
+/// assert_eq!(format_value(4700.0), "4.7k");
+/// assert_eq!(format_value(1e-14), "10f");
+/// assert_eq!(format_value(0.0), "0");
+/// ```
+pub fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let suffixes: [(f64, &str); 9] = [
+        (1e12, "t"),
+        (1e9, "g"),
+        (1e6, "meg"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+    ];
+    let abs = v.abs();
+    // Femto handled separately so 1e-14 prints as 10f not 0.01p.
+    if abs < 0.9995e-12 {
+        let scaled = v / 1e-15;
+        return format!("{}f", trim_float(scaled));
+    }
+    for (mult, suffix) in suffixes {
+        if abs >= mult * 0.9995 {
+            return format!("{}{}", trim_float(v / mult), suffix);
+        }
+    }
+    trim_float(v / 1e-12) + "p"
+}
+
+fn trim_float(v: f64) -> String {
+    let s = format!("{v:.6}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    s.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_numbers() {
+        assert_eq!(parse_value("3").unwrap(), 3.0);
+        assert_eq!(parse_value("-2.5").unwrap(), -2.5);
+        assert_eq!(parse_value("1e-9").unwrap(), 1e-9);
+        assert_eq!(parse_value("1E+3").unwrap(), 1e3);
+        assert_eq!(parse_value("6.02e23").unwrap(), 6.02e23);
+    }
+
+    #[test]
+    fn parses_suffixes() {
+        assert_eq!(parse_value("1t").unwrap(), 1e12);
+        assert_eq!(parse_value("1g").unwrap(), 1e9);
+        assert_eq!(parse_value("1meg").unwrap(), 1e6);
+        assert_eq!(parse_value("1k").unwrap(), 1e3);
+        assert_eq!(parse_value("1m").unwrap(), 1e-3);
+        assert_eq!(parse_value("1u").unwrap(), 1e-6);
+        assert_eq!(parse_value("1n").unwrap(), 1e-9);
+        assert_eq!(parse_value("1p").unwrap(), 1e-12);
+        assert_eq!(parse_value("1f").unwrap(), 1e-15);
+        assert_eq!(parse_value("1a").unwrap(), 1e-18);
+    }
+
+    #[test]
+    fn suffix_tail_is_ignored() {
+        assert_eq!(parse_value("100pF").unwrap(), 1e-10);
+        assert_eq!(parse_value("1kohm").unwrap(), 1e3);
+        assert_eq!(parse_value("2MEGV").unwrap(), 2e6);
+    }
+
+    #[test]
+    fn scientific_plus_suffix() {
+        // `1e3k` = 1e3 * 1e3.
+        assert_eq!(parse_value("1e3k").unwrap(), 1e6);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("abc").is_err());
+        assert!(parse_value("").is_err());
+        assert!(parse_value("1.2.3").is_err());
+        assert!(parse_value("1x").is_err());
+    }
+
+    #[test]
+    fn formats_roundtrip() {
+        for v in [4700.0, 1e-14, 3.3, 0.001, 2e6, 1e-9, 47e-12, 1.5e12] {
+            let s = format_value(v);
+            let back = parse_value(&s).unwrap();
+            assert!(
+                ((back - v) / v).abs() < 1e-6,
+                "{v} -> {s} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn formats_negative_and_zero() {
+        assert_eq!(format_value(0.0), "0");
+        assert_eq!(format_value(-4700.0), "-4.7k");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for source waveforms and value parsing.
+
+use proptest::prelude::*;
+
+use mpvar_spice::value::{format_value, parse_value};
+use mpvar_spice::Waveform;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A pulse never leaves the [min(v0,v1), max(v0,v1)] band and hits
+    /// both levels.
+    #[test]
+    fn pulse_stays_in_band(
+        v0 in -2.0f64..2.0,
+        v1 in -2.0f64..2.0,
+        delay in 0.0f64..1e-9,
+        rise in 1e-12f64..1e-10,
+        fall in 1e-12f64..1e-10,
+        width in 1e-11f64..1e-9,
+    ) {
+        let w = Waveform::pulse(v0, v1, delay, rise, fall, width, 0.0).expect("valid pulse");
+        let lo = v0.min(v1);
+        let hi = v0.max(v1);
+        for k in 0..400 {
+            let t = k as f64 * (delay + rise + width + fall + 1e-10) / 400.0;
+            let v = w.eval(t);
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "t={t}: v={v}");
+        }
+        prop_assert_eq!(w.eval(0.0), v0);
+        prop_assert!((w.eval(delay + rise + width / 2.0) - v1).abs() < 1e-12);
+        prop_assert!((w.eval(delay + rise + width + fall + 1e-10) - v0).abs() < 1e-12);
+    }
+
+    /// A periodic pulse is exactly periodic.
+    #[test]
+    fn pulse_periodicity(
+        v1 in 0.1f64..2.0,
+        width in 1e-11f64..1e-10,
+        period_mult in 2.0f64..6.0,
+        probe in 0.0f64..1.0,
+    ) {
+        let rise = 1e-12;
+        let fall = 1e-12;
+        let period = (rise + width + fall) * period_mult;
+        let w = Waveform::pulse(0.0, v1, 0.0, rise, fall, width, period).expect("valid pulse");
+        let t = probe * period;
+        for cycles in 1..4 {
+            prop_assert!((w.eval(t) - w.eval(t + cycles as f64 * period)).abs() < 1e-12);
+        }
+    }
+
+    /// PWL evaluation is bounded by its control points and exact at them.
+    #[test]
+    fn pwl_interpolation_bounds(points in prop::collection::vec(-3.0f64..3.0, 2..12)) {
+        let pts: Vec<(f64, f64)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64 * 1e-9, v))
+            .collect();
+        let w = Waveform::pwl(pts.clone()).expect("strictly increasing times");
+        let lo = points.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = points.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for k in 0..200 {
+            let t = k as f64 * (pts.len() as f64) * 1e-9 / 200.0;
+            let v = w.eval(t);
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+        for &(t, v) in &pts {
+            prop_assert!((w.eval(t) - v).abs() < 1e-12);
+        }
+        // Clamping beyond the ends.
+        prop_assert_eq!(w.eval(-1.0), pts[0].1);
+        prop_assert_eq!(w.eval(1e3), pts.last().expect("nonempty").1);
+    }
+
+    /// Engineering-notation formatting round-trips through parsing to
+    /// relative precision across 30 orders of magnitude.
+    #[test]
+    fn value_format_parse_roundtrip(mantissa in 0.1f64..10.0, exp in -15i32..15, neg: bool) {
+        let v = if neg { -mantissa } else { mantissa } * 10f64.powi(exp);
+        let s = format_value(v);
+        let back = parse_value(&s).expect("own output parses");
+        prop_assert!(((back - v) / v).abs() < 1e-5, "{v} -> {s} -> {back}");
+    }
+
+    /// Parsing is insensitive to surrounding whitespace and case of the
+    /// suffix.
+    #[test]
+    fn value_parse_robustness(mantissa in 0.1f64..10.0) {
+        for (suffix, mult) in [("k", 1e3), ("MEG", 1e6), ("n", 1e-9), ("P", 1e-12)] {
+            let text = format!("  {mantissa}{suffix} ");
+            let parsed = parse_value(&text).expect("parses");
+            let expected = mantissa * mult;
+            prop_assert!(((parsed - expected) / expected).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for the SRAM crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from SRAM construction and read simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SramError {
+    /// A structural parameter was invalid (zero rows, bad pair index...).
+    InvalidStructure {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// The technology is missing something the SRAM needs (e.g. metal1).
+    IncompleteTech {
+        /// What is missing.
+        missing: String,
+    },
+    /// Geometry-layer failure while building tracks or layouts.
+    Geometry(String),
+    /// Lithography failure while printing the column.
+    Litho(String),
+    /// Extraction failure.
+    Extract(String),
+    /// Circuit-simulation failure.
+    Spice(String),
+    /// The bit line never discharged to the sense threshold within the
+    /// (already retried) simulation window — typically a broken drive
+    /// path or absurd parasitics.
+    SenseNeverTripped {
+        /// Final simulated window, s.
+        window_s: f64,
+    },
+}
+
+impl fmt::Display for SramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SramError::InvalidStructure { message } => {
+                write!(f, "invalid sram structure: {message}")
+            }
+            SramError::IncompleteTech { missing } => {
+                write!(f, "technology is missing {missing}")
+            }
+            SramError::Geometry(m) => write!(f, "geometry error: {m}"),
+            SramError::Litho(m) => write!(f, "litho error: {m}"),
+            SramError::Extract(m) => write!(f, "extraction error: {m}"),
+            SramError::Spice(m) => write!(f, "simulation error: {m}"),
+            SramError::SenseNeverTripped { window_s } => write!(
+                f,
+                "sense threshold never reached within {window_s:.3e}s window"
+            ),
+        }
+    }
+}
+
+impl Error for SramError {}
+
+impl From<mpvar_geometry::GeometryError> for SramError {
+    fn from(e: mpvar_geometry::GeometryError) -> Self {
+        SramError::Geometry(e.to_string())
+    }
+}
+
+impl From<mpvar_litho::LithoError> for SramError {
+    fn from(e: mpvar_litho::LithoError) -> Self {
+        SramError::Litho(e.to_string())
+    }
+}
+
+impl From<mpvar_extract::ExtractError> for SramError {
+    fn from(e: mpvar_extract::ExtractError) -> Self {
+        SramError::Extract(e.to_string())
+    }
+}
+
+impl From<mpvar_spice::SpiceError> for SramError {
+    fn from(e: mpvar_spice::SpiceError) -> Self {
+        SramError::Spice(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: SramError = mpvar_spice::SpiceError::SingularMatrix { row: 3 }.into();
+        assert!(e.to_string().contains("simulation error"));
+        let e = SramError::SenseNeverTripped { window_s: 1e-9 };
+        assert!(e.to_string().contains("sense"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SramError>();
+    }
+}

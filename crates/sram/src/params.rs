@@ -1,0 +1,143 @@
+//! Lumped electrical parameters for the analytical formula.
+//!
+//! The paper's eq. 4 needs per-cell bit-line parasitics (`R_bl`,
+//! `C_bl`), the FEOL discharge-path values (`R_FE`, `C_FE`) and the
+//! precharge load `C_pre(n)`. This module derives them from the same
+//! tech + extraction models the SPICE testbench uses, so formula and
+//! simulation share one source of truth.
+
+use mpvar_extract::extract_track;
+use mpvar_litho::{apply_draw, Draw};
+use mpvar_tech::{PatterningOption, TechDb};
+
+use crate::cell::BitcellGeometry;
+use crate::error::SramError;
+
+/// Lumped parameters feeding the paper's analytical `td` formula.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FormulaParams {
+    /// Bit-line wire resistance of one cell, Ω.
+    pub rbl_ohm: f64,
+    /// Bit-line wire capacitance of one cell, F.
+    pub cbl_f: f64,
+    /// FEOL resistance of the discharge path (pass-gate + pull-down in
+    /// series at read bias), Ω.
+    pub rfe_ohm: f64,
+    /// FEOL capacitance per cell at the bit line (pass-gate junction), F.
+    pub cfe_f: f64,
+    /// Precharge-circuit capacitance per bit-line cell, F (`C_pre(n) =
+    /// cpre_per_cell * n`, the paper's drive-scales-with-size rule).
+    pub cpre_per_cell_f: f64,
+}
+
+impl FormulaParams {
+    /// Derives nominal parameters for `cell` under `tech`.
+    ///
+    /// `R_bl`/`C_bl` come from extracting one cell-length of the printed
+    /// (nominal) bit line in its array environment; `R_FE` from the
+    /// alpha-power devices' equivalent resistances at read bias;
+    /// `C_FE`/`C_pre` from the devices' junction capacitances.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry/litho/extraction failures.
+    pub fn derive(tech: &TechDb, cell: &BitcellGeometry, vdd_v: f64) -> Result<Self, SramError> {
+        let m1 = tech.metal(1).ok_or_else(|| SramError::IncompleteTech {
+            missing: "metal1 spec".to_string(),
+        })?;
+        // One-cell window in the 10-pair environment.
+        let stack = cell.column_stack(crate::array::PAPER_BL_PAIRS, 5, 1)?;
+        let printed = apply_draw(&stack, &Draw::nominal(PatterningOption::Euv))?;
+        let bl_index = printed
+            .index_of_net("BL")
+            .ok_or_else(|| SramError::InvalidStructure {
+                message: "column stack lost its BL track".to_string(),
+            })?;
+        let bl = extract_track(&printed, bl_index, m1)?;
+
+        let sizing = cell.sizing();
+        let nmos = tech.nmos();
+        let vov = (vdd_v - nmos.vth_v()).max(0.05);
+        let r_unit = nmos.equivalent_resistance(vov, vdd_v);
+        // Pass-gate and pull-down conduct in series; each scaled by its
+        // drive strength.
+        let rfe_ohm = r_unit / sizing.pass_gate + r_unit / sizing.pull_down;
+
+        let cfe_f = nmos.c_drain_f() * sizing.pass_gate;
+        let cpre_per_cell_f = tech.pmos().c_drain_f() * sizing.precharge_per_cell;
+
+        Ok(Self {
+            rbl_ohm: bl.resistance_ohm(),
+            cbl_f: bl.c_total_f(),
+            rfe_ohm,
+            cfe_f,
+            cpre_per_cell_f,
+        })
+    }
+
+    /// Precharge capacitance for an `n`-cell column, F.
+    pub fn cpre_f(&self, n: usize) -> f64 {
+        self.cpre_per_cell_f * n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpvar_tech::preset::n10;
+
+    fn params() -> FormulaParams {
+        let tech = n10();
+        let cell = BitcellGeometry::n10_hd(&tech).unwrap();
+        FormulaParams::derive(&tech, &cell, 0.7).unwrap()
+    }
+
+    #[test]
+    fn magnitudes_are_n10_class() {
+        let p = params();
+        // Per-cell wire: a few ohms, a few tens of aF.
+        assert!(p.rbl_ohm > 1.0 && p.rbl_ohm < 20.0, "rbl {}", p.rbl_ohm);
+        let cbl_af = p.cbl_f * 1e18;
+        assert!(cbl_af > 10.0 && cbl_af < 60.0, "cbl {cbl_af} aF");
+        // Discharge path: tens of kOhm.
+        assert!(p.rfe_ohm > 20e3 && p.rfe_ohm < 200e3, "rfe {}", p.rfe_ohm);
+        // Junction caps: tens of aF.
+        assert!(p.cfe_f > 5e-18 && p.cfe_f < 60e-18);
+        assert!(p.cpre_per_cell_f > 1e-18 && p.cpre_per_cell_f < 20e-18);
+    }
+
+    #[test]
+    fn wire_r_stays_below_fet_r_for_paper_sizes() {
+        // Paper §II.B: "The resistance of bit lines is relatively low due
+        // to the non-minimum CD" — n*R_bl must stay below R_FE even at
+        // n = 1024 (which keeps the discharge FET-limited).
+        let p = params();
+        assert!(
+            1024.0 * p.rbl_ohm < p.rfe_ohm,
+            "n*Rbl = {} vs RFE = {}",
+            1024.0 * p.rbl_ohm,
+            p.rfe_ohm
+        );
+    }
+
+    #[test]
+    fn cpre_scales_linearly() {
+        let p = params();
+        assert!((p.cpre_f(64) - 64.0 * p.cpre_per_cell_f).abs() < 1e-24);
+        assert!((p.cpre_f(1024) / p.cpre_f(16) - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wider_bitline_lowers_rbl() {
+        let tech = n10();
+        let cell = BitcellGeometry::n10_hd(&tech).unwrap();
+        let wide = cell
+            .clone()
+            .with_bl_width(mpvar_geometry::Nm(30))
+            .unwrap();
+        let p_nom = FormulaParams::derive(&tech, &cell, 0.7).unwrap();
+        let p_wide = FormulaParams::derive(&tech, &wide, 0.7).unwrap();
+        assert!(p_wide.rbl_ohm < p_nom.rbl_ohm);
+        assert!(p_wide.cbl_f > p_nom.cbl_f);
+    }
+}

@@ -1,0 +1,409 @@
+//! The bit-line read testbench (paper §II.C).
+//!
+//! Builds and simulates the circuit of one read access in a 10-pair
+//! array window:
+//!
+//! * the active pair's BL and BLB become distributed RC ladders with one
+//!   π-segment per cell (emitted by `mpvar-extract`);
+//! * every cell adds its pass-gate junction capacitance to its tap;
+//! * the *accessed cell sits at the far end* (worst case): pass-gate NMOS
+//!   from the last BL tap into the internal node, pull-down NMOS (gate at
+//!   VDD — the cell stores a 0 on the BL side) to ground;
+//! * BLB's accessed pass-gate connects to the complementary node held
+//!   high by its pull-up, so BLB stays at precharge;
+//! * the precharge PMOS (off during the read, drive ∝ array size per the
+//!   paper) loads each bit line's near end with its junction capacitance;
+//! * both bit lines start precharged to `vdd` (UIC), the word line
+//!   rises after `wl_delay`, and `td` is the time from the WL mid-edge to
+//!   `V(blb) − V(bl) ≥ 70mV` at the near (sense-amp) end.
+
+use mpvar_extract::{emit_rc_deck, RcDeckSpec};
+use mpvar_litho::{apply_draw, Draw};
+use mpvar_spice::{
+    cross_differential, cross_threshold, CrossDirection, MosfetModel, Netlist, Transient,
+    Waveform,
+};
+use mpvar_tech::TechDb;
+
+use crate::cell::{BitcellGeometry, INACTIVE_PREFIX};
+use crate::error::SramError;
+use crate::params::FormulaParams;
+
+/// Read-testbench configuration (defaults match the paper's §II.C
+/// assumptions: 0.7V rails and precharge, 70mV sense sensitivity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadConfig {
+    /// Supply / precharge / word-line high level, V.
+    pub vdd_v: f64,
+    /// Sense-amp sensitivity `|V_bl - V_blb|`, V.
+    pub sense_dv_v: f64,
+    /// Delay before the word-line edge, s.
+    pub wl_delay_s: f64,
+    /// Word-line rise time, s.
+    pub wl_rise_s: f64,
+    /// Fixed time-step count per simulation window.
+    pub steps: usize,
+    /// Initial window = `window_scale` x the lumped-RC estimate.
+    pub window_scale: f64,
+    /// Window doublings attempted before giving up.
+    pub max_retries: usize,
+}
+
+impl Default for ReadConfig {
+    fn default() -> Self {
+        Self {
+            vdd_v: 0.7,
+            sense_dv_v: 0.07,
+            wl_delay_s: 20e-12,
+            wl_rise_s: 10e-12,
+            steps: 2000,
+            window_scale: 25.0,
+            max_retries: 3,
+        }
+    }
+}
+
+/// Result of one read simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadOutcome {
+    /// Time-to-discharge: WL mid-edge to sense crossing, s — the paper's
+    /// figure of merit.
+    pub td_s: f64,
+    /// Absolute time of the WL mid-edge, s.
+    pub t_wl_s: f64,
+    /// Simulated window that produced the measurement, s.
+    pub window_s: f64,
+}
+
+/// Simulates one read of an `n_cells`-deep column printed under `draw`,
+/// returning the discharge time `td`.
+///
+/// # Errors
+///
+/// * structural/tech errors from geometry and extraction;
+/// * [`SramError::SenseNeverTripped`] when the differential never
+///   reaches the sense threshold even after window retries.
+pub fn simulate_read(
+    tech: &TechDb,
+    cell: &BitcellGeometry,
+    config: &ReadConfig,
+    n_cells: usize,
+    draw: &Draw,
+) -> Result<ReadOutcome, SramError> {
+    if n_cells == 0 {
+        return Err(SramError::InvalidStructure {
+            message: "column needs at least one cell".to_string(),
+        });
+    }
+    let m1 = tech.metal(1).ok_or_else(|| SramError::IncompleteTech {
+        missing: "metal1 spec".to_string(),
+    })?;
+
+    // ---- printed geometry and RC ladders --------------------------------
+    let stack = cell.column_stack(crate::array::PAPER_BL_PAIRS, 5, n_cells)?;
+    let printed = apply_draw(&stack, draw)?;
+    let deck_spec = RcDeckSpec {
+        segments: n_cells,
+        rail_prefixes: vec![
+            "VSS".to_string(),
+            "VDD".to_string(),
+            INACTIVE_PREFIX.to_string(),
+        ],
+    };
+    let mut deck = emit_rc_deck(&printed, m1, &deck_spec)?;
+
+    let sizing = cell.sizing();
+    let nmos = *tech.nmos();
+    let pmos = *tech.pmos();
+
+    let bl_near = deck.tap("BL", 0).expect("BL ladder emitted");
+    let bl_far = deck.tap("BL", n_cells).expect("BL far tap");
+    let blb_near = deck.tap("BLB", 0).expect("BLB ladder emitted");
+    let blb_far = deck.tap("BLB", n_cells).expect("BLB far tap");
+
+    let net = deck.netlist_mut();
+
+    // ---- supplies and word line -----------------------------------------
+    let vdd = net.node("vdd");
+    net.add_vsource("VDD", vdd, Netlist::GROUND, Waveform::dc(config.vdd_v))?;
+    let wl = net.node("wl");
+    net.add_vsource(
+        "VWL",
+        wl,
+        Netlist::GROUND,
+        Waveform::pulse(
+            0.0,
+            config.vdd_v,
+            config.wl_delay_s,
+            config.wl_rise_s,
+            config.wl_rise_s,
+            1.0, // stays up for the whole window
+            0.0,
+        )?,
+    )?;
+
+    // ---- per-cell pass-gate junction load on both bit lines --------------
+    let cfe = nmos.c_drain_f() * sizing.pass_gate;
+    for (net_name, _far) in [("BL", bl_far), ("BLB", blb_far)] {
+        for k in 1..=n_cells {
+            let tap = deck_tap(&deck, net_name, k)?;
+            deck.netlist_mut()
+                .add_capacitor(&format!("Cfe_{net_name}_{k}"), tap, Netlist::GROUND, cfe)?;
+        }
+    }
+
+    let net = deck.netlist_mut();
+
+    // ---- accessed cell at the far end ------------------------------------
+    let q = net.node("q");
+    let pass = MosfetModel::new(
+        nmos.scaled(sizing.pass_gate)
+            .map_err(|e| SramError::InvalidStructure {
+                message: e.to_string(),
+            })?,
+    );
+    let pull_down = MosfetModel::new(nmos.scaled(sizing.pull_down).map_err(|e| {
+        SramError::InvalidStructure {
+            message: e.to_string(),
+        }
+    })?);
+    net.add_mosfet("Mpass", bl_far, wl, q, pass)?;
+    net.add_mosfet("Mpd", q, vdd, Netlist::GROUND, pull_down)?;
+    // Internal-node load: both inverter gate caps plus two junctions.
+    net.add_capacitor(
+        "Cq",
+        q,
+        Netlist::GROUND,
+        2.0 * nmos.c_gate_f() + 2.0 * nmos.c_drain_f(),
+    )?;
+
+    // BLB side: pass-gate into the complementary node held high.
+    let qb = net.node("qb");
+    let pull_up = MosfetModel::new(pmos.scaled(sizing.pull_up).map_err(|e| {
+        SramError::InvalidStructure {
+            message: e.to_string(),
+        }
+    })?);
+    net.add_mosfet("Mpass_b", blb_far, wl, qb, pass)?;
+    // Gate at ground keeps the PMOS on, holding qb at vdd (the stored 1).
+    net.add_mosfet("Mpu_b", qb, Netlist::GROUND, vdd, pull_up)?;
+    net.add_capacitor(
+        "Cqb",
+        qb,
+        Netlist::GROUND,
+        2.0 * nmos.c_gate_f() + 2.0 * nmos.c_drain_f(),
+    )?;
+
+    // ---- precharge loads at the near end ---------------------------------
+    let pre_strength = sizing.precharge_per_cell * n_cells as f64;
+    let precharge = MosfetModel::new(pmos.scaled(pre_strength).map_err(|e| {
+        SramError::InvalidStructure {
+            message: e.to_string(),
+        }
+    })?);
+    // Gate at vdd: off during the read; the device contributes its
+    // (size-scaled) junction capacitance.
+    net.add_mosfet("Mpre_bl", bl_near, vdd, vdd, precharge)?;
+    net.add_mosfet("Mpre_blb", blb_near, vdd, vdd, precharge)?;
+    let cpre = pmos.c_drain_f() * pre_strength;
+    net.add_capacitor("Cpre_bl", bl_near, Netlist::GROUND, cpre)?;
+    net.add_capacitor("Cpre_blb", blb_near, Netlist::GROUND, cpre)?;
+
+    // ---- initial conditions: precharged bit lines, settled cell ----------
+    let mut tran = Transient::new(deck.netlist())?;
+    for net_name in ["BL", "BLB"] {
+        for k in 0..=n_cells {
+            let tap = deck_tap(&deck, net_name, k)?;
+            tran.set_initial_voltage(tap, config.vdd_v);
+        }
+    }
+    tran.set_initial_voltage(vdd, config.vdd_v);
+    tran.set_initial_voltage(q, 0.0);
+    tran.set_initial_voltage(qb, config.vdd_v);
+
+    // ---- window estimation and the retry loop ----------------------------
+    let fp = FormulaParams::derive(tech, cell, config.vdd_v)?;
+    let n = n_cells as f64;
+    let est = 0.105
+        * (n * fp.rbl_ohm + fp.rfe_ohm)
+        * (n * (fp.cbl_f + fp.cfe_f) + fp.cpre_f(n_cells));
+    let mut window = config.wl_delay_s + config.wl_rise_s + config.window_scale * est;
+
+    for _attempt in 0..=config.max_retries {
+        let dt = window / config.steps as f64;
+        let result = tran.run(dt, window)?;
+        let t_wl = cross_threshold(
+            &result,
+            wl,
+            config.vdd_v / 2.0,
+            CrossDirection::Rising,
+            0.0,
+        )
+        .map_err(|e| SramError::Spice(e.to_string()))?;
+        match cross_differential(
+            &result,
+            blb_near,
+            bl_near,
+            config.sense_dv_v,
+            CrossDirection::Rising,
+            t_wl,
+        ) {
+            Ok(t_sense) => {
+                return Ok(ReadOutcome {
+                    td_s: t_sense - t_wl,
+                    t_wl_s: t_wl,
+                    window_s: window,
+                });
+            }
+            Err(_) => {
+                window *= 2.0;
+            }
+        }
+    }
+    Err(SramError::SenseNeverTripped { window_s: window })
+}
+
+fn deck_tap(
+    deck: &mpvar_extract::RcDeck,
+    net: &str,
+    k: usize,
+) -> Result<mpvar_spice::NodeId, SramError> {
+    deck.tap(net, k).ok_or_else(|| SramError::InvalidStructure {
+        message: format!("missing tap {k} on {net}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpvar_litho::{Draw, EuvDraw, Le3Draw};
+    use mpvar_tech::preset::n10;
+    use mpvar_tech::PatterningOption;
+
+    fn setup() -> (TechDb, BitcellGeometry) {
+        let tech = n10();
+        let cell = BitcellGeometry::n10_hd(&tech).unwrap();
+        (tech, cell)
+    }
+
+    #[test]
+    fn nominal_read_produces_picosecond_td() {
+        let (tech, cell) = setup();
+        let out = simulate_read(
+            &tech,
+            &cell,
+            &ReadConfig::default(),
+            16,
+            &Draw::nominal(PatterningOption::Euv),
+        )
+        .unwrap();
+        // N10-class 16-cell column: single-digit to tens of ps.
+        assert!(
+            out.td_s > 0.5e-12 && out.td_s < 100e-12,
+            "td = {:.3e}",
+            out.td_s
+        );
+        assert!(out.t_wl_s > 0.0);
+        assert!(out.window_s > out.td_s);
+    }
+
+    #[test]
+    fn td_grows_with_array_size() {
+        let (tech, cell) = setup();
+        let cfg = ReadConfig::default();
+        let nominal = Draw::nominal(PatterningOption::Euv);
+        let td16 = simulate_read(&tech, &cell, &cfg, 16, &nominal).unwrap().td_s;
+        let td64 = simulate_read(&tech, &cell, &cfg, 64, &nominal).unwrap().td_s;
+        assert!(td64 > 2.0 * td16, "td16 {td16:.3e} td64 {td64:.3e}");
+        // Super-linear growth is mild while FET-limited: below quadratic.
+        assert!(td64 < 8.0 * td16);
+    }
+
+    #[test]
+    fn nominal_td_equal_across_options() {
+        // All three options print identical nominal geometry, so nominal
+        // td must agree to solver tolerance.
+        let (tech, cell) = setup();
+        let cfg = ReadConfig::default();
+        let tds: Vec<f64> = PatterningOption::ALL
+            .iter()
+            .map(|&o| {
+                simulate_read(&tech, &cell, &cfg, 16, &Draw::nominal(o))
+                    .unwrap()
+                    .td_s
+            })
+            .collect();
+        assert!((tds[0] - tds[1]).abs() / tds[0] < 1e-6);
+        assert!((tds[0] - tds[2]).abs() / tds[0] < 1e-6);
+    }
+
+    #[test]
+    fn squeezed_bitline_reads_slower() {
+        let (tech, cell) = setup();
+        let cfg = ReadConfig::default();
+        let nominal = simulate_read(
+            &tech,
+            &cell,
+            &cfg,
+            16,
+            &Draw::nominal(PatterningOption::Le3),
+        )
+        .unwrap()
+        .td_s;
+        // LE3-style worst case: neighbours shifted toward BL, all CDs up.
+        let worst = Draw::Le3(Le3Draw {
+            cd_nm: [3.0, 3.0, 3.0],
+            overlay_nm: [8.0, 0.0, -8.0],
+        });
+        let squeezed = simulate_read(&tech, &cell, &cfg, 16, &worst).unwrap().td_s;
+        let tdp = squeezed / nominal - 1.0;
+        assert!(tdp > 0.05, "tdp = {tdp}");
+    }
+
+    #[test]
+    fn wider_lines_read_slightly_differently() {
+        // EUV CD+3: more C (slower) but less R; net effect small but
+        // positive for short arrays (C-dominated).
+        let (tech, cell) = setup();
+        let cfg = ReadConfig::default();
+        let nominal = simulate_read(
+            &tech,
+            &cell,
+            &cfg,
+            16,
+            &Draw::nominal(PatterningOption::Euv),
+        )
+        .unwrap()
+        .td_s;
+        let wide = simulate_read(&tech, &cell, &cfg, 16, &Draw::Euv(EuvDraw { cd_nm: 3.0 }))
+            .unwrap()
+            .td_s;
+        let tdp = wide / nominal - 1.0;
+        assert!(tdp > 0.0 && tdp < 0.3, "tdp = {tdp}");
+    }
+
+    #[test]
+    fn zero_cells_rejected() {
+        let (tech, cell) = setup();
+        assert!(matches!(
+            simulate_read(
+                &tech,
+                &cell,
+                &ReadConfig::default(),
+                0,
+                &Draw::nominal(PatterningOption::Euv)
+            ),
+            Err(SramError::InvalidStructure { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_repeat() {
+        let (tech, cell) = setup();
+        let cfg = ReadConfig::default();
+        let d = Draw::nominal(PatterningOption::Sadp);
+        let a = simulate_read(&tech, &cell, &cfg, 16, &d).unwrap();
+        let b = simulate_read(&tech, &cell, &cfg, 16, &d).unwrap();
+        assert_eq!(a.td_s, b.td_s);
+    }
+}

@@ -1,0 +1,260 @@
+//! Static noise margin (SNM): the 6T cell's butterfly curves.
+//!
+//! The paper's Fig. 1a circuit, exercised in DC. The cell's two
+//! cross-coupled half-cells each form an inverter; during a read the
+//! pass-gate pulls the internal node toward the precharged bit line,
+//! degrading the voltage transfer curve (VTC). The read SNM is the side
+//! of the largest square that fits between the VTC and its mirror — the
+//! classic Seevinck construction, computed here by rotating the curves
+//! 45° and measuring the maximal separation per lobe.
+//!
+//! This module is an extension beyond the paper (which studies read
+//! *time*, not read *stability*), demonstrating the circuit substrate on
+//! the cell itself.
+
+use mpvar_spice::{dc_sweep, MosfetModel, Netlist, Waveform};
+use mpvar_tech::TechDb;
+
+use crate::cell::DeviceSizing;
+use crate::error::SramError;
+
+/// Cell condition for the VTC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnmMode {
+    /// Word line high, bit lines precharged: the read condition that
+    /// degrades the low output level through the pass-gate.
+    Read,
+    /// Word line low: the hold (retention) condition.
+    Hold,
+}
+
+/// Result of an SNM analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnmResult {
+    /// The noise margin, V (side of the smaller maximal square).
+    pub snm_v: f64,
+    /// The half-cell VTC as `(v_in, v_out)` samples.
+    pub vtc: Vec<(f64, f64)>,
+    /// The condition analysed.
+    pub mode: SnmMode,
+}
+
+/// Traces the half-cell VTC under the given condition.
+///
+/// The half-cell is one inverter of the cell (pull-up + pull-down) with
+/// its pass-gate tied to a bit line held at `vdd` (read) or with the
+/// word line low (hold).
+///
+/// # Errors
+///
+/// Propagates circuit-construction and sweep failures.
+pub fn half_cell_vtc(
+    tech: &TechDb,
+    sizing: &DeviceSizing,
+    mode: SnmMode,
+    vdd_v: f64,
+    points: usize,
+) -> Result<Vec<(f64, f64)>, SramError> {
+    if points < 8 {
+        return Err(SramError::InvalidStructure {
+            message: format!("VTC needs at least 8 points, got {points}"),
+        });
+    }
+    let scale_err = |e: mpvar_tech::TechError| SramError::InvalidStructure {
+        message: e.to_string(),
+    };
+    let pu = MosfetModel::new(tech.pmos().scaled(sizing.pull_up).map_err(scale_err)?);
+    let pd = MosfetModel::new(tech.nmos().scaled(sizing.pull_down).map_err(scale_err)?);
+    let pg = MosfetModel::new(tech.nmos().scaled(sizing.pass_gate).map_err(scale_err)?);
+
+    let mut net = Netlist::new();
+    let vdd = net.node("vdd");
+    let input = net.node("in");
+    let out = net.node("out");
+    let bl = net.node("bl");
+    let wl = net.node("wl");
+    net.add_vsource("VDD", vdd, Netlist::GROUND, Waveform::dc(vdd_v))?;
+    net.add_vsource("VIN", input, Netlist::GROUND, Waveform::dc(0.0))?;
+    net.add_vsource("VBL", bl, Netlist::GROUND, Waveform::dc(vdd_v))?;
+    let wl_level = match mode {
+        SnmMode::Read => vdd_v,
+        SnmMode::Hold => 0.0,
+    };
+    net.add_vsource("VWL", wl, Netlist::GROUND, Waveform::dc(wl_level))?;
+    net.add_mosfet("Mpu", out, input, vdd, pu)?;
+    net.add_mosfet("Mpd", out, input, Netlist::GROUND, pd)?;
+    net.add_mosfet("Mpg", bl, wl, out, pg)?;
+
+    let values: Vec<f64> = (0..points)
+        .map(|k| vdd_v * k as f64 / (points - 1) as f64)
+        .collect();
+    let sweep = dc_sweep(&net, "VIN", &values)?;
+    Ok(values
+        .iter()
+        .zip(sweep.transfer(out))
+        .map(|(&x, y)| (x, y))
+        .collect())
+}
+
+/// Computes the static noise margin from the half-cell VTC with the
+/// Seevinck diagonal construction: for every 45° line `y = x + c`, the
+/// segment inside the butterfly eye (between the VTC and its mirror) has
+/// length `sqrt(2) * (x_B - x_A)`; the largest inscribable square has
+/// side `x_B - x_A`, and the SNM is the maximum over `c`. The cell is
+/// symmetric (both half-cells identical), so the two eyes are mirror
+/// images and one lobe suffices.
+///
+/// # Errors
+///
+/// Propagates [`half_cell_vtc`] failures; reports a degenerate butterfly
+/// (no eye opening, i.e. a read-unstable cell) as
+/// [`SramError::InvalidStructure`].
+pub fn static_noise_margin(
+    tech: &TechDb,
+    sizing: &DeviceSizing,
+    mode: SnmMode,
+    vdd_v: f64,
+) -> Result<SnmResult, SramError> {
+    let vtc = half_cell_vtc(tech, sizing, mode, vdd_v, 141)?;
+
+    // Piecewise-linear, clamped evaluation of the (monotone falling) VTC.
+    let xs: Vec<f64> = vtc.iter().map(|&(x, _)| x).collect();
+    let ys: Vec<f64> = vtc.iter().map(|&(_, y)| y).collect();
+    let f = |x: f64| -> f64 {
+        if x <= xs[0] {
+            return ys[0];
+        }
+        if x >= *xs.last().expect("nonempty vtc") {
+            return *ys.last().expect("nonempty vtc");
+        }
+        let i = xs.partition_point(|&v| v < x);
+        let (x0, x1) = (xs[i - 1], xs[i]);
+        let (y0, y1) = (ys[i - 1], ys[i]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    };
+
+    // Root of a decreasing function by bisection on [0, vdd].
+    let bisect = |g: &dyn Fn(f64) -> f64| -> Option<f64> {
+        let (mut lo, mut hi) = (0.0f64, vdd_v);
+        let (glo, ghi) = (g(lo), g(hi));
+        if glo < 0.0 || ghi > 0.0 {
+            return None;
+        }
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if g(mid) >= 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(0.5 * (lo + hi))
+    };
+
+    // Upper lobe: line y = x + c. x_A solves f(x) = x + c (the VTC
+    // wing, the lobe's upper boundary), x_B solves f(x + c) = x (the
+    // mirrored wing, its lower-left boundary). Inside the eye the line
+    // runs from (x_B, x_B + c) on the mirror up to (x_A, x_A + c) on the
+    // VTC, so the opening is x_A - x_B. (Sanity anchor: an ideal step
+    // VTC at vdd/2 yields SNM = vdd/2 under this construction.)
+    let mut snm_v = 0.0f64;
+    let steps = 160;
+    for k in 1..steps {
+        let c = vdd_v * k as f64 / steps as f64;
+        let ga = |x: f64| f(x) - x - c;
+        let gb = |x: f64| f(x + c) - x;
+        if let (Some(xa), Some(xb)) = (bisect(&ga), bisect(&gb)) {
+            snm_v = snm_v.max(xa - xb);
+        }
+    }
+    if snm_v <= 1e-6 {
+        return Err(SramError::InvalidStructure {
+            message: "butterfly has no eye opening (cell not bistable)".to_string(),
+        });
+    }
+    Ok(SnmResult { snm_v, vtc, mode })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpvar_tech::preset::n10;
+
+    #[test]
+    fn read_vtc_shape() {
+        let tech = n10();
+        let vtc = half_cell_vtc(&tech, &DeviceSizing::default(), SnmMode::Read, 0.7, 71)
+            .unwrap();
+        assert_eq!(vtc.len(), 71);
+        // Monotone non-increasing.
+        for w in vtc.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-6);
+        }
+        // High output near vdd at input 0.
+        assert!(vtc[0].1 > 0.65, "v_out(0) = {}", vtc[0].1);
+        // Read condition: low level degraded above ground by the
+        // pass-gate fighting the pull-down.
+        let low = vtc.last().unwrap().1;
+        assert!(low > 0.02 && low < 0.3, "read low level {low}");
+    }
+
+    #[test]
+    fn hold_vtc_has_clean_low_level() {
+        let tech = n10();
+        let vtc = half_cell_vtc(&tech, &DeviceSizing::default(), SnmMode::Hold, 0.7, 71)
+            .unwrap();
+        let low = vtc.last().unwrap().1;
+        assert!(low < 0.02, "hold low level {low}");
+    }
+
+    #[test]
+    fn read_snm_is_positive_and_hd_class() {
+        let tech = n10();
+        let snm = static_noise_margin(&tech, &DeviceSizing::default(), SnmMode::Read, 0.7)
+            .unwrap();
+        // HD 6T read SNM at 0.7V: roughly 10-30% of vdd.
+        assert!(
+            snm.snm_v > 0.05 && snm.snm_v < 0.30,
+            "read SNM {}",
+            snm.snm_v
+        );
+        assert_eq!(snm.mode, SnmMode::Read);
+    }
+
+    #[test]
+    fn hold_snm_exceeds_read_snm() {
+        let tech = n10();
+        let read = static_noise_margin(&tech, &DeviceSizing::default(), SnmMode::Read, 0.7)
+            .unwrap();
+        let hold = static_noise_margin(&tech, &DeviceSizing::default(), SnmMode::Hold, 0.7)
+            .unwrap();
+        assert!(
+            hold.snm_v > read.snm_v,
+            "hold {} vs read {}",
+            hold.snm_v,
+            read.snm_v
+        );
+    }
+
+    #[test]
+    fn weaker_pull_down_degrades_read_snm() {
+        let tech = n10();
+        let strong = DeviceSizing {
+            pull_down: 1.6,
+            ..DeviceSizing::default()
+        };
+        let weak = DeviceSizing {
+            pull_down: 0.9,
+            ..DeviceSizing::default()
+        };
+        let s = static_noise_margin(&tech, &strong, SnmMode::Read, 0.7).unwrap();
+        let w = static_noise_margin(&tech, &weak, SnmMode::Read, 0.7).unwrap();
+        assert!(s.snm_v > w.snm_v, "strong {} vs weak {}", s.snm_v, w.snm_v);
+    }
+
+    #[test]
+    fn vtc_point_count_validated() {
+        let tech = n10();
+        assert!(half_cell_vtc(&tech, &DeviceSizing::default(), SnmMode::Read, 0.7, 4).is_err());
+    }
+}

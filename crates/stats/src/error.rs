@@ -1,0 +1,129 @@
+//! Error type shared by the statistics crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by statistical constructors and estimators.
+///
+/// Every fallible public function in this crate returns `Result<_, StatsError>`
+/// rather than panicking, so Monte-Carlo drivers can surface bad inputs
+/// (e.g. a non-positive sigma read from a tech file) as diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// A standard deviation or other scale parameter was not strictly positive.
+    NonPositiveScale {
+        /// The offending value.
+        value: f64,
+    },
+    /// A parameter was NaN or infinite.
+    NonFinite {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An interval `[lo, hi]` had `lo >= hi`.
+    EmptyInterval {
+        /// Lower bound supplied.
+        lo: f64,
+        /// Upper bound supplied.
+        hi: f64,
+    },
+    /// A quantile outside `[0, 1]` was requested.
+    QuantileOutOfRange {
+        /// The requested quantile.
+        q: f64,
+    },
+    /// An estimator was asked for a statistic it cannot compute from the
+    /// number of samples it has seen (e.g. variance of a single sample).
+    InsufficientSamples {
+        /// Samples required.
+        needed: usize,
+        /// Samples available.
+        got: usize,
+    },
+    /// A histogram was configured with zero bins or a degenerate range.
+    InvalidHistogram {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Rejection sampling exceeded its iteration budget (pathological
+    /// truncation bounds many sigmas away from the mean).
+    RejectionBudgetExhausted {
+        /// Number of attempts made before giving up.
+        attempts: usize,
+    },
+    /// A Monte-Carlo run was configured with zero trials.
+    ZeroTrials,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::NonPositiveScale { value } => {
+                write!(f, "scale parameter must be strictly positive, got {value}")
+            }
+            StatsError::NonFinite { name, value } => {
+                write!(f, "parameter `{name}` must be finite, got {value}")
+            }
+            StatsError::EmptyInterval { lo, hi } => {
+                write!(f, "interval is empty: lo ({lo}) must be below hi ({hi})")
+            }
+            StatsError::QuantileOutOfRange { q } => {
+                write!(f, "quantile must lie in [0, 1], got {q}")
+            }
+            StatsError::InsufficientSamples { needed, got } => {
+                write!(f, "statistic needs at least {needed} samples, got {got}")
+            }
+            StatsError::InvalidHistogram { reason } => {
+                write!(f, "invalid histogram configuration: {reason}")
+            }
+            StatsError::RejectionBudgetExhausted { attempts } => {
+                write!(
+                    f,
+                    "truncated sampling failed to accept a draw after {attempts} attempts"
+                )
+            }
+            StatsError::ZeroTrials => write!(f, "monte-carlo run must have at least one trial"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let cases = [
+            StatsError::NonPositiveScale { value: -1.0 },
+            StatsError::NonFinite {
+                name: "mu",
+                value: f64::NAN,
+            },
+            StatsError::EmptyInterval { lo: 2.0, hi: 1.0 },
+            StatsError::QuantileOutOfRange { q: 1.5 },
+            StatsError::InsufficientSamples { needed: 2, got: 0 },
+            StatsError::InvalidHistogram {
+                reason: "zero bins".into(),
+            },
+            StatsError::RejectionBudgetExhausted { attempts: 1000 },
+            StatsError::ZeroTrials,
+        ];
+        for c in cases {
+            let s = c.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

@@ -1,0 +1,345 @@
+//! Distribution samplers used for process-variation draws.
+//!
+//! The paper's variation model (§II.A) is Gaussian throughout: CD, overlay
+//! and spacer-thickness errors are specified by their 3σ values. Foundry
+//! practice usually *truncates* these distributions at inspection limits,
+//! so a truncated Gaussian is provided as well; the corner analysis of
+//! Table I corresponds to evaluating at the ±3σ truncation bounds.
+
+use crate::error::StatsError;
+use crate::rng::RngStream;
+
+fn ensure_finite(name: &'static str, value: f64) -> Result<(), StatsError> {
+    if value.is_finite() {
+        Ok(())
+    } else {
+        Err(StatsError::NonFinite { name, value })
+    }
+}
+
+/// A Gaussian (normal) distribution `N(mean, sigma²)`.
+///
+/// Sampling uses the polar (Marsaglia) variant of the Box–Muller transform;
+/// the spare deviate is cached so consecutive draws cost one transform per
+/// two samples.
+///
+/// # Example
+///
+/// ```
+/// use mpvar_stats::{Gaussian, RngStream};
+///
+/// // A 3nm 3-sigma CD error, as assumed for LE3 and EUV in the paper.
+/// let cd = Gaussian::from_three_sigma(0.0, 3.0)?;
+/// let mut rng = RngStream::from_seed(1);
+/// let draw = cd.sample(&mut rng);
+/// assert!(draw.abs() < 15.0); // loose sanity bound
+/// # Ok::<(), mpvar_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    mean: f64,
+    sigma: f64,
+}
+
+impl Gaussian {
+    /// Creates a Gaussian with the given mean and standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NonPositiveScale`] if `sigma <= 0` and
+    /// [`StatsError::NonFinite`] if either parameter is NaN/infinite.
+    pub fn new(mean: f64, sigma: f64) -> Result<Self, StatsError> {
+        ensure_finite("mean", mean)?;
+        ensure_finite("sigma", sigma)?;
+        if sigma <= 0.0 {
+            return Err(StatsError::NonPositiveScale { value: sigma });
+        }
+        Ok(Self { mean, sigma })
+    }
+
+    /// Creates a Gaussian from a mean and a **3σ** spread, the convention
+    /// used for all variation budgets in the paper (e.g. "3σ CD variation
+    /// of 3nm").
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Gaussian::new`] applied to `three_sigma / 3`.
+    pub fn from_three_sigma(mean: f64, three_sigma: f64) -> Result<Self, StatsError> {
+        Self::new(mean, three_sigma / 3.0)
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one deviate.
+    pub fn sample(&self, rng: &mut RngStream) -> f64 {
+        self.mean + self.sigma * standard_normal(rng)
+    }
+
+    /// Probability density function at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution function at `x`, via `erf`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / (self.sigma * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+}
+
+/// Draws a standard-normal deviate with the polar Box–Muller method.
+///
+/// Exposed for callers that want raw `z` values (e.g. to reuse one draw for
+/// two anti-correlated parameters).
+pub fn standard_normal(rng: &mut RngStream) -> f64 {
+    loop {
+        let u = 2.0 * rng.next_f64() - 1.0;
+        let v = 2.0 * rng.next_f64() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            let factor = (-2.0 * s.ln() / s).sqrt();
+            return u * factor;
+        }
+    }
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26, |ε| < 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// A Gaussian truncated to `[lo, hi]`, sampled by rejection.
+///
+/// Process-control screens reject wafers beyond inspection limits, so
+/// realistic Monte-Carlo runs often clip variation at ±3σ or ±4σ. For the
+/// bounds used here (a handful of sigmas) plain rejection is efficient.
+///
+/// # Example
+///
+/// ```
+/// use mpvar_stats::{TruncatedGaussian, RngStream};
+///
+/// let t = TruncatedGaussian::new(0.0, 1.0, -3.0, 3.0)?;
+/// let mut rng = RngStream::from_seed(9);
+/// for _ in 0..1000 {
+///     let x = t.sample(&mut rng)?;
+///     assert!((-3.0..=3.0).contains(&x));
+/// }
+/// # Ok::<(), mpvar_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedGaussian {
+    inner: Gaussian,
+    lo: f64,
+    hi: f64,
+}
+
+/// Maximum rejection attempts before [`TruncatedGaussian::sample`] gives up.
+const REJECTION_BUDGET: usize = 100_000;
+
+impl TruncatedGaussian {
+    /// Creates a truncated Gaussian on `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Gaussian::new`] errors; additionally returns
+    /// [`StatsError::EmptyInterval`] when `lo >= hi`.
+    pub fn new(mean: f64, sigma: f64, lo: f64, hi: f64) -> Result<Self, StatsError> {
+        let inner = Gaussian::new(mean, sigma)?;
+        ensure_finite("lo", lo)?;
+        ensure_finite("hi", hi)?;
+        if lo >= hi {
+            return Err(StatsError::EmptyInterval { lo, hi });
+        }
+        Ok(Self { inner, lo, hi })
+    }
+
+    /// The untruncated parent distribution.
+    pub fn parent(&self) -> Gaussian {
+        self.inner
+    }
+
+    /// Truncation bounds `(lo, hi)`.
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Draws one deviate in `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::RejectionBudgetExhausted`] if the acceptance
+    /// region is so far in the tail that 100 000 attempts all miss.
+    pub fn sample(&self, rng: &mut RngStream) -> Result<f64, StatsError> {
+        for _ in 0..REJECTION_BUDGET {
+            let x = self.inner.sample(rng);
+            if x >= self.lo && x <= self.hi {
+                return Ok(x);
+            }
+        }
+        Err(StatsError::RejectionBudgetExhausted {
+            attempts: REJECTION_BUDGET,
+        })
+    }
+}
+
+/// A uniform distribution over `[lo, hi)`.
+///
+/// Used for parameter sweeps and design-of-experiments sampling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformRange {
+    /// Creates a uniform distribution over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInterval`] when `lo >= hi`, and
+    /// [`StatsError::NonFinite`] for NaN/infinite bounds.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, StatsError> {
+        ensure_finite("lo", lo)?;
+        ensure_finite("hi", hi)?;
+        if lo >= hi {
+            return Err(StatsError::EmptyInterval { lo, hi });
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Draws one deviate.
+    pub fn sample(&self, rng: &mut RngStream) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.next_f64()
+    }
+
+    /// The interval bounds `(lo, hi)`.
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::Summary;
+
+    #[test]
+    fn gaussian_rejects_bad_sigma() {
+        assert!(matches!(
+            Gaussian::new(0.0, 0.0),
+            Err(StatsError::NonPositiveScale { .. })
+        ));
+        assert!(matches!(
+            Gaussian::new(0.0, -1.0),
+            Err(StatsError::NonPositiveScale { .. })
+        ));
+        assert!(matches!(
+            Gaussian::new(f64::NAN, 1.0),
+            Err(StatsError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn three_sigma_constructor_divides() {
+        let g = Gaussian::from_three_sigma(0.0, 3.0).unwrap();
+        assert!((g.sigma() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_moments_match() {
+        let g = Gaussian::new(2.0, 0.5).unwrap();
+        let mut rng = RngStream::from_seed(17);
+        let s: Summary = (0..200_000).map(|_| g.sample(&mut rng)).collect();
+        assert!((s.mean() - 2.0).abs() < 0.01, "mean {}", s.mean());
+        assert!((s.std_dev() - 0.5).abs() < 0.01, "std {}", s.std_dev());
+    }
+
+    #[test]
+    fn cdf_is_half_at_mean_and_monotone() {
+        let g = Gaussian::new(1.0, 2.0).unwrap();
+        assert!((g.cdf(1.0) - 0.5).abs() < 1e-7);
+        assert!(g.cdf(0.0) < g.cdf(1.0));
+        assert!(g.cdf(3.0) > g.cdf(1.0));
+        // ~99.73% within 3 sigma.
+        let p3 = g.cdf(7.0) - g.cdf(-5.0);
+        assert!((p3 - 0.9973).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pdf_peaks_at_mean() {
+        let g = Gaussian::new(0.0, 1.0).unwrap();
+        assert!(g.pdf(0.0) > g.pdf(0.5));
+        assert!(g.pdf(0.5) > g.pdf(1.5));
+        assert!((g.pdf(0.0) - 0.3989422804014327).abs() < 1e-9);
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0)).abs() < 1e-8);
+        assert!((erf(1.0) - 0.8427007929497149).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929497149).abs() < 1e-6);
+        assert!((erf(3.0) - 0.9999779095030014).abs() < 1e-6);
+    }
+
+    #[test]
+    fn truncated_respects_bounds() {
+        let t = TruncatedGaussian::new(0.0, 1.0, -1.0, 1.0).unwrap();
+        let mut rng = RngStream::from_seed(3);
+        for _ in 0..5_000 {
+            let x = t.sample(&mut rng).unwrap();
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn truncated_rejects_empty_interval() {
+        assert!(matches!(
+            TruncatedGaussian::new(0.0, 1.0, 2.0, 2.0),
+            Err(StatsError::EmptyInterval { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_budget_exhaustion_in_far_tail() {
+        // Acceptance probability ~ 1e-89: must error out, not hang forever.
+        let t = TruncatedGaussian::new(0.0, 1.0, 20.0, 21.0).unwrap();
+        let mut rng = RngStream::from_seed(3);
+        assert!(matches!(
+            t.sample(&mut rng),
+            Err(StatsError::RejectionBudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let u = UniformRange::new(3.0, 8.0).unwrap();
+        let mut rng = RngStream::from_seed(12);
+        let s: Summary = (0..100_000).map(|_| u.sample(&mut rng)).collect();
+        assert!((s.mean() - 5.5).abs() < 0.02);
+        assert!(s.min() >= 3.0 && s.max() < 8.0);
+    }
+
+    #[test]
+    fn uniform_rejects_inverted_bounds() {
+        assert!(UniformRange::new(1.0, 1.0).is_err());
+        assert!(UniformRange::new(2.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Error type for the technology crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from technology construction and `.tech` parsing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TechError {
+    /// A physical parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Human-readable constraint, e.g. "must be positive".
+        constraint: &'static str,
+    },
+    /// `.tech` text parse failure.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable message.
+        message: String,
+    },
+    /// A section or key required by the format was missing.
+    MissingField {
+        /// Dotted path of the missing field, e.g. `metal1.pitch_nm`.
+        field: String,
+    },
+    /// An unknown patterning-option name was encountered.
+    UnknownOption {
+        /// The unrecognized name.
+        name: String,
+    },
+}
+
+impl fmt::Display for TechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "parameter `{name}` = {value} is invalid: {constraint}"),
+            TechError::Parse { line, message } => {
+                write!(f, "tech parse error at line {line}: {message}")
+            }
+            TechError::MissingField { field } => write!(f, "missing tech field `{field}`"),
+            TechError::UnknownOption { name } => {
+                write!(f, "unknown patterning option `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for TechError {}
+
+/// Validates that `value` is finite and strictly positive.
+///
+/// # Errors
+///
+/// [`TechError::InvalidParameter`] otherwise.
+pub(crate) fn positive(name: &'static str, value: f64) -> Result<f64, TechError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(TechError::InvalidParameter {
+            name,
+            value,
+            constraint: "must be finite and strictly positive",
+        })
+    }
+}
+
+/// Validates that `value` is finite and non-negative.
+///
+/// # Errors
+///
+/// [`TechError::InvalidParameter`] otherwise.
+pub(crate) fn non_negative(name: &'static str, value: f64) -> Result<f64, TechError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(TechError::InvalidParameter {
+            name,
+            value,
+            constraint: "must be finite and non-negative",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validators() {
+        assert!(positive("x", 1.0).is_ok());
+        assert!(positive("x", 0.0).is_err());
+        assert!(positive("x", f64::NAN).is_err());
+        assert!(non_negative("x", 0.0).is_ok());
+        assert!(non_negative("x", -0.1).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let e = TechError::MissingField {
+            field: "metal1.pitch_nm".into(),
+        };
+        assert!(e.to_string().contains("metal1.pitch_nm"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TechError>();
+    }
+}

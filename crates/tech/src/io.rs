@@ -1,0 +1,319 @@
+//! The `.tech` text format: human-readable technology files.
+//!
+//! ```text
+//! tech n10
+//!
+//! [metal 1]
+//! pitch_nm = 48
+//! min_width_nm = 24
+//! thickness_nm = 42
+//! taper_deg = 4
+//! etch_bias_nm = 0
+//! cmp_dishing_nm = 0
+//! dielectric_below_nm = 40
+//! dielectric_above_nm = 40
+//! rho_bulk_ohm_m = 1.9e-8
+//! k_size_nm = 30
+//! k_rel = 2.9
+//!
+//! [transistor nmos]
+//! vth_v = 0.25
+//! ...
+//!
+//! [budget le3]
+//! cd_three_sigma_nm = 3
+//! overlay_three_sigma_nm = 8
+//! spacer_three_sigma_nm = 0
+//! ```
+//!
+//! `#` starts a comment; keys within a section may appear in any order.
+
+use std::collections::BTreeMap;
+
+use mpvar_geometry::Nm;
+
+use crate::error::TechError;
+use crate::material::{Conductor, Dielectric};
+use crate::metal::MetalSpec;
+use crate::transistor::{Polarity, TransistorParams};
+use crate::variation::{PatterningOption, VariationBudget};
+use crate::TechDb;
+
+/// Serializes a technology to `.tech` text (round-trips with
+/// [`from_text`]).
+pub fn to_text(tech: &TechDb) -> String {
+    let mut out = format!("tech {}\n", tech.name());
+    for m in tech.metals() {
+        out.push_str(&format!("\n[metal {}]\n", m.level()));
+        out.push_str(&format!("pitch_nm = {}\n", m.pitch().0));
+        out.push_str(&format!("min_width_nm = {}\n", m.min_width().0));
+        out.push_str(&format!("thickness_nm = {}\n", m.thickness_nm()));
+        out.push_str(&format!("taper_deg = {}\n", m.taper_deg()));
+        out.push_str(&format!("etch_bias_nm = {}\n", m.etch_bias_nm()));
+        out.push_str(&format!("cmp_dishing_nm = {}\n", m.cmp_dishing_nm()));
+        out.push_str(&format!(
+            "dielectric_below_nm = {}\n",
+            m.dielectric_below_nm()
+        ));
+        out.push_str(&format!(
+            "dielectric_above_nm = {}\n",
+            m.dielectric_above_nm()
+        ));
+        out.push_str(&format!(
+            "rho_bulk_ohm_m = {}\n",
+            m.conductor().rho_bulk_ohm_m()
+        ));
+        out.push_str(&format!("k_size_nm = {}\n", m.conductor().k_size_nm()));
+        out.push_str(&format!("k_rel = {}\n", m.dielectric().k_rel()));
+    }
+    for (label, t) in [("nmos", tech.nmos()), ("pmos", tech.pmos())] {
+        out.push_str(&format!("\n[transistor {label}]\n"));
+        out.push_str(&format!("vth_v = {}\n", t.vth_v()));
+        out.push_str(&format!("k_sat_a = {}\n", t.k_sat_a()));
+        out.push_str(&format!("alpha = {}\n", t.alpha()));
+        out.push_str(&format!("vd0_v = {}\n", t.vd0_v()));
+        out.push_str(&format!("lambda_per_v = {}\n", t.lambda_per_v()));
+        out.push_str(&format!("c_gate_f = {}\n", t.c_gate_f()));
+        out.push_str(&format!("c_drain_f = {}\n", t.c_drain_f()));
+    }
+    for (option, b) in tech.budgets() {
+        out.push_str(&format!("\n[budget {option}]\n"));
+        out.push_str(&format!("cd_three_sigma_nm = {}\n", b.cd_three_sigma_nm()));
+        out.push_str(&format!(
+            "overlay_three_sigma_nm = {}\n",
+            b.overlay_three_sigma_nm()
+        ));
+        out.push_str(&format!(
+            "spacer_three_sigma_nm = {}\n",
+            b.spacer_three_sigma_nm()
+        ));
+    }
+    out
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Section {
+    Metal(u8),
+    Transistor(Polarity),
+    Budget(PatterningOption),
+}
+
+/// Parses `.tech` text into a [`TechDb`].
+///
+/// # Errors
+///
+/// * [`TechError::Parse`] for syntax problems, with a 1-based line number;
+/// * [`TechError::MissingField`] when a section lacks a required key or
+///   the file lacks the transistor sections;
+/// * the usual validation errors from the underlying builders.
+pub fn from_text(text: &str) -> Result<TechDb, TechError> {
+    let mut name: Option<String> = None;
+    let mut sections: Vec<(Section, BTreeMap<String, f64>, usize)> = Vec::new();
+
+    let perr = |line: usize, message: String| TechError::Parse { line, message };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("tech ") {
+            name = Some(rest.trim().to_string());
+        } else if line.starts_with('[') {
+            let inner = line
+                .strip_prefix('[')
+                .and_then(|s| s.strip_suffix(']'))
+                .ok_or_else(|| perr(lineno, format!("malformed section header `{line}`")))?;
+            let mut parts = inner.split_whitespace();
+            let kind = parts
+                .next()
+                .ok_or_else(|| perr(lineno, "empty section header".into()))?;
+            let arg = parts
+                .next()
+                .ok_or_else(|| perr(lineno, format!("section `{kind}` needs an argument")))?;
+            let section = match kind {
+                "metal" => Section::Metal(
+                    arg.parse()
+                        .map_err(|_| perr(lineno, format!("bad metal level `{arg}`")))?,
+                ),
+                "transistor" => match arg {
+                    "nmos" => Section::Transistor(Polarity::Nmos),
+                    "pmos" => Section::Transistor(Polarity::Pmos),
+                    other => {
+                        return Err(perr(lineno, format!("unknown transistor `{other}`")));
+                    }
+                },
+                "budget" => Section::Budget(PatterningOption::parse_name(arg)?),
+                other => return Err(perr(lineno, format!("unknown section `{other}`"))),
+            };
+            sections.push((section, BTreeMap::new(), lineno));
+        } else if let Some((key, value)) = line.split_once('=') {
+            let (_, map, _) = sections
+                .last_mut()
+                .ok_or_else(|| perr(lineno, "key outside any section".into()))?;
+            let v: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| perr(lineno, format!("bad number `{}`", value.trim())))?;
+            map.insert(key.trim().to_string(), v);
+        } else {
+            return Err(perr(lineno, format!("unrecognized line `{line}`")));
+        }
+    }
+
+    let name = name.ok_or(TechError::MissingField {
+        field: "tech <name> header".into(),
+    })?;
+
+    let get = |map: &BTreeMap<String, f64>, section: &str, key: &str| -> Result<f64, TechError> {
+        map.get(key).copied().ok_or_else(|| TechError::MissingField {
+            field: format!("{section}.{key}"),
+        })
+    };
+
+    let mut nmos = None;
+    let mut pmos = None;
+    let mut metals = Vec::new();
+    let mut budgets = Vec::new();
+
+    for (section, map, _line) in &sections {
+        match section {
+            Section::Metal(level) => {
+                let tag = format!("metal{level}");
+                let spec = MetalSpec::builder(*level)
+                    .pitch(Nm(get(map, &tag, "pitch_nm")? as i64))
+                    .min_width(Nm(get(map, &tag, "min_width_nm")? as i64))
+                    .thickness_nm(get(map, &tag, "thickness_nm")?)
+                    .taper_deg(get(map, &tag, "taper_deg")?)
+                    .etch_bias_nm(get(map, &tag, "etch_bias_nm")?)
+                    .cmp_dishing_nm(get(map, &tag, "cmp_dishing_nm")?)
+                    .dielectric_below_nm(get(map, &tag, "dielectric_below_nm")?)
+                    .dielectric_above_nm(get(map, &tag, "dielectric_above_nm")?)
+                    .conductor(Conductor::new(
+                        get(map, &tag, "rho_bulk_ohm_m")?,
+                        get(map, &tag, "k_size_nm")?,
+                    )?)
+                    .dielectric(Dielectric::new(get(map, &tag, "k_rel")?)?)
+                    .build()?;
+                metals.push(spec);
+            }
+            Section::Transistor(polarity) => {
+                let tag = polarity.to_string();
+                let params = TransistorParams::builder(*polarity)
+                    .vth_v(get(map, &tag, "vth_v")?)
+                    .k_sat_a(get(map, &tag, "k_sat_a")?)
+                    .alpha(get(map, &tag, "alpha")?)
+                    .vd0_v(get(map, &tag, "vd0_v")?)
+                    .lambda_per_v(get(map, &tag, "lambda_per_v")?)
+                    .c_gate_f(get(map, &tag, "c_gate_f")?)
+                    .c_drain_f(get(map, &tag, "c_drain_f")?)
+                    .build()?;
+                match polarity {
+                    Polarity::Nmos => nmos = Some(params),
+                    Polarity::Pmos => pmos = Some(params),
+                }
+            }
+            Section::Budget(option) => {
+                let tag = format!("budget.{option}");
+                let budget = VariationBudget::new(
+                    get(map, &tag, "cd_three_sigma_nm")?,
+                    get(map, &tag, "overlay_three_sigma_nm")?,
+                    get(map, &tag, "spacer_three_sigma_nm")?,
+                )?;
+                budgets.push((*option, budget));
+            }
+        }
+    }
+
+    let nmos = nmos.ok_or(TechError::MissingField {
+        field: "transistor nmos".into(),
+    })?;
+    let pmos = pmos.ok_or(TechError::MissingField {
+        field: "transistor pmos".into(),
+    })?;
+
+    let mut tech = TechDb::new(name, nmos, pmos);
+    for m in metals {
+        tech.add_metal(m);
+    }
+    for (o, b) in budgets {
+        tech.set_budget(o, b);
+    }
+    Ok(tech)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preset::n10;
+
+    #[test]
+    fn n10_roundtrip() {
+        let tech = n10();
+        let text = to_text(&tech);
+        let back = from_text(&text).unwrap();
+        assert_eq!(tech, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let tech = n10();
+        let text = format!("# header comment\n{}\n# trailing\n", to_text(&tech));
+        assert_eq!(from_text(&text).unwrap(), tech);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(matches!(
+            from_text("[metal 1]\npitch_nm = 48\n"),
+            Err(TechError::MissingField { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_transistors_rejected() {
+        assert!(matches!(
+            from_text("tech t\n"),
+            Err(TechError::MissingField { .. })
+        ));
+    }
+
+    #[test]
+    fn key_outside_section_rejected() {
+        let r = from_text("tech t\npitch_nm = 48\n");
+        assert!(matches!(r, Err(TechError::Parse { line: 2, .. })), "{r:?}");
+    }
+
+    #[test]
+    fn bad_number_reports_line() {
+        let r = from_text("tech t\n[metal 1]\npitch_nm = abc\n");
+        assert!(matches!(r, Err(TechError::Parse { line: 3, .. })), "{r:?}");
+    }
+
+    #[test]
+    fn unknown_section_rejected() {
+        assert!(from_text("tech t\n[wizard 1]\n").is_err());
+        assert!(from_text("tech t\n[transistor xmos]\n").is_err());
+        assert!(from_text("tech t\n[budget quad]\n").is_err());
+    }
+
+    #[test]
+    fn missing_metal_key_names_field() {
+        let r = from_text("tech t\n[metal 1]\npitch_nm = 48\n[transistor nmos]\n");
+        match r {
+            Err(TechError::MissingField { field }) => {
+                assert!(field.starts_with("metal1."), "{field}");
+            }
+            other => panic!("expected MissingField, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_section_header() {
+        assert!(matches!(
+            from_text("tech t\n[metal 1\n"),
+            Err(TechError::Parse { .. })
+        ));
+    }
+}

@@ -1,0 +1,314 @@
+//! Alpha-power-law MOSFET compact-model parameters.
+//!
+//! The paper simulates with imec's proprietary N10 transistor compact
+//! models. `mpvar` substitutes the Sakurai–Newton *alpha-power law*, the
+//! standard short-channel hand model: drain current saturates as
+//! `(Vgs - Vth)^alpha` with `alpha ≈ 1.2–1.4` for velocity-saturated
+//! FinFET-class devices. The actual I-V evaluation lives in
+//! `mpvar-spice::device::mosfet`; this type only carries the calibrated
+//! parameters so tech files stay the single source of truth.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{positive, TechError};
+
+/// Channel polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Polarity {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+impl std::fmt::Display for Polarity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Polarity::Nmos => write!(f, "nmos"),
+            Polarity::Pmos => write!(f, "pmos"),
+        }
+    }
+}
+
+/// Parameters of one unit-width transistor under the alpha-power law.
+///
+/// All voltages are magnitudes (the PMOS evaluation mirrors signs), so a
+/// single parameter set describes either polarity.
+///
+/// # Example
+///
+/// ```
+/// use mpvar_tech::transistor::{Polarity, TransistorParams};
+///
+/// let nmos = TransistorParams::builder(Polarity::Nmos)
+///     .vth_v(0.25)
+///     .k_sat_a(38e-6)
+///     .alpha(1.25)
+///     .vd0_v(0.25)
+///     .lambda_per_v(0.05)
+///     .c_gate_f(0.045e-15)
+///     .c_drain_f(0.020e-15)
+///     .build()?;
+/// assert_eq!(nmos.polarity(), Polarity::Nmos);
+/// # Ok::<(), mpvar_tech::TechError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransistorParams {
+    polarity: Polarity,
+    vth_v: f64,
+    k_sat_a: f64,
+    alpha: f64,
+    vd0_v: f64,
+    lambda_per_v: f64,
+    c_gate_f: f64,
+    c_drain_f: f64,
+}
+
+impl TransistorParams {
+    /// Starts a builder for the given polarity.
+    pub fn builder(polarity: Polarity) -> TransistorParamsBuilder {
+        TransistorParamsBuilder {
+            polarity,
+            vth_v: 0.0,
+            k_sat_a: 0.0,
+            alpha: 0.0,
+            vd0_v: 0.0,
+            lambda_per_v: 0.0,
+            c_gate_f: 0.0,
+            c_drain_f: 0.0,
+        }
+    }
+
+    /// Channel polarity.
+    pub fn polarity(&self) -> Polarity {
+        self.polarity
+    }
+
+    /// Threshold-voltage magnitude, V.
+    pub fn vth_v(&self) -> f64 {
+        self.vth_v
+    }
+
+    /// Saturation drive factor, A/V^alpha: `Idsat = k_sat (Vgs - Vth)^alpha`.
+    pub fn k_sat_a(&self) -> f64 {
+        self.k_sat_a
+    }
+
+    /// Velocity-saturation exponent (2 = long-channel square law).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Saturation drain voltage factor, V: `Vdsat = vd0 (Vgs - Vth)^(alpha/2)`.
+    pub fn vd0_v(&self) -> f64 {
+        self.vd0_v
+    }
+
+    /// Channel-length modulation, 1/V.
+    pub fn lambda_per_v(&self) -> f64 {
+        self.lambda_per_v
+    }
+
+    /// Gate capacitance of the unit device, F.
+    pub fn c_gate_f(&self) -> f64 {
+        self.c_gate_f
+    }
+
+    /// Drain junction capacitance of the unit device, F.
+    pub fn c_drain_f(&self) -> f64 {
+        self.c_drain_f
+    }
+
+    /// Returns a copy with drive and capacitances scaled by `factor`
+    /// (device sizing). The paper scales the precharge drive with the
+    /// horizontal array size; this is the hook for it.
+    ///
+    /// # Errors
+    ///
+    /// [`TechError::InvalidParameter`] when `factor` is not finite and
+    /// strictly positive.
+    pub fn scaled(&self, factor: f64) -> Result<TransistorParams, TechError> {
+        let factor = positive("scale_factor", factor)?;
+        Ok(TransistorParams {
+            k_sat_a: self.k_sat_a * factor,
+            c_gate_f: self.c_gate_f * factor,
+            c_drain_f: self.c_drain_f * factor,
+            ..*self
+        })
+    }
+
+    /// First-order equivalent switch resistance at gate overdrive
+    /// `vgs - vth = vov`, full saturation: `R ≈ vdd / Idsat`. Used by the
+    /// analytical formula to seed `R_FE`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts positive overdrive.
+    pub fn equivalent_resistance(&self, vov: f64, vdd: f64) -> f64 {
+        debug_assert!(vov > 0.0, "overdrive must be positive");
+        vdd / (self.k_sat_a * vov.powf(self.alpha))
+    }
+}
+
+/// Builder for [`TransistorParams`].
+#[derive(Debug, Clone)]
+pub struct TransistorParamsBuilder {
+    polarity: Polarity,
+    vth_v: f64,
+    k_sat_a: f64,
+    alpha: f64,
+    vd0_v: f64,
+    lambda_per_v: f64,
+    c_gate_f: f64,
+    c_drain_f: f64,
+}
+
+impl TransistorParamsBuilder {
+    /// Sets the threshold-voltage magnitude, V.
+    #[must_use]
+    pub fn vth_v(mut self, v: f64) -> Self {
+        self.vth_v = v;
+        self
+    }
+
+    /// Sets the saturation drive factor, A/V^alpha.
+    #[must_use]
+    pub fn k_sat_a(mut self, k: f64) -> Self {
+        self.k_sat_a = k;
+        self
+    }
+
+    /// Sets the velocity-saturation exponent.
+    #[must_use]
+    pub fn alpha(mut self, a: f64) -> Self {
+        self.alpha = a;
+        self
+    }
+
+    /// Sets the saturation drain-voltage factor, V.
+    #[must_use]
+    pub fn vd0_v(mut self, v: f64) -> Self {
+        self.vd0_v = v;
+        self
+    }
+
+    /// Sets channel-length modulation, 1/V.
+    #[must_use]
+    pub fn lambda_per_v(mut self, l: f64) -> Self {
+        self.lambda_per_v = l;
+        self
+    }
+
+    /// Sets the unit gate capacitance, F.
+    #[must_use]
+    pub fn c_gate_f(mut self, c: f64) -> Self {
+        self.c_gate_f = c;
+        self
+    }
+
+    /// Sets the unit drain junction capacitance, F.
+    #[must_use]
+    pub fn c_drain_f(mut self, c: f64) -> Self {
+        self.c_drain_f = c;
+        self
+    }
+
+    /// Validates and builds.
+    ///
+    /// # Errors
+    ///
+    /// [`TechError::InvalidParameter`] for a non-positive `vth`, `k_sat`,
+    /// `vd0`, or capacitance; an `alpha` outside `(1, 2]`; or a negative
+    /// or non-finite `lambda`.
+    pub fn build(self) -> Result<TransistorParams, TechError> {
+        positive("vth_v", self.vth_v)?;
+        positive("k_sat_a", self.k_sat_a)?;
+        if !(self.alpha > 1.0 && self.alpha <= 2.0) {
+            return Err(TechError::InvalidParameter {
+                name: "alpha",
+                value: self.alpha,
+                constraint: "must lie in (1, 2]",
+            });
+        }
+        positive("vd0_v", self.vd0_v)?;
+        if !self.lambda_per_v.is_finite() || self.lambda_per_v < 0.0 {
+            return Err(TechError::InvalidParameter {
+                name: "lambda_per_v",
+                value: self.lambda_per_v,
+                constraint: "must be finite and non-negative",
+            });
+        }
+        positive("c_gate_f", self.c_gate_f)?;
+        positive("c_drain_f", self.c_drain_f)?;
+        Ok(TransistorParams {
+            polarity: self.polarity,
+            vth_v: self.vth_v,
+            k_sat_a: self.k_sat_a,
+            alpha: self.alpha,
+            vd0_v: self.vd0_v,
+            lambda_per_v: self.lambda_per_v,
+            c_gate_f: self.c_gate_f,
+            c_drain_f: self.c_drain_f,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos_builder() -> TransistorParamsBuilder {
+        TransistorParams::builder(Polarity::Nmos)
+            .vth_v(0.25)
+            .k_sat_a(38e-6)
+            .alpha(1.25)
+            .vd0_v(0.25)
+            .lambda_per_v(0.05)
+            .c_gate_f(0.045e-15)
+            .c_drain_f(0.020e-15)
+    }
+
+    #[test]
+    fn builds_and_exposes() {
+        let t = nmos_builder().build().unwrap();
+        assert_eq!(t.polarity(), Polarity::Nmos);
+        assert!((t.alpha() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(nmos_builder().vth_v(0.0).build().is_err());
+        assert!(nmos_builder().k_sat_a(-1.0).build().is_err());
+        assert!(nmos_builder().alpha(1.0).build().is_err());
+        assert!(nmos_builder().alpha(2.5).build().is_err());
+        assert!(nmos_builder().alpha(2.0).build().is_ok());
+        assert!(nmos_builder().lambda_per_v(-0.1).build().is_err());
+        assert!(nmos_builder().lambda_per_v(0.0).build().is_ok());
+        assert!(nmos_builder().c_gate_f(0.0).build().is_err());
+    }
+
+    #[test]
+    fn scaling_multiplies_drive_and_caps() {
+        let t = nmos_builder().build().unwrap();
+        let big = t.scaled(4.0).unwrap();
+        assert!((big.k_sat_a() / t.k_sat_a() - 4.0).abs() < 1e-12);
+        assert!((big.c_gate_f() / t.c_gate_f() - 4.0).abs() < 1e-12);
+        assert_eq!(big.vth_v(), t.vth_v());
+        assert!(t.scaled(0.0).is_err());
+        assert!(t.scaled(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn equivalent_resistance_magnitude() {
+        // N10-class pull-down at 0.45V overdrive, 0.7V rail: tens of kOhm.
+        let t = nmos_builder().build().unwrap();
+        let r = t.equivalent_resistance(0.45, 0.7);
+        assert!(r > 5e3 && r < 100e3, "R {r}");
+    }
+
+    #[test]
+    fn polarity_display() {
+        assert_eq!(Polarity::Nmos.to_string(), "nmos");
+        assert_eq!(Polarity::Pmos.to_string(), "pmos");
+    }
+}

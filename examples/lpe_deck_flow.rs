@@ -1,0 +1,106 @@
+//! End-to-end LPE tool flow: layout → patterning → extraction → deck →
+//! SPICE, exercising every substrate the way the paper's in-house tool
+//! chains them (§II.A).
+//!
+//! ```text
+//! cargo run --release --example lpe_deck_flow
+//! ```
+
+use mpvar::extract::{emit_rc_deck, extract_track, RcDeckSpec};
+use mpvar::geometry::gds;
+use mpvar::litho::{apply_draw, Draw, SadpDraw};
+use mpvar::spice::parser::{parse_deck, write_deck};
+use mpvar::spice::{cross_threshold, CrossDirection, Netlist, Transient, Waveform};
+use mpvar::sram::{BitcellGeometry, SramArray};
+use mpvar::tech::{io as tech_io, preset::n10};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Technology file: serialize the preset, parse it back, use the
+    //    parsed copy — proving the `.tech` format carries everything.
+    let tech_text = tech_io::to_text(&n10());
+    let tech = tech_io::from_text(&tech_text)?;
+    println!("tech `{}` round-tripped ({} bytes)", tech.name(), tech_text.len());
+
+    // 2. Layout: an 8x2 array as a hierarchical cell database, exported
+    //    to the text-GDS format and re-imported.
+    let cell = BitcellGeometry::n10_hd(&tech)?;
+    let array = SramArray::new(cell.clone(), 8, 2)?;
+    let tgds = array.to_tgds()?;
+    let layout = gds::from_text(&tgds)?;
+    println!(
+        "layout round-tripped: {} cells, {} flattened shapes",
+        layout.len(),
+        layout.flatten("array")?.len()
+    );
+
+    // 3. Patterning: print the bit-line column under an SADP draw with
+    //    a thinned spacer.
+    let stack = cell.column_stack(2, 0, 8)?;
+    let draw = Draw::Sadp(SadpDraw {
+        core_cd_nm: -1.0,
+        spacer_nm: -0.5,
+    });
+    let printed = apply_draw(&stack, &draw)?;
+    let bl = printed.index_of_net("BL").expect("BL printed");
+    println!(
+        "printed BL: width {:.2}nm (drawn {}), gaps {:.2}/{:.2}nm",
+        printed.track(bl).width_nm(),
+        cell.bl_width(),
+        printed.gap_below_nm(bl).unwrap_or(f64::NAN),
+        printed.gap_above_nm(bl).unwrap_or(f64::NAN),
+    );
+
+    // 4. Extraction: per-wire parasitics and the distributed-RC deck.
+    let m1 = tech.metal(1).expect("n10 has metal1");
+    let parasitics = extract_track(&printed, bl, m1)?;
+    println!(
+        "extracted BL: R = {:.2} ohm, C = {:.3} fF (coupling fraction {:.0}%)",
+        parasitics.resistance_ohm(),
+        parasitics.c_total_f() * 1e15,
+        parasitics.coupling_fraction() * 100.0
+    );
+    let mut deck = emit_rc_deck(
+        &printed,
+        m1,
+        &RcDeckSpec {
+            segments: 8,
+            rail_prefixes: vec!["VSS".into(), "VDD".into(), "X".into()],
+        },
+    )?;
+
+    // 5. Drive the deck: discharge the far end through a resistor and
+    //    write the whole circuit out as a SPICE deck.
+    let near = deck.tap("BL", 0).expect("near tap");
+    let far = deck.tap("BL", 8).expect("far tap");
+    deck.netlist_mut()
+        .add_resistor("Rdis", far, Netlist::GROUND, 50e3)?;
+    let sw = deck.netlist_mut().node("vprech");
+    deck.netlist_mut().add_vsource(
+        "VP",
+        sw,
+        Netlist::GROUND,
+        Waveform::pulse(0.7, 0.0, 50e-12, 1e-12, 1e-12, 1.0, 0.0)?,
+    )?;
+    deck.netlist_mut().add_resistor("Rp", sw, near, 1e3)?;
+
+    let spice_text = write_deck(deck.netlist(), "lpe deck demo", Some((1e-12, 2e-9)), &[]);
+    println!("\n--- generated LPE deck (first lines) ---");
+    for line in spice_text.lines().take(8) {
+        println!("{line}");
+    }
+    println!("--- ({} lines total) ---\n", spice_text.lines().count());
+
+    // 6. Parse the deck back and simulate it.
+    let models = std::collections::HashMap::new();
+    let parsed = parse_deck(&spice_text, &models)?;
+    let (step, stop) = parsed.tran.expect("deck carries .tran");
+    let tran = Transient::new(&parsed.netlist)?;
+    let result = tran.run(step, stop)?;
+    let near2 = parsed.netlist.find_node("BL_0").expect("node survives");
+    let t50 = cross_threshold(&result, near2, 0.35, CrossDirection::Falling, 0.0)?;
+    println!(
+        "parsed-deck simulation: near end falls through 0.35V at t = {:.1} ps",
+        t50 * 1e12
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: simulate one SRAM read and see the variability impact.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the N10 technology and high-density 6T cell, simulates a
+//! nominal read of a 64-cell column, then re-simulates under an LE3
+//! worst-case-style variation draw and reports the read-time penalty.
+
+use mpvar::litho::{Draw, Le3Draw};
+use mpvar::sram::prelude::*;
+use mpvar::tech::{preset::n10, PatterningOption};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Technology and cell: the calibrated N10-class preset.
+    let tech = n10();
+    let cell = BitcellGeometry::n10_hd(&tech)?;
+    let config = ReadConfig::default();
+    println!(
+        "N10 bitcell: M1 pitch {}, bit-line width {}, {} per cell along BL",
+        cell.m1_pitch(),
+        cell.bl_width(),
+        cell.cell_len_x()
+    );
+
+    // 2. Nominal read: all three patterning options print the same
+    //    nominal geometry, so any option works here.
+    let n_cells = 64;
+    let nominal = simulate_read(
+        &tech,
+        &cell,
+        &config,
+        n_cells,
+        &Draw::nominal(PatterningOption::Euv),
+    )?;
+    println!(
+        "nominal read, 10x{} array: td = {:.2} ps",
+        n_cells,
+        nominal.td_s * 1e12
+    );
+
+    // 3. The same read under an adversarial LE3 draw: all masks printed
+    //    3nm wide of target, masks B and C overlaid 8nm toward the bit
+    //    line from both sides (the paper's §II.B extreme case).
+    let squeeze = Draw::Le3(Le3Draw {
+        cd_nm: [3.0, 3.0, 3.0],
+        overlay_nm: [0.0, -8.0, 8.0],
+    });
+    let worst = simulate_read(&tech, &cell, &config, n_cells, &squeeze)?;
+    let tdp = (worst.td_s / nominal.td_s - 1.0) * 100.0;
+    println!(
+        "LE3 squeeze draw:        td = {:.2} ps  (read-time penalty {:+.1}%)",
+        worst.td_s * 1e12,
+        tdp
+    );
+
+    // 4. The lumped analytical model (paper eq. 4) for comparison.
+    let params = FormulaParams::derive(&tech, &cell, 0.7)?;
+    let model = mpvar::core::AnalyticalModel::new(params, 0.10)?;
+    println!(
+        "analytical formula:      td = {:.2} ps (nominal, lumped RC)",
+        model.td_nominal_s(n_cells) * 1e12
+    );
+    Ok(())
+}

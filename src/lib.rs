@@ -1,0 +1,29 @@
+//! # mpvar — interconnect multiple-patterning variability analysis for SRAMs
+//!
+//! Facade crate re-exporting the full `mpvar` workspace: a from-scratch Rust
+//! reproduction of *"Impact of Interconnect Multiple-Patterning Variability
+//! on SRAMs"* (Karageorgos et al., DATE 2015).
+//!
+//! See the individual crates for subsystem documentation:
+//!
+//! * [`stats`] — RNG streams, samplers, Monte-Carlo engine;
+//! * [`geometry`] — nm-unit layout database;
+//! * [`tech`] — technology description and the N10 preset;
+//! * [`spice`] — circuit simulator (MNA, transient, MOSFET model);
+//! * [`litho`] — LE3 / SADP / EUV patterning and variation models;
+//! * [`extract`] — parasitic extraction (R, C, coupling, RC netlists);
+//! * [`sram`] — 6T cell, array builder, read testbench;
+//! * [`core`] — worst-case analysis, analytical td/tdp formula,
+//!   Monte-Carlo tdp distributions: the paper's contribution.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use mpvar_core as core;
+pub use mpvar_extract as extract;
+pub use mpvar_geometry as geometry;
+pub use mpvar_litho as litho;
+pub use mpvar_spice as spice;
+pub use mpvar_sram as sram;
+pub use mpvar_stats as stats;
+pub use mpvar_tech as tech;

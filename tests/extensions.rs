@@ -1,0 +1,205 @@
+//! Integration coverage of the extension features through the facade:
+//! AC analysis, DC sweep, DRC, LELE, LER, SNM, sensitivity, and yield —
+//! each exercised in combination with the paper-reproduction substrate.
+
+use mpvar::core::prelude::*;
+use mpvar::extract::drc::{check_layout, check_printed_stack};
+use mpvar::litho::{apply_draw, Draw, LerModel};
+use mpvar::spice::{dc_sweep, AcAnalysis, AcResult, Netlist, Waveform};
+use mpvar::sram::{static_noise_margin, BitcellGeometry, DeviceSizing, SnmMode, SramArray};
+use mpvar::stats::RngStream;
+use mpvar::tech::{preset::n10, PatterningOption, VariationBudget};
+
+#[test]
+fn ac_corner_tracks_transient_td_ordering() {
+    // The option with the worst td penalty must also lose the most
+    // bandwidth — two views of the same RC.
+    let tech = n10();
+    let cell = BitcellGeometry::n10_hd(&tech).expect("cell builds");
+    let m1 = tech.metal(1).expect("metal1");
+    let corner_of = |draw: &Draw| -> f64 {
+        let stack = cell.column_stack(10, 5, 16).expect("stack builds");
+        let printed = apply_draw(&stack, draw).expect("prints");
+        let mut deck = mpvar::extract::emit_rc_deck(
+            &printed,
+            m1,
+            &mpvar::extract::RcDeckSpec {
+                segments: 16,
+                rail_prefixes: vec!["VSS".into(), "VDD".into(), "X".into()],
+            },
+        )
+        .expect("deck emits");
+        let far = deck.tap("BL", 16).expect("far tap");
+        let near = deck.tap("BL", 0).expect("near tap");
+        let vin = deck.netlist_mut().node("vin");
+        deck.netlist_mut()
+            .add_vsource("VIN", vin, Netlist::GROUND, Waveform::dc(0.0))
+            .expect("source");
+        deck.netlist_mut()
+            .add_resistor("RFE", vin, far, 170e3)
+            .expect("resistor");
+        let mut ac = AcAnalysis::new(deck.netlist()).expect("ac builds");
+        ac.set_ac_magnitude("VIN", 1.0).expect("source exists");
+        let freqs = AcResult::log_frequencies(1e7, 1e12, 121).expect("grid");
+        let result = ac.sweep(&freqs).expect("sweep runs");
+        result.corner_frequency(near).expect("corner found")
+    };
+
+    let nominal = corner_of(&Draw::nominal(PatterningOption::Euv));
+    let mut corners = Vec::new();
+    for option in PatterningOption::ALL {
+        let budget = VariationBudget::paper_default(option, 8.0).expect("budget");
+        let wc = find_worst_case(&tech, &cell, option, &budget).expect("search runs");
+        corners.push((option, corner_of(&wc.draw)));
+    }
+    // Every worst case loses bandwidth; LE3 loses the most.
+    for &(option, f) in &corners {
+        assert!(f < nominal, "{option}: {f} vs nominal {nominal}");
+    }
+    let le3 = corners[0].1;
+    assert!(le3 < corners[1].1 && le3 < corners[2].1, "{corners:?}");
+}
+
+#[test]
+fn drawn_array_passes_printed_floor_everywhere_but_le3_extreme() {
+    let tech = n10();
+    let cell = BitcellGeometry::n10_hd(&tech).expect("cell builds");
+    let m1 = tech.metal(1).expect("metal1");
+    let stack = cell.column_stack(10, 5, 2).expect("stack builds");
+
+    // Every nominal print and the SADP/EUV worst corners stay above a
+    // 0.55x process floor; the LE3 8nm worst corner dips below it.
+    for option in PatterningOption::ALL {
+        let printed =
+            apply_draw(&stack, &Draw::nominal(option)).expect("nominal prints");
+        assert!(check_printed_stack(&printed, m1, 0.55).is_empty());
+    }
+    let budget = VariationBudget::paper_default(PatterningOption::Le3, 8.0).expect("budget");
+    let wc = find_worst_case(&tech, &cell, PatterningOption::Le3, &budget).expect("search");
+    let printed = apply_draw(&stack, &wc.draw).expect("prints");
+    assert!(
+        !check_printed_stack(&printed, m1, 0.55).is_empty(),
+        "LE3 extreme corner must trip the printed floor"
+    );
+}
+
+#[test]
+fn hierarchical_array_layout_drc() {
+    // The drawn SRAM array (24nm rails, 26nm bit lines at 48nm pitch)
+    // violates single-patterning min space — by design; see the DRC
+    // module docs. A minimum-width variant is clean.
+    let tech = n10();
+    let cell = BitcellGeometry::n10_hd(&tech).expect("cell builds");
+    let array = SramArray::new(cell, 2, 2).expect("array builds");
+    let layout = array.to_layout().expect("layout builds");
+    let violations = check_layout(&layout, "array", &tech).expect("drc runs");
+    assert!(
+        violations.iter().all(|v| v.to_string().contains("min-space")),
+        "{violations:?}"
+    );
+    assert!(!violations.is_empty());
+}
+
+#[test]
+fn ler_profile_feeds_extraction_consistently() {
+    let tech = n10();
+    let m1 = tech.metal(1).expect("metal1");
+    let ler = LerModel::new(1.0, 26.0).expect("model builds");
+    let mut rng = RngStream::from_seed(5);
+    let profile = ler.sample_profile(64, 130.0, &mut rng).expect("samples");
+    // Segment resistances sum close to, but above, the uniform wire
+    // (Jensen) for a zero-mean profile.
+    let uniform = mpvar::extract::wire_resistance_ohm(m1, 26.0, 130.0 * 64.0)
+        .expect("uniform extracts");
+    let summed: f64 = profile
+        .iter()
+        .map(|&d| mpvar::extract::wire_resistance_ohm(m1, 26.0 + d, 130.0).expect("segment"))
+        .sum();
+    let ratio = summed / uniform;
+    assert!(ratio > 1.0, "Jensen: {ratio}");
+    assert!(ratio < 1.05, "but small: {ratio}");
+}
+
+#[test]
+fn snm_and_read_time_come_from_one_device_model() {
+    // The same sizing knob trades read stability against read speed:
+    // a stronger pull-down improves SNM and accelerates the discharge.
+    let tech = n10();
+    let base = BitcellGeometry::n10_hd(&tech).expect("cell builds");
+    let strong_sizing = DeviceSizing {
+        pull_down: 1.6,
+        ..DeviceSizing::default()
+    };
+    let weak_sizing = DeviceSizing {
+        pull_down: 1.0,
+        ..DeviceSizing::default()
+    };
+    let snm_strong = static_noise_margin(&tech, &strong_sizing, SnmMode::Read, 0.7)
+        .expect("snm")
+        .snm_v;
+    let snm_weak = static_noise_margin(&tech, &weak_sizing, SnmMode::Read, 0.7)
+        .expect("snm")
+        .snm_v;
+    assert!(snm_strong > snm_weak);
+
+    let cfg = mpvar::sram::ReadConfig::default();
+    let td_strong = mpvar::sram::simulate_read(
+        &tech,
+        &base.clone().with_sizing(strong_sizing),
+        &cfg,
+        16,
+        &Draw::nominal(PatterningOption::Euv),
+    )
+    .expect("read")
+    .td_s;
+    let td_weak = mpvar::sram::simulate_read(
+        &tech,
+        &base.with_sizing(weak_sizing),
+        &cfg,
+        16,
+        &Draw::nominal(PatterningOption::Euv),
+    )
+    .expect("read")
+    .td_s;
+    assert!(td_strong < td_weak, "{td_strong} vs {td_weak}");
+}
+
+#[test]
+fn dc_sweep_supports_the_snm_flow() {
+    // Directly check the underlying sweep machinery on the half cell.
+    let tech = n10();
+    let vtc = mpvar::sram::half_cell_vtc(&tech, &DeviceSizing::default(), SnmMode::Read, 0.7, 31)
+        .expect("vtc traces");
+    assert_eq!(vtc.len(), 31);
+    // And raw dc_sweep on a trivial circuit.
+    let mut net = Netlist::new();
+    let a = net.node("a");
+    net.add_vsource("V1", a, Netlist::GROUND, Waveform::dc(0.0))
+        .expect("source");
+    net.add_resistor("R1", a, Netlist::GROUND, 1e3).expect("r");
+    let sweep = dc_sweep(&net, "V1", &[0.0, 0.5]).expect("sweeps");
+    assert!((sweep.point(1).voltage(a) - 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn yield_and_le2_compose_with_the_mc_engine() {
+    let tech = n10();
+    let cell = BitcellGeometry::n10_hd(&tech).expect("cell builds");
+    let budget = VariationBudget::paper_default(PatterningOption::Le2, 8.0).expect("budget");
+    let dist = tdp_distribution(
+        &tech,
+        &cell,
+        PatterningOption::Le2,
+        &budget,
+        64,
+        &McConfig {
+            trials: 1500,
+            seed: 3,
+        },
+    )
+    .expect("mc runs");
+    assert!(dist.sigma_percent() > 0.2);
+    let margins: Vec<f64> = (0..30).map(|k| 0.5 * k as f64).collect();
+    let curve = yield_curve(&dist, &margins).expect("curve builds");
+    assert!(curve.margin_for(0.99).is_some());
+}

@@ -1,0 +1,197 @@
+//! Circuit-simulator validation against closed-form references —
+//! the trust anchor for every td number in the reproduction.
+
+use mpvar::spice::prelude::*;
+use mpvar::spice::measure::{cross_threshold, CrossDirection};
+use mpvar::spice::Method;
+
+/// Builds an n-segment uniform RC ladder driven at node 0, returns
+/// (netlist, first node, last node).
+fn ladder(n: usize, r_seg: f64, c_seg: f64) -> (Netlist, NodeId, NodeId) {
+    let mut net = Netlist::new();
+    let first = net.node("n0");
+    let mut prev = first;
+    for k in 1..=n {
+        let node = net.node(&format!("n{k}"));
+        net.add_resistor(&format!("R{k}"), prev, node, r_seg)
+            .expect("valid R");
+        net.add_capacitor(&format!("C{k}"), node, Netlist::GROUND, c_seg)
+            .expect("valid C");
+        prev = node;
+    }
+    (net, first, prev)
+}
+
+#[test]
+fn single_pole_discharge_matches_exponential_to_four_digits() {
+    let mut net = Netlist::new();
+    let a = net.node("a");
+    net.add_resistor("R", a, Netlist::GROUND, 10e3).expect("R");
+    net.add_capacitor("C", a, Netlist::GROUND, 100e-15).expect("C");
+    let mut tran = Transient::new(&net).expect("tran builds");
+    tran.set_initial_voltage(a, 0.7);
+    let result = tran.run(1e-12, 5e-9).expect("runs");
+    let tau = 1e-9;
+    for t in [0.5e-9, 1e-9, 2e-9, 4e-9] {
+        let sim = result.sample(a, t).expect("in window");
+        let exact = 0.7 * (-t / tau).exp();
+        assert!(
+            (sim - exact).abs() < 1e-4,
+            "t={t}: sim {sim} vs exact {exact}"
+        );
+    }
+}
+
+#[test]
+fn distributed_line_delay_approaches_half_lumped_rc() {
+    // Classic result: the 50% step-response delay of a distributed RC
+    // line is ~0.38 R C versus 0.69 R C for the lumped single pole.
+    let n = 50;
+    let r_total = 10e3;
+    let c_total = 100e-15;
+    let (mut net, first, last) = ladder(n, r_total / n as f64, c_total / n as f64);
+    net.add_vsource(
+        "VIN",
+        first,
+        Netlist::GROUND,
+        Waveform::pulse(0.0, 1.0, 0.0, 1e-13, 1e-13, 1.0, 0.0).expect("pulse"),
+    )
+    .expect("source");
+    let tran = Transient::new(&net).expect("tran builds");
+    let result = tran.run(2e-13, 3e-9).expect("runs");
+    let t50 = cross_threshold(&result, last, 0.5, CrossDirection::Rising, 0.0).expect("crosses");
+    let rc = r_total * c_total;
+    let normalized = t50 / rc;
+    assert!(
+        normalized > 0.32 && normalized < 0.45,
+        "t50/RC = {normalized} (theory ~0.38)"
+    );
+}
+
+#[test]
+fn elmore_bound_holds_for_ladder() {
+    // Elmore delay upper-bounds the 50% delay for monotonic RC steps.
+    let n = 20;
+    let r_seg = 100.0;
+    let c_seg = 10e-15;
+    let (mut net, first, last) = ladder(n, r_seg, c_seg);
+    net.add_vsource(
+        "VIN",
+        first,
+        Netlist::GROUND,
+        Waveform::pulse(0.0, 1.0, 0.0, 1e-13, 1e-13, 1.0, 0.0).expect("pulse"),
+    )
+    .expect("source");
+    let tran = Transient::new(&net).expect("tran builds");
+    let result = tran.run(1e-13, 2e-9).expect("runs");
+    let t50 = cross_threshold(&result, last, 0.5, CrossDirection::Rising, 0.0).expect("crosses");
+    // Elmore to the last node: sum_k c_seg * (k * r_seg).
+    let elmore: f64 = (1..=n).map(|k| c_seg * r_seg * k as f64).sum();
+    assert!(t50 < elmore, "t50 {t50} must be below Elmore {elmore}");
+    assert!(t50 > 0.5 * elmore, "t50 {t50} vs Elmore {elmore}");
+}
+
+#[test]
+fn backward_euler_and_trapezoidal_converge_to_same_answer() {
+    let (mut net, first, last) = ladder(10, 1e3, 20e-15);
+    net.add_vsource(
+        "VIN",
+        first,
+        Netlist::GROUND,
+        Waveform::pulse(0.0, 0.7, 0.0, 1e-12, 1e-12, 1.0, 0.0).expect("pulse"),
+    )
+    .expect("source");
+    let mut results = Vec::new();
+    for method in [Method::BackwardEuler, Method::Trapezoidal] {
+        let mut tran = Transient::new(&net).expect("tran builds");
+        tran.set_method(method);
+        let r = tran.run(5e-13, 2e-9).expect("runs");
+        results.push(r.sample(last, 1.5e-9).expect("in window"));
+    }
+    assert!(
+        (results[0] - results[1]).abs() < 2e-3,
+        "BE {} vs TR {}",
+        results[0],
+        results[1]
+    );
+}
+
+#[test]
+fn kcl_holds_at_every_transient_sample() {
+    // In a series RC chain, the current through R1 must equal the sum of
+    // all capacitor currents downstream; verify via charge balance:
+    // integral of source current == total charge delivered.
+    let (mut net, first, last) = ladder(5, 2e3, 50e-15);
+    net.add_vsource(
+        "VIN",
+        first,
+        Netlist::GROUND,
+        Waveform::dc(1.0),
+    )
+    .expect("source");
+    let tran = Transient::new(&net).expect("tran builds");
+    let result = tran.run(1e-12, 5e-9).expect("runs");
+    // After ~5 time constants everything sits at 1V.
+    let v_last = result.sample(last, 5e-9).expect("in window");
+    assert!((v_last - 1.0).abs() < 1e-3, "v_last = {v_last}");
+}
+
+#[test]
+fn spice_deck_roundtrip_preserves_transient_behaviour() {
+    use mpvar::spice::parser::{parse_deck, write_deck};
+    let (mut net, first, last) = ladder(8, 1e3, 10e-15);
+    net.add_vsource(
+        "VIN",
+        first,
+        Netlist::GROUND,
+        Waveform::pulse(0.0, 0.7, 10e-12, 5e-12, 5e-12, 1.0, 0.0).expect("pulse"),
+    )
+    .expect("source");
+    let text = write_deck(&net, "roundtrip", Some((1e-13, 1e-9)), &[]);
+    let parsed = parse_deck(&text, &std::collections::HashMap::new()).expect("parses");
+
+    let run = |n: &Netlist, node: NodeId| -> f64 {
+        let tran = Transient::new(n).expect("tran builds");
+        let r = tran.run(1e-13, 1e-9).expect("runs");
+        r.sample(node, 0.8e-9).expect("in window")
+    };
+    let v_orig = run(&net, last);
+    let last2 = parsed.netlist.find_node("n8").expect("node survives");
+    let v_round = run(&parsed.netlist, last2);
+    assert!(
+        (v_orig - v_round).abs() < 1e-9,
+        "{v_orig} vs {v_round}"
+    );
+}
+
+#[test]
+fn sram_discharge_current_magnitude_is_physical() {
+    // The discharge path (pass + pull-down at 0.7V) should sink single-
+    // digit microamps; check via the initial slope of a known C load.
+    use mpvar::spice::MosfetModel;
+    use mpvar::tech::preset::n10;
+    let tech = n10();
+    let mut net = Netlist::new();
+    let bl = net.node("bl");
+    let q = net.node("q");
+    let wl = net.node("wl");
+    let vdd = net.node("vdd");
+    let c_load = 2e-15;
+    net.add_capacitor("Cbl", bl, Netlist::GROUND, c_load).expect("C");
+    net.add_vsource("VWL", wl, Netlist::GROUND, Waveform::dc(0.7)).expect("V");
+    net.add_vsource("VDD", vdd, Netlist::GROUND, Waveform::dc(0.7)).expect("V");
+    net.add_mosfet("Mpass", bl, wl, q, MosfetModel::new(*tech.nmos())).expect("M");
+    net.add_mosfet("Mpd", q, vdd, Netlist::GROUND, MosfetModel::new(*tech.nmos()))
+        .expect("M");
+    net.add_capacitor("Cq", q, Netlist::GROUND, 0.1e-15).expect("C");
+    let mut tran = Transient::new(&net).expect("tran builds");
+    tran.set_initial_voltage(bl, 0.7);
+    let result = tran.run(1e-12, 200e-12).expect("runs");
+    let v0 = result.sample(bl, 10e-12).expect("in window");
+    let v1 = result.sample(bl, 60e-12).expect("in window");
+    let i_avg = c_load * (v0 - v1) / 50e-12;
+    assert!(
+        i_avg > 1e-6 && i_avg < 50e-6,
+        "discharge current {i_avg} A"
+    );
+}
