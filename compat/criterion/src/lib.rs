@@ -1,0 +1,335 @@
+//! Offline stand-in for the subset of `criterion` that `mpvar`'s
+//! benches use.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a small, honest benchmark harness with criterion's surface
+//! syntax: [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`],
+//! [`Bencher::iter`], the `criterion_group!` / `criterion_main!`
+//! macros, and [`Throughput`] annotations.
+//!
+//! Measurement model (simpler than the real crate, but real timing):
+//! each target is warmed up once, then timed for `sample_size` samples
+//! (default 20) of adaptively-batched iterations; the harness reports
+//! the minimum, mean, and maximum per-iteration time, plus derived
+//! throughput when a [`Throughput`] was set. There is no statistical
+//! regression analysis and no HTML report.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque identity function to defeat constant folding.
+///
+/// Re-exported so `use criterion::black_box` keeps working; prefer
+/// `std::hint::black_box` in new code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The measured routine processes this many logical elements.
+    Elements(u64),
+    /// The measured routine processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying just a parameter value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything acceptable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// Renders the name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the measured closure; drives the timing loop.
+pub struct Bencher<'a> {
+    samples: usize,
+    result: &'a mut Option<Measurement>,
+}
+
+/// One benchmark's aggregated timing.
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing aggregate per-iteration statistics.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration: aim for ~25ms per sample,
+        // clamped to [1, 1024] iterations.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(25).as_nanos() / once.as_nanos()).clamp(1, 1024) as u32;
+
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let per_iter = start.elapsed() / batch;
+            min = min.min(per_iter);
+            max = max.max(per_iter);
+            total += per_iter;
+        }
+        *self.result = Some(Measurement {
+            min,
+            mean: total / self.samples as u32,
+            max,
+        });
+    }
+}
+
+fn report(name: &str, m: &Measurement, throughput: Option<Throughput>) {
+    let human = |d: Duration| -> String {
+        let ns = d.as_nanos();
+        if ns >= 1_000_000_000 {
+            format!("{:.4} s", d.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            format!("{:.4} ms", d.as_secs_f64() * 1e3)
+        } else if ns >= 1_000 {
+            format!("{:.4} µs", d.as_secs_f64() * 1e6)
+        } else {
+            format!("{ns} ns")
+        }
+    };
+    println!(
+        "{name:<40} time: [{} {} {}]",
+        human(m.min),
+        human(m.mean),
+        human(m.max)
+    );
+    if let Some(t) = throughput {
+        let per_sec = |count: u64| count as f64 / m.mean.as_secs_f64();
+        match t {
+            Throughput::Elements(n) => {
+                println!("{:<40} thrpt: {:.1} elem/s", "", per_sec(n));
+            }
+            Throughput::Bytes(n) => {
+                println!("{:<40} thrpt: {:.1} B/s", "", per_sec(n));
+            }
+        }
+    }
+}
+
+/// The benchmark manager handed to every target function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut result = None;
+        f(&mut Bencher {
+            samples: self.sample_size,
+            result: &mut result,
+        });
+        if let Some(m) = result {
+            report(name, &m, None);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput unit.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut result = None;
+        f(&mut Bencher {
+            samples: self.sample_size,
+            result: &mut result,
+        });
+        if let Some(m) = result {
+            report(
+                &format!("{}/{}", self.name, id.into_id()),
+                &m,
+                self.throughput,
+            );
+        }
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher<'_>, &P),
+    {
+        let mut result = None;
+        f(
+            &mut Bencher {
+                samples: self.sample_size,
+                result: &mut result,
+            },
+            input,
+        );
+        if let Some(m) = result {
+            report(
+                &format!("{}/{}", self.name, id.into_id()),
+                &m,
+                self.throughput,
+            );
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); this
+            // simple harness has no options to parse.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+}

@@ -1,0 +1,454 @@
+//! Offline stand-in for the subset of `proptest` that `mpvar`'s
+//! property tests use.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a deterministic mini property-testing harness with the same
+//! surface syntax: the [`proptest!`] macro, `prop_assert!` /
+//! `prop_assert_eq!`, range and tuple strategies, `prop_map`,
+//! `prop::sample::select` and `prop::collection::vec`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * case generation is a fixed deterministic sequence per (test name,
+//!   case index) — every run explores the same inputs;
+//! * there is no shrinking: a failing case panics with the offending
+//!   values via the standard assertion message;
+//! * strategies are evaluated eagerly per case.
+
+#![deny(missing_docs)]
+
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// Config and runner
+// ---------------------------------------------------------------------------
+
+/// Number of cases to run per property (subset of the real config).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases (the real crate defaults to 256; the offline harness
+    /// favors test-suite latency).
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic per-case random source (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the source from a test name and case index.
+    pub fn new(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `[0, n)`; `n` must be nonzero.
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A value generator (subset of the real `Strategy` trait).
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy producing one fixed value (the real crate's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                debug_assert!(span > 0, "empty strategy range");
+                let offset = (rng.next_u64() as i128).rem_euclid(span);
+                (self.start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Types with a canonical whole-domain strategy (subset of the real
+/// `Arbitrary` trait, used by `arg: Type` parameters and [`any`]).
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite values spanning many magnitudes (no NaN/inf — the real
+    /// crate also defaults to finite values).
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        let mag = (rng.next_f64() * 60.0) - 30.0;
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * rng.next_f64() * mag.exp2()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// The whole-domain strategy of an [`Arbitrary`] type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Strategy generating any value of `T` (the real crate's `any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `prop::` namespace (sample / collection helpers).
+pub mod prop {
+    /// Strategies choosing among explicit values.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        /// A strategy drawing uniformly from a fixed set of values.
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            values: Vec<T>,
+        }
+
+        /// Draws uniformly from `values` (must be non-empty).
+        pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+            assert!(!values.is_empty(), "select() needs at least one value");
+            Select { values }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.values[rng.index(self.values.len())].clone()
+            }
+        }
+    }
+
+    /// Strategies for collections.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// A strategy producing `Vec`s with sizes drawn from a range.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Vectors of `element`-generated values with a size in `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty vec size range");
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = self.size.end - self.size.start;
+                let len = self.size.start + rng.index(span.max(1));
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines property tests (subset-compatible with the real macro).
+///
+/// Supported grammar:
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(N))]
+///     #[test]
+///     fn name(arg in strategy, ...) { body }
+///     ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($args:tt)* ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..u64::from(__config.cases) {
+                    let mut __rng = $crate::TestRng::new(stringify!($name), __case);
+                    $crate::__proptest_bindings!{ __rng; $($args)* }
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands the argument list
+/// (`name in strategy` or `name: Type`) into `let` bindings.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    ($rng:ident; $(,)?) => {};
+    ($rng:ident; $arg:ident in $strat:expr) => {
+        let $arg = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bindings!{ $rng; $($rest)* }
+    };
+    ($rng:ident; $arg:ident : $ty:ty) => {
+        let $arg = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+    };
+    ($rng:ident; $arg:ident : $ty:ty, $($rest:tt)*) => {
+        let $arg = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bindings!{ $rng; $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property body (panics on failure; the
+/// offline harness does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Everything a property-test file usually imports.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::new("ranges", 0);
+        for _ in 0..1000 {
+            let x = (-5i64..7).generate(&mut rng);
+            assert!((-5..7).contains(&x));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = crate::TestRng::new("det", 3);
+        let mut b = crate::TestRng::new("det", 3);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let strat = (0i64..10, 0i64..10).prop_map(|(a, b)| a + b);
+        let mut rng = crate::TestRng::new("compose", 1);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((0..19).contains(&v));
+        }
+    }
+
+    #[test]
+    fn select_and_vec() {
+        let sel = prop::sample::select(vec![2u32, 4, 8]);
+        let v = prop::collection::vec(0f64..1.0, 2..6);
+        let mut rng = crate::TestRng::new("selvec", 0);
+        for _ in 0..100 {
+            assert!([2, 4, 8].contains(&sel.generate(&mut rng)));
+            let xs = v.generate(&mut rng);
+            assert!((2..6).contains(&xs.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_roundtrip(a in 1i64..100, x in 0.0f64..1.0) {
+            prop_assert!((1..100).contains(&a));
+            prop_assert!((0.0..1.0).contains(&x), "x = {x}");
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(a, a + 1);
+        }
+    }
+}

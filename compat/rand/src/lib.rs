@@ -1,0 +1,184 @@
+//! Offline stand-in for the subset of the `rand` crate API that `mpvar`
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the tiny trait surface it needs: [`RngCore`], [`SeedableRng`]
+//! and [`Error`]. The definitions are signature-compatible with
+//! `rand 0.8`, so swapping the real crate back in is a one-line
+//! manifest change.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Error type returned by fallible RNG operations.
+///
+/// Mirrors `rand::Error`: an opaque wrapper around a boxed error.
+pub struct Error {
+    inner: Box<dyn std::error::Error + Send + Sync + 'static>,
+}
+
+impl Error {
+    /// Wraps an arbitrary error value.
+    pub fn new<E>(err: E) -> Self
+    where
+        E: Into<Box<dyn std::error::Error + Send + Sync + 'static>>,
+    {
+        Self { inner: err.into() }
+    }
+
+    /// A reference to the wrapped error.
+    pub fn inner(&self) -> &(dyn std::error::Error + Send + Sync + 'static) {
+        self.inner.as_ref()
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error {{ inner: {:?} }}", self.inner)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.inner, f)
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.inner.as_ref())
+    }
+}
+
+/// The core of a random number generator: uniform bit output.
+///
+/// Signature-compatible with `rand::RngCore` (0.8).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fills `dest` with random bytes, reporting failure as an error.
+    ///
+    /// # Errors
+    ///
+    /// Implementations backed by fallible entropy sources may fail; the
+    /// deterministic generators in this workspace never do.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+///
+/// Signature-compatible with the subset of `rand::SeedableRng` (0.8)
+/// that `mpvar` exercises.
+pub trait SeedableRng: Sized {
+    /// Seed material accepted by [`SeedableRng::from_seed`].
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, mixed through SplitMix64 as in
+    /// the real `rand` crate.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(1);
+            self.0
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    impl SeedableRng for Counter {
+        type Seed = [u8; 8];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            Counter(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let a = Counter::seed_from_u64(42).0;
+        let b = Counter::seed_from_u64(42).0;
+        assert_eq!(a, b);
+        assert_ne!(a, Counter::seed_from_u64(43).0);
+    }
+
+    #[test]
+    fn rng_core_by_mut_ref() {
+        fn draw(mut rng: impl RngCore) -> u64 {
+            rng.next_u64()
+        }
+        let mut c = Counter(0);
+        assert_eq!(draw(&mut c), 1);
+        assert_eq!(c.next_u64(), 2);
+    }
+
+    #[test]
+    fn error_wraps_and_displays() {
+        let e = Error::new("entropy source vanished");
+        assert!(format!("{e}").contains("entropy"));
+        assert!(format!("{e:?}").contains("inner"));
+    }
+}

@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The offline `serde` stub only needs the derive *names* to exist so
+//! that `#[derive(Serialize, Deserialize)]` annotations across the
+//! workspace keep compiling. No serialization code is generated; the
+//! workspace never serializes through serde (its on-disk formats are
+//! the hand-rolled `.tech` text format and CSV).
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing: the annotated type gains no serialization impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing: the annotated type gains no deserialization impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

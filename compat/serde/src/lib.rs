@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` names that `mpvar` imports.
+//!
+//! The build environment has no crates.io access. The workspace derives
+//! `Serialize`/`Deserialize` on its geometry and technology types as
+//! forward-looking API surface but never serializes through serde (the
+//! on-disk formats are the `.tech` text format and CSV), so a no-op
+//! stub keeps every annotation compiling without pulling in the real
+//! dependency. Swapping the real `serde` back in is a one-line
+//! manifest change.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -20,6 +20,7 @@ fn bench_ctx() -> ExperimentContext {
     ctx.mc = McConfig {
         trials: 2_000,
         seed: 2015,
+        ..McConfig::default()
     };
     ctx
 }

@@ -1,0 +1,81 @@
+//! Monte-Carlo trial throughput versus thread count.
+//!
+//! Benchmarks `tdp_distribution_with` at 1, 2, and all-cores workers
+//! against one cached nominal window, reporting elements/sec so the
+//! parallel speedup is directly visible. The sample vectors are
+//! bit-identical across thread counts (see `tests/determinism.rs`);
+//! only the wall clock changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpvar_core::prelude::*;
+use mpvar_sram::BitcellGeometry;
+use mpvar_tech::{preset::n10, PatterningOption, VariationBudget};
+
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2];
+    let max = ExecConfig::default().effective_threads();
+    if !counts.contains(&max) {
+        counts.push(max);
+    }
+    counts
+}
+
+fn bench_parallel_mc(c: &mut Criterion) {
+    let tech = n10();
+    let cell = BitcellGeometry::n10_hd(&tech).expect("cell builds");
+    let option = PatterningOption::Le3;
+    let budget = VariationBudget::paper_default(option, 8.0).expect("budget");
+    let window = NominalWindow::build(&tech, &cell, option).expect("window builds");
+    let trials = 2_000usize;
+
+    let mut group = c.benchmark_group("mc_trials");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trials as u64));
+    for threads in thread_counts() {
+        let mc = McConfig {
+            trials,
+            seed: 2015,
+            exec: ExecConfig::with_threads(threads),
+        };
+        group.bench_with_input(
+            BenchmarkId::new("tdp_distribution", threads),
+            &mc,
+            |b, mc| {
+                b.iter(|| {
+                    tdp_distribution_with(&window, &budget, 64, mc)
+                        .expect("mc runs")
+                        .sigma_percent()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel_corner_search(c: &mut Criterion) {
+    let tech = n10();
+    let cell = BitcellGeometry::n10_hd(&tech).expect("cell builds");
+    let option = PatterningOption::Le3;
+    let budget = VariationBudget::paper_default(option, 8.0).expect("budget");
+    let window = NominalWindow::build(&tech, &cell, option).expect("window builds");
+
+    let mut group = c.benchmark_group("corner_search");
+    group.sample_size(10);
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::new("find_worst_case", threads),
+            &ExecConfig::with_threads(threads),
+            |b, &exec| {
+                b.iter(|| {
+                    find_worst_case_with(&window, &budget, exec)
+                        .expect("search runs")
+                        .infeasible_corners
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_mc, bench_parallel_corner_search);
+criterion_main!(benches);

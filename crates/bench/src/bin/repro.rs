@@ -8,17 +8,19 @@
 //! ablation-bl-width ablation-sadp-vss. `--quick` uses the down-scaled
 //! context (small arrays, fewer Monte-Carlo trials); the default is the
 //! paper's full design of experiments. CSV artefacts land in `--out`
-//! (default `results/`).
+//! (default `results/`). The extra `bench-parallel` target measures
+//! Monte-Carlo throughput per thread count and writes the
+//! `BENCH_parallel.json` snapshot tracked across PRs.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use mpvar_bench::{run, EXPERIMENT_IDS};
+use mpvar_bench::{parallel_bench_snapshot, run, EXPERIMENT_IDS};
 use mpvar_core::experiments::ExperimentContext;
 
 fn usage() -> String {
     format!(
-        "usage: repro [--quick] [--out DIR] <experiment | all>\n\
+        "usage: repro [--quick] [--out DIR] <experiment | all | bench-parallel>\n\
          experiments: {}",
         EXPERIMENT_IDS.join(" ")
     )
@@ -77,6 +79,24 @@ fn main() -> ExitCode {
         ctx.sizes,
         ctx.mc.trials
     );
+
+    if target == "bench-parallel" {
+        let json = match parallel_bench_snapshot(&ctx) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("bench failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{json}");
+        let path = PathBuf::from("BENCH_parallel.json");
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
 
     let artifacts = match run(&target, &ctx) {
         Ok(a) => a,

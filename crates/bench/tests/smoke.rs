@@ -11,6 +11,7 @@ fn tiny_ctx() -> ExperimentContext {
     ctx.mc = McConfig {
         trials: 250,
         seed: 1,
+        ..McConfig::default()
     };
     ctx
 }

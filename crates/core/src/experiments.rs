@@ -7,6 +7,7 @@
 //! trials); [`ExperimentContext::quick`] is a down-scaled variant for
 //! CI-speed runs.
 
+use mpvar_exec::ExecConfig;
 use mpvar_extract::extract_track;
 use mpvar_litho::{apply_draw, sample_draw, Draw};
 use mpvar_sram::{simulate_read, BitcellGeometry, FormulaParams, ReadConfig};
@@ -16,9 +17,10 @@ use mpvar_tech::{preset::n10, PatterningOption, TechDb, VariationBudget};
 use crate::elmore::ElmoreModel;
 use crate::error::CoreError;
 use crate::formula::AnalyticalModel;
-use crate::montecarlo::{tdp_distribution, McConfig, TdpDistribution};
+use crate::montecarlo::{tdp_distribution, tdp_distribution_with, McConfig, TdpDistribution};
+use crate::nominal::NominalCache;
 use crate::report::{pct, ps, TextTable};
-use crate::worst_case::{find_worst_case, WorstCase};
+use crate::worst_case::{find_worst_case, find_worst_case_with, WorstCase};
 
 /// Everything an experiment needs: technology, cell, DOE sizes, and
 /// Monte-Carlo settings.
@@ -38,6 +40,9 @@ pub struct ExperimentContext {
     pub le3_overlay_sweep_nm: Vec<f64>,
     /// The reference LE3 overlay budget (worst case of §II.B), nm.
     pub le3_overlay_nm: f64,
+    /// Thread-count knob for parallel cell dispatch; results are
+    /// bit-identical for any setting.
+    pub exec: ExecConfig,
 }
 
 impl ExperimentContext {
@@ -57,6 +62,7 @@ impl ExperimentContext {
             mc: McConfig::default(),
             le3_overlay_sweep_nm: vec![3.0, 5.0, 7.0, 8.0],
             le3_overlay_nm: 8.0,
+            exec: ExecConfig::default(),
         })
     }
 
@@ -68,10 +74,7 @@ impl ExperimentContext {
     pub fn quick() -> Result<Self, CoreError> {
         let mut ctx = Self::paper()?;
         ctx.sizes = vec![8, 16];
-        ctx.mc = McConfig {
-            trials: 1_500,
-            seed: 2015,
-        };
+        ctx.mc.trials = 1_500;
         Ok(ctx)
     }
 
@@ -88,6 +91,13 @@ impl ExperimentContext {
         let params = FormulaParams::derive(&self.tech, &self.cell, self.read_config.vdd_v)?;
         AnalyticalModel::new(params, self.read_config.sense_dv_v / self.read_config.vdd_v)
     }
+
+    /// The context's Monte-Carlo settings with the thread budget
+    /// overridden — used when an outer cell dispatch hands each cell an
+    /// inner thread share.
+    fn mc_with(&self, exec: ExecConfig) -> McConfig {
+        McConfig { exec, ..self.mc }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -103,15 +113,21 @@ pub struct Table1 {
 
 /// Runs the Table I corner search.
 ///
+/// The three options are independent cells: the nominal windows are
+/// cached per option, the options dispatched in parallel, and the
+/// remaining thread budget handed to each option's corner search.
+///
 /// # Errors
 ///
 /// Propagates the per-option search failures.
 pub fn table1(ctx: &ExperimentContext) -> Result<Table1, CoreError> {
-    let mut worst_cases = Vec::new();
-    for option in PatterningOption::ALL {
+    let cache = NominalCache::build(&ctx.tech, &ctx.cell, &PatterningOption::ALL)?;
+    let options = PatterningOption::ALL;
+    let (outer, inner) = ctx.exec.split(options.len());
+    let worst_cases = mpvar_exec::try_par_map_indexed(&options, outer, |_, &option| {
         let budget = ctx.budget(option)?;
-        worst_cases.push(find_worst_case(&ctx.tech, &ctx.cell, option, &budget)?);
-    }
+        find_worst_case_with(cache.window(option)?, &budget, inner)
+    })?;
     Ok(Table1 { worst_cases })
 }
 
@@ -175,26 +191,35 @@ pub struct Fig4 {
 ///
 /// Propagates read-simulation failures.
 pub fn fig4(ctx: &ExperimentContext, table1: &Table1) -> Result<Fig4, CoreError> {
-    let mut td_nominal_s = Vec::with_capacity(ctx.sizes.len());
-    for &n in &ctx.sizes {
-        let out = simulate_read(
+    let threads = ctx.exec.effective_threads();
+    // Every simulation cell (nominal per size, worst per option × size)
+    // is independent; results are placed by index, so the vectors are
+    // identical to the sequential loops for any thread count.
+    let td_nominal_s = mpvar_exec::try_par_map_indexed(&ctx.sizes, threads, |_, &n| {
+        simulate_read(
             &ctx.tech,
             &ctx.cell,
             &ctx.read_config,
             n,
             &Draw::nominal(PatterningOption::Euv),
-        )?;
-        td_nominal_s.push(out.td_s);
-    }
-    let mut td_worst_s = Vec::new();
-    for w in &table1.worst_cases {
-        let mut per_size = Vec::with_capacity(ctx.sizes.len());
-        for &n in &ctx.sizes {
-            let out = simulate_read(&ctx.tech, &ctx.cell, &ctx.read_config, n, &w.draw)?;
-            per_size.push(out.td_s);
-        }
-        td_worst_s.push((w.option, per_size));
-    }
+        )
+        .map(|out| out.td_s)
+        .map_err(CoreError::from)
+    })?;
+    let n_sizes = ctx.sizes.len();
+    let flat = mpvar_exec::try_par_map_range(table1.worst_cases.len() * n_sizes, threads, |i| {
+        let w = &table1.worst_cases[i / n_sizes];
+        let n = ctx.sizes[i % n_sizes];
+        simulate_read(&ctx.tech, &ctx.cell, &ctx.read_config, n, &w.draw)
+            .map(|out| out.td_s)
+            .map_err(CoreError::from)
+    })?;
+    let td_worst_s = table1
+        .worst_cases
+        .iter()
+        .enumerate()
+        .map(|(j, w)| (w.option, flat[j * n_sizes..(j + 1) * n_sizes].to_vec()))
+        .collect();
     Ok(Fig4 {
         sizes: ctx.sizes.clone(),
         td_nominal_s,
@@ -222,13 +247,7 @@ impl Fig4 {
     pub fn report(&self) -> TextTable {
         let mut t = TextTable::new(
             "Fig. 4: worst case wire variability impact on td (simulation)",
-            &[
-                "array",
-                "td nominal",
-                "tdp LELELE",
-                "tdp SADP",
-                "tdp EUV",
-            ],
+            &["array", "td nominal", "tdp LELELE", "tdp SADP", "tdp EUV"],
         );
         let le3 = self.tdp_percent(PatterningOption::Le3);
         let sadp = self.tdp_percent(PatterningOption::Sadp);
@@ -314,11 +333,7 @@ pub struct Table3 {
 /// # Errors
 ///
 /// Propagates model construction failures.
-pub fn table3(
-    ctx: &ExperimentContext,
-    table1: &Table1,
-    fig4: &Fig4,
-) -> Result<Table3, CoreError> {
+pub fn table3(ctx: &ExperimentContext, table1: &Table1, fig4: &Fig4) -> Result<Table3, CoreError> {
     let model = ctx.analytical_model()?;
     let mut simulation = Vec::new();
     let mut formula = Vec::new();
@@ -386,13 +401,15 @@ pub fn fig5(ctx: &ExperimentContext) -> Result<Fig5, CoreError> {
     } else {
         *ctx.sizes.last().expect("context has sizes")
     };
-    let mut distributions = Vec::new();
-    for option in PatterningOption::ALL {
+    // Per-option cells run in parallel against cached nominal windows;
+    // each cell's Monte-Carlo farm gets the remaining thread share.
+    let cache = NominalCache::build(&ctx.tech, &ctx.cell, &PatterningOption::ALL)?;
+    let options = PatterningOption::ALL;
+    let (outer, inner) = ctx.exec.split(options.len());
+    let distributions = mpvar_exec::try_par_map_indexed(&options, outer, |_, &option| {
         let budget = ctx.budget(option)?;
-        distributions.push(tdp_distribution(
-            &ctx.tech, &ctx.cell, option, &budget, n, &ctx.mc,
-        )?);
-    }
+        tdp_distribution_with(cache.window(option)?, &budget, n, &ctx.mc_with(inner))
+    })?;
     Ok(Fig5 { n, distributions })
 }
 
@@ -452,30 +469,31 @@ pub fn table4(ctx: &ExperimentContext) -> Result<Table4, CoreError> {
     } else {
         *ctx.sizes.last().expect("context has sizes")
     };
-    let ci = |d: &TdpDistribution| -> Result<(f64, f64), CoreError> {
-        let ci = mpvar_stats::bootstrap_sigma_ci(d.samples_percent(), 300, 0.95, ctx.mc.seed)?;
-        Ok((ci.lo, ci.hi))
-    };
-    let mut rows = Vec::new();
+    // Independent cells: the LE3 overlay sweep plus SADP and EUV. All
+    // LE3 cells share one cached nominal window (the nominal print does
+    // not depend on the overlay budget).
+    let mut cells: Vec<(String, PatterningOption, VariationBudget)> = Vec::new();
     for &ol in &ctx.le3_overlay_sweep_nm {
-        let budget = VariationBudget::paper_default(PatterningOption::Le3, ol)?;
-        let d = tdp_distribution(
-            &ctx.tech,
-            &ctx.cell,
+        cells.push((
+            format!("LELELE {ol:.0}nm OL"),
             PatterningOption::Le3,
-            &budget,
-            n,
-            &ctx.mc,
-        )?;
-        let (lo, hi) = ci(&d)?;
-        rows.push((format!("LELELE {ol:.0}nm OL"), d.sigma_percent(), lo, hi));
+            VariationBudget::paper_default(PatterningOption::Le3, ol)?,
+        ));
     }
     for option in [PatterningOption::Sadp, PatterningOption::Euv] {
-        let budget = ctx.budget(option)?;
-        let d = tdp_distribution(&ctx.tech, &ctx.cell, option, &budget, n, &ctx.mc)?;
-        let (lo, hi) = ci(&d)?;
-        rows.push((option.paper_label().to_string(), d.sigma_percent(), lo, hi));
+        cells.push((
+            option.paper_label().to_string(),
+            option,
+            ctx.budget(option)?,
+        ));
     }
+    let cache = NominalCache::build(&ctx.tech, &ctx.cell, &PatterningOption::ALL)?;
+    let (outer, inner) = ctx.exec.split(cells.len());
+    let rows = mpvar_exec::try_par_map_indexed(&cells, outer, |_, (label, option, budget)| {
+        let d = tdp_distribution_with(cache.window(*option)?, budget, n, &ctx.mc_with(inner))?;
+        let ci = mpvar_stats::bootstrap_sigma_ci(d.samples_percent(), 300, 0.95, ctx.mc.seed)?;
+        Ok::<_, CoreError>((label.clone(), d.sigma_percent(), ci.lo, ci.hi))
+    })?;
     Ok(Table4 { n, rows })
 }
 
@@ -491,8 +509,15 @@ impl Table4 {
     /// Renders the report table.
     pub fn report(&self) -> TextTable {
         let mut t = TextTable::new(
-            &format!("Table IV: patterning options & tdp sigma values (n = {})", self.n),
-            &["patterning option", "std deviation (% tdp)", "95% bootstrap CI"],
+            &format!(
+                "Table IV: patterning options & tdp sigma values (n = {})",
+                self.n
+            ),
+            &[
+                "patterning option",
+                "std deviation (% tdp)",
+                "95% bootstrap CI",
+            ],
         );
         for (label, sigma, lo, hi) in &self.rows {
             t.row(&[
@@ -574,10 +599,7 @@ pub struct AblationBlWidth {
 pub fn ablation_bl_width(ctx: &ExperimentContext) -> Result<AblationBlWidth, CoreError> {
     let mut rows = Vec::new();
     for width in [24i64, 26, 28, 30] {
-        let cell = ctx
-            .cell
-            .clone()
-            .with_bl_width(mpvar_geometry::Nm(width))?;
+        let cell = ctx.cell.clone().with_bl_width(mpvar_geometry::Nm(width))?;
         let mut deltas = Vec::new();
         for option in PatterningOption::ALL {
             let budget = ctx.budget(option)?;
@@ -637,7 +659,9 @@ pub fn ablation_sadp_anticorrelation(
         .tech
         .metal(1)
         .ok_or_else(|| CoreError::Tech("technology lacks metal1".to_string()))?;
-    let stack = ctx.cell.column_stack(mpvar_sram::array::PAPER_BL_PAIRS, 5, 1)?;
+    let stack = ctx
+        .cell
+        .column_stack(mpvar_sram::array::PAPER_BL_PAIRS, 5, 1)?;
     let nominal = apply_draw(&stack, &Draw::nominal(PatterningOption::Sadp))?;
     let bl = nominal
         .index_of_net("BL")
@@ -807,12 +831,11 @@ pub fn extension_ler(ctx: &ExperimentContext) -> Result<ExtensionLer, CoreError>
     let trials = ctx.mc.trials.clamp(200, 4_000);
 
     // One-cell window defines the uniform (pre-LER) geometry per draw.
-    let stack = ctx.cell.column_stack(mpvar_sram::array::PAPER_BL_PAIRS, 5, 1)?;
+    let stack = ctx
+        .cell
+        .column_stack(mpvar_sram::array::PAPER_BL_PAIRS, 5, 1)?;
     let params = FormulaParams::derive(&ctx.tech, &ctx.cell, ctx.read_config.vdd_v)?;
-    let model = AnalyticalModel::new(
-        params,
-        ctx.read_config.sense_dv_v / ctx.read_config.vdd_v,
-    )?;
+    let model = AnalyticalModel::new(params, ctx.read_config.sense_dv_v / ctx.read_config.vdd_v)?;
 
     // Nominal per-cell baseline (no MP, no LER).
     let nominal_printed = apply_draw(&stack, &Draw::nominal(PatterningOption::Euv))?;
@@ -822,25 +845,25 @@ pub fn extension_ler(ctx: &ExperimentContext) -> Result<ExtensionLer, CoreError>
     let nom = extract_track(&nominal_printed, bl, m1)?;
 
     // Segment-summed multipliers for one (draw, profile) realization.
-    let realize = |w_mp: f64, g_lo: f64, g_hi: f64, profile: &[f64]| -> Result<(f64, f64), CoreError> {
-        let mut r_total = 0.0;
-        let mut c_total = 0.0;
-        for &d in profile {
-            let w = w_mp + d;
-            let (lo, hi) = (g_lo - d / 2.0, g_hi - d / 2.0);
-            r_total += wire_resistance_ohm(m1, w, seg_len_nm)?;
-            c_total +=
-                capacitance_breakdown(m1, w, Some(lo), Some(hi))?.total_f_per_m()
+    let realize =
+        |w_mp: f64, g_lo: f64, g_hi: f64, profile: &[f64]| -> Result<(f64, f64), CoreError> {
+            let mut r_total = 0.0;
+            let mut c_total = 0.0;
+            for &d in profile {
+                let w = w_mp + d;
+                let (lo, hi) = (g_lo - d / 2.0, g_hi - d / 2.0);
+                r_total += wire_resistance_ohm(m1, w, seg_len_nm)?;
+                c_total += capacitance_breakdown(m1, w, Some(lo), Some(hi))?.total_f_per_m()
                     * seg_len_nm
                     * 1e-9;
-        }
-        let k = profile.len() as f64;
-        // Per-cell multipliers: segment sums against k nominal cells.
-        Ok((
-            r_total / (k * nom.resistance_ohm()),
-            c_total / (k * nom.c_total_f()),
-        ))
-    };
+            }
+            let k = profile.len() as f64;
+            // Per-cell multipliers: segment sums against k nominal cells.
+            Ok((
+                r_total / (k * nom.resistance_ohm()),
+                c_total / (k * nom.c_total_f()),
+            ))
+        };
 
     let base = RngStream::from_seed(ctx.mc.seed ^ 0x004C_4552);
     let mut rows = Vec::new();
@@ -973,7 +996,11 @@ pub fn extension_scaling(ctx: &ExperimentContext) -> Result<ExtensionScaling, Co
 
 impl ExtensionScaling {
     /// The row for one node/option pair.
-    pub fn of(&self, node: &str, option: PatterningOption) -> Option<&(String, PatterningOption, f64, f64)> {
+    pub fn of(
+        &self,
+        node: &str,
+        option: PatterningOption,
+    ) -> Option<&(String, PatterningOption, f64, f64)> {
         self.rows
             .iter()
             .find(|(t, o, _, _)| t == node && *o == option)
@@ -989,7 +1016,12 @@ impl ExtensionScaling {
             &["node", "option", "worst dC_bl", "tdp sigma (%)"],
         );
         for (node, option, dc, sigma) in &self.rows {
-            t.row(&[node, option.paper_label(), &pct(*dc), &format!("{sigma:.3}")]);
+            t.row(&[
+                node,
+                option.paper_label(),
+                &pct(*dc),
+                &format!("{sigma:.3}"),
+            ]);
         }
         t
     }
@@ -1128,12 +1160,7 @@ mod tests {
         let sadp = e1.of(PatterningOption::Sadp).unwrap();
         assert!(le2.3 < le3.3, "LE2 sigma {} vs LE3 {}", le2.3, le3.3);
         assert!(le2.3 > sadp.3, "LE2 sigma {} vs SADP {}", le2.3, sadp.3);
-        assert!(
-            le2.3 < 1.3 * euv.3,
-            "LE2 sigma {} vs EUV {}",
-            le2.3,
-            euv.3
-        );
+        assert!(le2.3 < 1.3 * euv.3, "LE2 sigma {} vs EUV {}", le2.3, euv.3);
         assert!(e1.report().render().contains("LELE"));
     }
 

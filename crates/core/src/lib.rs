@@ -44,6 +44,7 @@ pub mod error;
 pub mod experiments;
 pub mod formula;
 pub mod montecarlo;
+pub mod nominal;
 pub mod report;
 pub mod sensitivity;
 pub mod timing_yield;
@@ -52,10 +53,12 @@ pub mod worst_case;
 pub use elmore::ElmoreModel;
 pub use error::CoreError;
 pub use formula::AnalyticalModel;
-pub use montecarlo::{tdp_distribution, McConfig, TdpDistribution};
+pub use montecarlo::{tdp_distribution, tdp_distribution_with, McConfig, TdpDistribution};
+pub use mpvar_exec::ExecConfig;
+pub use nominal::{NominalCache, NominalWindow};
 pub use sensitivity::{sensitivity_profile, SensitivityProfile};
 pub use timing_yield::{yield_curve, YieldCurve};
-pub use worst_case::{find_worst_case, WorstCase};
+pub use worst_case::{find_worst_case, find_worst_case_with, WorstCase};
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
@@ -63,8 +66,12 @@ pub mod prelude {
     pub use crate::error::CoreError;
     pub use crate::experiments;
     pub use crate::formula::AnalyticalModel;
-    pub use crate::montecarlo::{tdp_distribution, McConfig, TdpDistribution};
+    pub use crate::montecarlo::{
+        tdp_distribution, tdp_distribution_with, McConfig, TdpDistribution,
+    };
+    pub use crate::nominal::{NominalCache, NominalWindow};
     pub use crate::sensitivity::{sensitivity_profile, SensitivityProfile};
     pub use crate::timing_yield::{yield_curve, YieldCurve};
-    pub use crate::worst_case::{find_worst_case, WorstCase};
+    pub use crate::worst_case::{find_worst_case, find_worst_case_with, WorstCase};
+    pub use mpvar_exec::ExecConfig;
 }

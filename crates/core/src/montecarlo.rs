@@ -7,14 +7,25 @@
 //! Monte-Carlo method". Draws whose geometry shorts (deep-tail overlay
 //! events) are yield losses, not timing samples; they are counted and
 //! excluded, mirroring inspection screening.
+//!
+//! # Parallel execution
+//!
+//! Trial `k` always consumes RNG substream `k`, so trials are farmed to
+//! worker threads by contiguous substream-index chunks (`mpvar-exec`)
+//! and the sample vector is **bit-identical to the sequential run for a
+//! given seed regardless of thread count**. Shorted draws are tallied
+//! per index during the deterministic in-order merge, never from racy
+//! shared counters.
 
+use mpvar_exec::ExecConfig;
 use mpvar_extract::{extract_track, RelativeVariation};
-use mpvar_litho::{apply_draw, sample_draw, Draw};
+use mpvar_litho::{apply_draw, sample_draw};
 use mpvar_sram::BitcellGeometry;
 use mpvar_stats::{Histogram, RngStream, Summary};
 use mpvar_tech::{PatterningOption, TechDb, VariationBudget};
 
 use crate::error::CoreError;
+use crate::nominal::NominalWindow;
 
 /// Monte-Carlo configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,14 +34,19 @@ pub struct McConfig {
     pub trials: usize,
     /// RNG seed (every run with the same seed is bit-identical).
     pub seed: u64,
+    /// Thread-count knob for the parallel trial farm. Results are
+    /// bit-identical for any setting; `ExecConfig::SERIAL` recovers the
+    /// sequential code path exactly.
+    pub exec: ExecConfig,
 }
 
 impl Default for McConfig {
-    /// 20 000 trials, seed 2015 (the paper's year).
+    /// 20 000 trials, seed 2015 (the paper's year), all cores.
     fn default() -> Self {
         Self {
             trials: 20_000,
             seed: 2015,
+            exec: ExecConfig::default(),
         }
     }
 }
@@ -101,9 +117,29 @@ pub fn tdp_distribution(
     n: usize,
     config: &McConfig,
 ) -> Result<TdpDistribution, CoreError> {
-    let m1 = tech
-        .metal(1)
-        .ok_or_else(|| CoreError::Tech("technology lacks metal1".to_string()))?;
+    let window = NominalWindow::build(tech, cell, option)?;
+    tdp_distribution_with(&window, budget, n, config)
+}
+
+/// The outcome of evaluating one trial index, before the in-order merge
+/// decides which indices actually count.
+type TrialOutcome = Result<Option<f64>, CoreError>;
+
+/// [`tdp_distribution`] against a precomputed [`NominalWindow`] — the
+/// cache-aware entry point used by the experiment matrix so the nominal
+/// setup is derived once per option instead of once per cell.
+///
+/// # Errors
+///
+/// Propagated tech/extraction/statistics failures (per-trial shorted
+/// geometry is handled internally, not an error).
+pub fn tdp_distribution_with(
+    window: &NominalWindow<'_>,
+    budget: &VariationBudget,
+    n: usize,
+    config: &McConfig,
+) -> Result<TdpDistribution, CoreError> {
+    let option = window.option();
     if config.trials == 0 {
         return Err(CoreError::InvalidParameter {
             name: "trials",
@@ -112,41 +148,83 @@ pub fn tdp_distribution(
         });
     }
 
-    // One-cell window (multipliers are length-independent).
-    let stack = cell.column_stack(mpvar_sram::array::PAPER_BL_PAIRS, 5, 1)?;
-    let nominal_printed = apply_draw(&stack, &Draw::nominal(option))?;
-    let bl_index = nominal_printed
-        .index_of_net("BL")
-        .ok_or_else(|| CoreError::Sram("column stack lost its BL track".to_string()))?;
-    let nominal = extract_track(&nominal_printed, bl_index, m1)?;
-
-    let params = mpvar_sram::FormulaParams::derive(tech, cell, 0.7)?;
+    let params = mpvar_sram::FormulaParams::derive(window.tech(), window.cell(), 0.7)?;
     let model = crate::formula::AnalyticalModel::new(params, 0.10)?;
 
     let base = RngStream::from_seed(config.seed);
+    // Hard stop so a pathological budget cannot loop forever: trial
+    // indices beyond this bound mean the budget shorts essentially
+    // every draw.
+    let limit = 20 * config.trials as u64 + 1000;
+    // Trial k consumes substream k: Some(sample), None for a shorted
+    // draw (yield loss, skipped), or a hard error.
+    let eval = |k: u64| -> TrialOutcome {
+        let mut rng = base.substream(k);
+        let draw = sample_draw(option, budget, &mut rng)?;
+        let printed = match apply_draw(window.stack(), &draw) {
+            Ok(p) => p,
+            Err(_) => return Ok(None),
+        };
+        let parasitics = extract_track(&printed, window.bl_index(), window.metal())?;
+        let var = RelativeVariation::between(window.nominal(), &parasitics);
+        Ok(Some(model.tdp_percent(n, var.r_var, var.c_var)))
+    };
+
+    let threads = config.exec.effective_threads();
     let mut samples = Vec::with_capacity(config.trials);
     let mut shorted = 0usize;
-    let mut k = 0u64;
-    while samples.len() < config.trials {
-        let mut rng = base.substream(k);
-        k += 1;
-        // Hard stop so a pathological budget cannot loop forever.
-        if k > 20 * config.trials as u64 + 1000 {
-            return Err(CoreError::NoFeasibleCorner {
-                option: option.to_string(),
-            });
-        }
-        let draw = sample_draw(option, budget, &mut rng)?;
-        let printed = match apply_draw(&stack, &draw) {
-            Ok(p) => p,
-            Err(_) => {
-                shorted += 1;
-                continue;
+
+    if threads <= 1 {
+        // Sequential reference path: evaluate indices in order until
+        // `trials` samples accumulate.
+        let mut k = 0u64;
+        while samples.len() < config.trials {
+            if k >= limit {
+                return Err(CoreError::NoFeasibleCorner {
+                    option: option.to_string(),
+                });
             }
-        };
-        let parasitics = extract_track(&printed, bl_index, m1)?;
-        let var = RelativeVariation::between(&nominal, &parasitics);
-        samples.push(model.tdp_percent(n, var.r_var, var.c_var));
+            match eval(k)? {
+                Some(s) => samples.push(s),
+                None => shorted += 1,
+            }
+            k += 1;
+        }
+    } else {
+        // Parallel path: evaluate waves of contiguous trial indices on
+        // the worker pool, then merge outcomes in index order. The
+        // merge takes samples until `trials` are collected and ignores
+        // every outcome past that point — exactly the indices the
+        // sequential loop would never have evaluated — so samples,
+        // shorted counts, and surfaced errors are all bit-identical to
+        // the sequential run for any thread count.
+        let mut next = 0u64;
+        'outer: while samples.len() < config.trials {
+            if next >= limit {
+                return Err(CoreError::NoFeasibleCorner {
+                    option: option.to_string(),
+                });
+            }
+            let deficit = (config.trials - samples.len()) as u64;
+            let wave = deficit.max(threads as u64).min(limit - next);
+            let outcomes = mpvar_exec::try_par_map_range(wave as usize, threads, |i| {
+                Ok::<TrialOutcome, std::convert::Infallible>(eval(next + i as u64))
+            })
+            .unwrap_or_else(|e| match e {});
+            next += wave;
+            for outcome in outcomes {
+                match outcome {
+                    Ok(Some(s)) => {
+                        samples.push(s);
+                        if samples.len() == config.trials {
+                            break 'outer;
+                        }
+                    }
+                    Ok(None) => shorted += 1,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
     }
 
     let summary = samples.iter().copied().collect();
@@ -179,7 +257,11 @@ mod tests {
             option,
             &budget,
             64,
-            &McConfig { trials, seed: 7 },
+            &McConfig {
+                trials,
+                seed: 7,
+                ..McConfig::default()
+            },
         )
         .unwrap()
     }
@@ -191,7 +273,11 @@ mod tests {
             assert_eq!(d.samples_percent().len(), 4000);
             // Mean tdp near 0 (variation is zero-mean), slight positive
             // skew for LE3 (coupling is convex in gap).
-            assert!(d.summary().mean().abs() < 2.0, "{option}: mean {}", d.summary().mean());
+            assert!(
+                d.summary().mean().abs() < 2.0,
+                "{option}: mean {}",
+                d.summary().mean()
+            );
         }
     }
 
@@ -236,7 +322,11 @@ mod tests {
             PatterningOption::Euv,
             &budget,
             64,
-            &McConfig { trials: 0, seed: 1 }
+            &McConfig {
+                trials: 0,
+                seed: 1,
+                ..McConfig::default()
+            }
         )
         .is_err());
     }

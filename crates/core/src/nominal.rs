@@ -1,0 +1,179 @@
+//! Shared nominal-geometry setup for the analysis hot paths.
+//!
+//! Both the corner search ([`crate::worst_case`]) and the Monte-Carlo
+//! sampler ([`crate::montecarlo`]) analyse the same one-cell bit-line
+//! window: build the column stack, print it with the nominal draw,
+//! locate the `BL` track, and extract its nominal parasitics. That
+//! setup used to be duplicated in both modules (and re-derived for
+//! every experiment cell); [`NominalWindow`] computes it once and
+//! [`NominalCache`] shares it per patterning option across an entire
+//! experiment matrix — trials, corners, and cells all reuse the same
+//! precomputed window.
+
+use mpvar_extract::{extract_track, WireParasitics};
+use mpvar_geometry::TrackStack;
+use mpvar_litho::{apply_draw, Draw};
+use mpvar_sram::BitcellGeometry;
+use mpvar_tech::{MetalSpec, PatterningOption, TechDb};
+
+use crate::error::CoreError;
+
+/// The precomputed nominal bit-line window of one patterning option.
+///
+/// Holds everything the per-draw inner loops need: the drawn column
+/// stack, the metal-1 spec, the index of the `BL` track in the printed
+/// stack, and the nominal parasitics that variation multipliers are
+/// taken against. A one-cell window is enough because R and C scale
+/// linearly with length, so the variation multipliers are
+/// length-independent.
+#[derive(Debug, Clone)]
+pub struct NominalWindow<'t> {
+    tech: &'t TechDb,
+    cell: &'t BitcellGeometry,
+    m1: &'t MetalSpec,
+    option: PatterningOption,
+    stack: TrackStack,
+    bl_index: usize,
+    nominal: WireParasitics,
+}
+
+impl<'t> NominalWindow<'t> {
+    /// Builds the window: column stack → nominal print → `BL` track →
+    /// nominal parasitics.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Tech`] when the technology lacks metal1;
+    /// * propagated stack/print/extraction failures.
+    pub fn build(
+        tech: &'t TechDb,
+        cell: &'t BitcellGeometry,
+        option: PatterningOption,
+    ) -> Result<Self, CoreError> {
+        let m1 = tech
+            .metal(1)
+            .ok_or_else(|| CoreError::Tech("technology lacks metal1".to_string()))?;
+        let stack = cell.column_stack(mpvar_sram::array::PAPER_BL_PAIRS, 5, 1)?;
+        let nominal_printed = apply_draw(&stack, &Draw::nominal(option))?;
+        let bl_index = nominal_printed
+            .index_of_net("BL")
+            .ok_or_else(|| CoreError::Sram("column stack lost its BL track".to_string()))?;
+        let nominal = extract_track(&nominal_printed, bl_index, m1)?;
+        Ok(Self {
+            tech,
+            cell,
+            m1,
+            option,
+            stack,
+            bl_index,
+            nominal,
+        })
+    }
+
+    /// The technology the window was built from.
+    pub fn tech(&self) -> &'t TechDb {
+        self.tech
+    }
+
+    /// The bitcell geometry the window was built from.
+    pub fn cell(&self) -> &'t BitcellGeometry {
+        self.cell
+    }
+
+    /// The metal-1 spec of the technology.
+    pub fn metal(&self) -> &'t MetalSpec {
+        self.m1
+    }
+
+    /// The patterning option the nominal draw was printed with.
+    pub fn option(&self) -> PatterningOption {
+        self.option
+    }
+
+    /// The drawn (pre-lithography) column stack.
+    pub fn stack(&self) -> &TrackStack {
+        &self.stack
+    }
+
+    /// The index of the `BL` track in the printed stack.
+    pub fn bl_index(&self) -> usize {
+        self.bl_index
+    }
+
+    /// The nominal bit-line parasitics.
+    pub fn nominal(&self) -> &WireParasitics {
+        &self.nominal
+    }
+}
+
+/// Per-option [`NominalWindow`]s, computed once and shared across an
+/// experiment matrix.
+#[derive(Debug, Clone)]
+pub struct NominalCache<'t> {
+    windows: Vec<NominalWindow<'t>>,
+}
+
+impl<'t> NominalCache<'t> {
+    /// Builds the windows of every option in `options` eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first window-construction failure.
+    pub fn build(
+        tech: &'t TechDb,
+        cell: &'t BitcellGeometry,
+        options: &[PatterningOption],
+    ) -> Result<Self, CoreError> {
+        let mut windows = Vec::with_capacity(options.len());
+        for &option in options {
+            windows.push(NominalWindow::build(tech, cell, option)?);
+        }
+        Ok(Self { windows })
+    }
+
+    /// The cached window of `option`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Tech`] when `option` was not part of the cache's
+    /// option list.
+    pub fn window(&self, option: PatterningOption) -> Result<&NominalWindow<'t>, CoreError> {
+        self.windows
+            .iter()
+            .find(|w| w.option == option)
+            .ok_or_else(|| CoreError::Tech(format!("no cached nominal window for {option}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpvar_tech::preset::n10;
+
+    #[test]
+    fn window_matches_manual_setup() {
+        let tech = n10();
+        let cell = BitcellGeometry::n10_hd(&tech).unwrap();
+        let w = NominalWindow::build(&tech, &cell, PatterningOption::Le3).unwrap();
+        let stack = cell
+            .column_stack(mpvar_sram::array::PAPER_BL_PAIRS, 5, 1)
+            .unwrap();
+        let printed = apply_draw(&stack, &Draw::nominal(PatterningOption::Le3)).unwrap();
+        let bl = printed.index_of_net("BL").unwrap();
+        assert_eq!(w.bl_index(), bl);
+        let nominal = extract_track(&printed, bl, tech.metal(1).unwrap()).unwrap();
+        assert_eq!(w.nominal(), &nominal);
+        assert_eq!(w.option(), PatterningOption::Le3);
+    }
+
+    #[test]
+    fn cache_serves_all_requested_options() {
+        let tech = n10();
+        let cell = BitcellGeometry::n10_hd(&tech).unwrap();
+        let cache = NominalCache::build(&tech, &cell, &PatterningOption::ALL).unwrap();
+        for option in PatterningOption::ALL {
+            assert_eq!(cache.window(option).unwrap().option(), option);
+        }
+        assert!(cache.window(PatterningOption::Le2).is_err());
+    }
+}

@@ -241,9 +241,6 @@ mod tests {
         let tech = n10();
         let cell = BitcellGeometry::n10_hd(&tech).unwrap();
         assert!(sensitivity_profile(&tech, &cell, PatterningOption::Le3, 64, 0.0).is_err());
-        assert!(
-            sensitivity_profile(&tech, &cell, PatterningOption::Le3, 64, f64::NAN).is_err()
-        );
+        assert!(sensitivity_profile(&tech, &cell, PatterningOption::Le3, 64, f64::NAN).is_err());
     }
-
 }

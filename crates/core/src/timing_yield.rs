@@ -144,6 +144,7 @@ mod tests {
             &McConfig {
                 trials: 4000,
                 seed: 11,
+                ..McConfig::default()
             },
         )
         .unwrap()

@@ -1,11 +1,19 @@
 //! Worst-case variability search (paper §II.B) and the td study (Fig. 4).
+//!
+//! The ±3σ corner enumeration is a parallel map-reduce (`mpvar-exec`):
+//! every corner is scored independently, then a single in-order scan
+//! picks the maximum with ties broken toward the **lowest corner
+//! index** — exactly what the sequential first-strict-maximum loop
+//! selects — so the winning corner never depends on scheduling.
 
+use mpvar_exec::ExecConfig;
 use mpvar_extract::{extract_track, RelativeVariation, WireParasitics};
 use mpvar_litho::{apply_draw, corner_draws, CornerSpec, Draw};
 use mpvar_sram::{simulate_read, BitcellGeometry, ReadConfig};
 use mpvar_tech::{PatterningOption, TechDb, VariationBudget};
 
 use crate::error::CoreError;
+use crate::nominal::NominalWindow;
 
 /// The worst corner of one patterning option, by bit-line capacitance.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,47 +50,74 @@ pub fn find_worst_case(
     option: PatterningOption,
     budget: &VariationBudget,
 ) -> Result<WorstCase, CoreError> {
-    let m1 = tech
-        .metal(1)
-        .ok_or_else(|| CoreError::Tech("technology lacks metal1".to_string()))?;
-    // A one-cell window is enough: R and C scale linearly with length,
-    // so the variation multipliers are length-independent.
-    let stack = cell.column_stack(mpvar_sram::array::PAPER_BL_PAIRS, 5, 1)?;
+    let window = NominalWindow::build(tech, cell, option)?;
+    find_worst_case_with(&window, budget, ExecConfig::default())
+}
 
-    let nominal_printed = apply_draw(&stack, &Draw::nominal(option))?;
-    let bl_index = nominal_printed
-        .index_of_net("BL")
-        .ok_or_else(|| CoreError::Sram("column stack lost its BL track".to_string()))?;
-    let nominal = extract_track(&nominal_printed, bl_index, m1)?;
+/// [`find_worst_case`] against a precomputed [`NominalWindow`] and an
+/// explicit thread-count knob — the cache-aware entry point used by the
+/// experiment matrix.
+///
+/// The corner scores are computed in parallel, then reduced by one
+/// in-order scan keeping the first strict maximum, so the winning
+/// corner has the lowest index among ties and is identical for every
+/// thread count.
+///
+/// # Errors
+///
+/// * [`CoreError::NoFeasibleCorner`] when every corner shorts;
+/// * propagated tech/extraction failures.
+pub fn find_worst_case_with(
+    window: &NominalWindow<'_>,
+    budget: &VariationBudget,
+    exec: ExecConfig,
+) -> Result<WorstCase, CoreError> {
+    let option = window.option();
+    let draws = corner_draws(option, budget, CornerSpec::default());
+    // Score every corner independently: `None` marks a physically
+    // infeasible print (shorted/collapsed lines), hard extraction
+    // errors abort with the lowest corner index (what a sequential
+    // loop would have hit first).
+    let mut scored: Vec<Option<WireParasitics>> = mpvar_exec::try_par_map_indexed(
+        &draws,
+        exec.effective_threads(),
+        |_, draw| match apply_draw(window.stack(), draw) {
+            Ok(printed) => extract_track(&printed, window.bl_index(), window.metal())
+                .map(Some)
+                .map_err(CoreError::from),
+            Err(_) => Ok(None),
+        },
+    )?;
 
-    let mut best: Option<(Draw, WireParasitics)> = None;
+    // Deterministic reduce: first strict maximum wins, so ties break
+    // toward the lowest corner index.
+    let mut best: Option<(usize, f64)> = None;
     let mut infeasible = 0usize;
-    for draw in corner_draws(option, budget, CornerSpec::default()) {
-        let printed = match apply_draw(&stack, &draw) {
-            Ok(p) => p,
-            Err(_) => {
-                infeasible += 1;
-                continue;
+    for (i, parasitics) in scored.iter().enumerate() {
+        match parasitics {
+            None => infeasible += 1,
+            Some(p) => {
+                let better = match best {
+                    Some((_, b)) => p.c_total_f() > b,
+                    None => true,
+                };
+                if better {
+                    best = Some((i, p.c_total_f()));
+                }
             }
-        };
-        let parasitics = extract_track(&printed, bl_index, m1)?;
-        let better = match &best {
-            Some((_, b)) => parasitics.c_total_f() > b.c_total_f(),
-            None => true,
-        };
-        if better {
-            best = Some((draw, parasitics));
         }
     }
 
-    let (draw, worst) = best.ok_or_else(|| CoreError::NoFeasibleCorner {
+    let (winner, _) = best.ok_or_else(|| CoreError::NoFeasibleCorner {
         option: option.to_string(),
     })?;
-    let variation = RelativeVariation::between(&nominal, &worst);
+    let worst = scored[winner].take().expect("winner was scored");
+    let draw = draws[winner];
+    let variation = RelativeVariation::between(window.nominal(), &worst);
     Ok(WorstCase {
         option,
         draw,
-        nominal,
+        nominal: window.nominal().clone(),
         worst,
         variation,
         infeasible_corners: infeasible,
@@ -236,8 +271,8 @@ mod tests {
     fn td_study_small_sizes() {
         let (tech, cell) = setup();
         let wc = worst(PatterningOption::Le3, 8.0);
-        let rows = worst_case_td_study(&tech, &cell, &ReadConfig::default(), &wc, &[8, 16])
-            .unwrap();
+        let rows =
+            worst_case_td_study(&tech, &cell, &ReadConfig::default(), &wc, &[8, 16]).unwrap();
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert!(r.td_worst_s > r.td_nominal_s);

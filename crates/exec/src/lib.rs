@@ -1,0 +1,356 @@
+//! Deterministic parallel execution for `mpvar`.
+//!
+//! Every hot path in the workspace — Monte-Carlo trial farming, the
+//! ±3σ corner search, and the experiment matrix — is embarrassingly
+//! parallel, but the reproduction contract demands *bit-identical
+//! results for a given seed regardless of thread count or scheduling*.
+//! This crate provides the small set of primitives that make both true
+//! at once:
+//!
+//! * [`ExecConfig`] — the single thread-count knob, threaded through
+//!   `McConfig` and `ExperimentContext` in `mpvar-core`;
+//! * [`par_map_indexed`] / [`try_par_map_indexed`] — map a function
+//!   over an indexed domain on a scoped worker pool, with results
+//!   placed by index so the output never depends on scheduling;
+//! * [`try_par_map_range`] — the same over an index range, used to
+//!   farm RNG-substream indices in chunks;
+//! * [`par_argmax_by`] — deterministic parallel argmax with the
+//!   lowest-index tie-break the corner search relies on;
+//! * [`chunk_ranges`] — the contiguous-chunk partition shared by every
+//!   primitive (and mirrored by `mpvar-stats`' substream chunking).
+//!
+//! # Determinism contract
+//!
+//! All primitives guarantee: for a pure `f`, the returned vector equals
+//! the sequential `(0..n).map(f).collect()` — workers own disjoint
+//! contiguous output slices, so no result ever moves between indices.
+//! For fallible maps the *lowest-index* error is returned, matching
+//! what a sequential loop would have hit first. `threads == 1` runs
+//! inline on the calling thread with zero overhead.
+//!
+//! The pool is a scoped `std::thread` fork-join (no work stealing):
+//! chunk boundaries depend only on `(n, threads)`, never on timing.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Thread-count configuration for the parallel execution layer.
+///
+/// `None` (the default) uses every core the OS reports;
+/// `Some(1)` recovers the exact sequential code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExecConfig {
+    /// Worker-thread count; `None` means [`available_parallelism`].
+    pub threads: Option<usize>,
+}
+
+impl Default for ExecConfig {
+    /// Use all available cores.
+    fn default() -> Self {
+        Self { threads: None }
+    }
+}
+
+impl ExecConfig {
+    /// The strictly sequential configuration (`threads = Some(1)`).
+    pub const SERIAL: Self = Self { threads: Some(1) };
+
+    /// A configuration pinned to `threads` workers (0 is clamped to 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: Some(threads.max(1)),
+        }
+    }
+
+    /// The number of workers this configuration resolves to.
+    pub fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or_else(available_parallelism).max(1)
+    }
+
+    /// Splits the budget between an outer loop of `cells` independent
+    /// cells and the parallel work inside each cell.
+    ///
+    /// Returns `(outer_threads, inner_config)` such that
+    /// `outer * inner <= effective_threads()` (both at least 1). Cell
+    /// results must still be placed by index; because the inner
+    /// primitives are bit-identical for *any* thread count, the split
+    /// never changes results — it only avoids oversubscription.
+    pub fn split(&self, cells: usize) -> (usize, ExecConfig) {
+        let total = self.effective_threads();
+        let outer = total.min(cells.max(1));
+        let inner = (total / outer).max(1);
+        (outer, ExecConfig::with_threads(inner))
+    }
+}
+
+/// The OS-reported core count (1 when unavailable).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Partitions `0..n` into at most `chunks` contiguous ranges of
+/// near-equal size (the first `n % chunks` ranges are one longer).
+///
+/// The partition depends only on `(n, chunks)`, never on timing — it is
+/// the unit of work distribution for every primitive in this crate and
+/// for RNG-substream farming in `mpvar-stats`.
+pub fn chunk_ranges(n: usize, chunks: usize) -> Vec<Range<usize>> {
+    let chunks = chunks.max(1).min(n.max(1));
+    let base = n / chunks;
+    let extra = n % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let len = base + usize::from(c < extra);
+        if len == 0 {
+            break;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Maps `f` over `items` on `threads` workers; results are in item
+/// order, exactly as the sequential map would produce them.
+pub fn par_map_indexed<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    try_par_map_indexed(items, threads, |i, item| {
+        Ok::<U, std::convert::Infallible>(f(i, item))
+    })
+    .unwrap_or_else(|e| match e {})
+}
+
+/// Maps a fallible `f` over `items` on `threads` workers.
+///
+/// On success results are in item order. On failure the error with the
+/// *lowest item index* is returned — the same error a sequential loop
+/// would have surfaced first — regardless of which worker finished
+/// first. Workers in later chunks may still run their items; `f` must
+/// therefore be side-effect free (it is in every mpvar hot path).
+///
+/// # Errors
+///
+/// The lowest-index error produced by `f`.
+pub fn try_par_map_indexed<T, U, F, E>(items: &[T], threads: usize, f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<U, E> + Sync,
+{
+    try_par_map_range(items.len(), threads, |i| f(i, &items[i]))
+}
+
+/// Maps a fallible `f` over the index range `0..n` on `threads`
+/// workers, with the same ordering and error guarantees as
+/// [`try_par_map_indexed`].
+///
+/// This is the substream-farming primitive: Monte-Carlo trial `k` maps
+/// to RNG substream `k`, so handing `f` raw indices keeps the sample
+/// vector bit-identical to the sequential run for any thread count.
+///
+/// # Errors
+///
+/// The lowest-index error produced by `f`.
+pub fn try_par_map_range<U, F, E>(n: usize, threads: usize, f: F) -> Result<Vec<U>, E>
+where
+    U: Send,
+    E: Send,
+    F: Fn(usize) -> Result<U, E> + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(f(i)?);
+        }
+        return Ok(out);
+    }
+
+    let ranges = chunk_ranges(n, threads);
+    // Per-worker result buffers; chunk c owns output indices ranges[c].
+    let mut chunk_results: Vec<Result<Vec<U>, (usize, E)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|range| {
+                let range = range.clone();
+                let f = &f;
+                scope.spawn(move || {
+                    let mut buf = Vec::with_capacity(range.len());
+                    for i in range {
+                        match f(i) {
+                            Ok(v) => buf.push(v),
+                            Err(e) => return Err((i, e)),
+                        }
+                    }
+                    Ok(buf)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mpvar-exec worker panicked"))
+            .collect()
+    });
+
+    // Chunks are in index order, so the first failed chunk holds the
+    // lowest-index error (each worker stops at its first failure).
+    let mut out = Vec::with_capacity(n);
+    for result in chunk_results.drain(..) {
+        match result {
+            Ok(buf) => out.extend(buf),
+            Err((_, e)) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+/// Parallel argmax over `items` by a partial score: returns the index
+/// of the highest score among items where `score` returns `Some`, with
+/// ties broken toward the *lowest index* (exactly what a sequential
+/// scan keeping the first strict maximum would select).
+///
+/// Returns `None` when no item scores.
+pub fn par_argmax_by<T, K, F>(items: &[T], threads: usize, score: F) -> Option<usize>
+where
+    T: Sync,
+    K: PartialOrd + Send,
+    F: Fn(usize, &T) -> Option<K> + Sync,
+{
+    let scores = par_map_indexed(items, threads, |i, item| score(i, item));
+    let mut best: Option<(usize, K)> = None;
+    for (i, s) in scores.into_iter().enumerate() {
+        if let Some(s) = s {
+            let better = match &best {
+                Some((_, b)) => s > *b,
+                None => true,
+            };
+            if better {
+                best = Some((i, s));
+            }
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in [0usize, 1, 7, 64, 1000] {
+            for chunks in [1usize, 2, 3, 8, 64] {
+                let ranges = chunk_ranges(n, chunks);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "contiguous");
+                    assert!(!r.is_empty(), "no empty chunks");
+                    next = r.end;
+                }
+                assert_eq!(next, n, "covers 0..{n} with {chunks} chunks");
+                assert!(ranges.len() <= chunks.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_balanced() {
+        let ranges = chunk_ranges(10, 4);
+        let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(lens, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn par_map_matches_sequential_any_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 17] {
+            let got = par_map_indexed(&items, threads, |_, &x| x * x + 1);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_range_passes_indices() {
+        let got = try_par_map_range(100, 4, |i| Ok::<usize, ()>(i * 2)).unwrap();
+        assert_eq!(got, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        // Items 13 and 77 fail; index 13 must be reported on every
+        // thread count.
+        for threads in [1, 2, 4, 8] {
+            let err = try_par_map_range(100, threads, |i| {
+                if i == 13 || i == 77 {
+                    Err(i)
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, 13, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn argmax_lowest_index_tie_break() {
+        // Three global maxima at indices 2, 5, 9: index 2 must win.
+        let items = [1.0, 3.0, 7.0, 2.0, 0.5, 7.0, 6.0, 1.0, 3.0, 7.0];
+        for threads in [1, 2, 4, 8] {
+            let best = par_argmax_by(&items, threads, |_, &x| Some(x));
+            assert_eq!(best, Some(2), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn argmax_skips_unscored_items() {
+        let items = [5.0, f64::NAN, 2.0, 9.0];
+        let best = par_argmax_by(&items, 2, |_, &x| if x.is_nan() { None } else { Some(x) });
+        assert_eq!(best, Some(3));
+        let none = par_argmax_by(&items, 2, |_, _| Option::<f64>::None);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn exec_config_knobs() {
+        assert_eq!(ExecConfig::SERIAL.effective_threads(), 1);
+        assert_eq!(ExecConfig::with_threads(0).effective_threads(), 1);
+        assert_eq!(ExecConfig::with_threads(6).effective_threads(), 6);
+        assert!(ExecConfig::default().effective_threads() >= 1);
+    }
+
+    #[test]
+    fn split_never_oversubscribes() {
+        for total in [1usize, 2, 4, 8, 16] {
+            let cfg = ExecConfig::with_threads(total);
+            for cells in [1usize, 2, 3, 5, 100] {
+                let (outer, inner) = cfg.split(cells);
+                assert!(outer >= 1 && inner.effective_threads() >= 1);
+                assert!(outer * inner.effective_threads() <= total);
+                assert!(outer <= cells.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_domain() {
+        let got: Vec<u32> = par_map_indexed::<u32, u32, _>(&[], 4, |_, &x| x);
+        assert!(got.is_empty());
+        assert_eq!(
+            try_par_map_range::<u32, _, ()>(0, 8, |_| unreachable!()).unwrap(),
+            Vec::<u32>::new()
+        );
+    }
+}

@@ -116,11 +116,8 @@ pub fn ground_cap_f_per_m(
     let s_hi = check_positive("gap_above_nm", gap_above_nm)?;
     let eps = spec.dielectric().permittivity_f_per_m();
     let t = spec.effective_thickness_nm();
-    let plate =
-        eps * w * (1.0 / spec.dielectric_below_nm() + 1.0 / spec.dielectric_above_nm());
-    let fringe = eps
-        * K_GROUND_FRINGE
-        * (s_lo / (s_lo + t) + s_hi / (s_hi + t));
+    let plate = eps * w * (1.0 / spec.dielectric_below_nm() + 1.0 / spec.dielectric_above_nm());
+    let fringe = eps * K_GROUND_FRINGE * (s_lo / (s_lo + t) + s_hi / (s_hi + t));
     Ok(plate + fringe)
 }
 
@@ -203,10 +200,7 @@ mod tests {
         let spec = m1();
         let b = capacitance_breakdown(&spec, 26.0, Some(23.0), Some(23.0)).unwrap();
         let af_per_um = b.total_f_per_m() * 1e18 * 1e-6;
-        assert!(
-            af_per_um > 120.0 && af_per_um < 280.0,
-            "{af_per_um} aF/um"
-        );
+        assert!(af_per_um > 120.0 && af_per_um < 280.0, "{af_per_um} aF/um");
     }
 
     #[test]

@@ -38,7 +38,9 @@ impl Default for RcDeckSpec {
 impl RcDeckSpec {
     /// `true` when `net` is a rail under this spec.
     pub fn is_rail(&self, net: &str) -> bool {
-        self.rail_prefixes.iter().any(|p| net.starts_with(p.as_str()))
+        self.rail_prefixes
+            .iter()
+            .any(|p| net.starts_with(p.as_str()))
     }
 }
 
@@ -143,8 +145,7 @@ pub fn emit_rc_deck(
         }
         let r_seg = p.resistance_ohm() / nseg as f64;
         for k in 0..nseg {
-            netlist
-                .add_resistor(&format!("R_{}_{k}", p.net()), nodes[k], nodes[k + 1], r_seg)?;
+            netlist.add_resistor(&format!("R_{}_{k}", p.net()), nodes[k], nodes[k + 1], r_seg)?;
         }
         taps.insert(p.net().to_string(), nodes);
     }
@@ -159,8 +160,7 @@ pub fn emit_rc_deck(
         // Ground share: plate+fringe plus rail-adjacent coupling.
         let mut c_ground = p.c_ground_f();
         let below_is_signal = i > 0 && !deck_spec.is_rail(stack.track(i - 1).net());
-        let above_is_signal =
-            i + 1 < stack.len() && !deck_spec.is_rail(stack.track(i + 1).net());
+        let above_is_signal = i + 1 < stack.len() && !deck_spec.is_rail(stack.track(i + 1).net());
         if !below_is_signal {
             c_ground += p.c_couple_below_f();
         }

@@ -106,11 +106,7 @@ pub fn check_layout(
                         required_nm: min_w.to_f64(),
                     },
                     metal_level: level,
-                    context: format!(
-                        "{} {}",
-                        s.net().unwrap_or("<unlabelled>"),
-                        bb
-                    ),
+                    context: format!("{} {}", s.net().unwrap_or("<unlabelled>"), bb),
                 });
             }
         }
@@ -197,11 +193,7 @@ pub fn check_printed_stack(
                         required_nm: min_s,
                     },
                     metal_level: spec.level(),
-                    context: format!(
-                        "{} vs {}",
-                        t.net(),
-                        stack.track(i + 1).net()
-                    ),
+                    context: format!("{} vs {}", t.net(), stack.track(i + 1).net()),
                 });
             }
         }
@@ -343,10 +335,10 @@ mod tests {
         // (SADP), relaxing the same-mask space constraint.
         let v = check_layout(&sram_row(26), "row", &n10()).unwrap();
         assert_eq!(v.len(), 3, "{v:?}");
-        assert!(v
-            .iter()
-            .all(|x| matches!(x.kind, DrcViolationKind::MinSpace { actual_nm, .. }
-                if (actual_nm - 23.0).abs() < 1e-9)));
+        assert!(v.iter().all(
+            |x| matches!(x.kind, DrcViolationKind::MinSpace { actual_nm, .. }
+                if (actual_nm - 23.0).abs() < 1e-9)
+        ));
     }
 
     #[test]
@@ -360,8 +352,8 @@ mod tests {
         ])
         .unwrap();
         // Nominal print: clean at a 0.5 floor.
-        let nominal = apply_draw(&drawn, &Draw::nominal(mpvar_tech::PatterningOption::Le3))
-            .unwrap();
+        let nominal =
+            apply_draw(&drawn, &Draw::nominal(mpvar_tech::PatterningOption::Le3)).unwrap();
         assert!(check_printed_stack(&nominal, spec, 0.5).is_empty());
 
         // Extreme overlay squeeze: both BL gaps go to 23-3-8 = 12nm,

@@ -198,9 +198,12 @@ impl Layout {
         stack: &mut HashSet<String>,
         out: &mut Vec<Shape>,
     ) -> Result<(), GeometryError> {
-        let cell = self.cells.get(name).ok_or_else(|| GeometryError::UnknownCell {
-            name: name.to_string(),
-        })?;
+        let cell = self
+            .cells
+            .get(name)
+            .ok_or_else(|| GeometryError::UnknownCell {
+                name: name.to_string(),
+            })?;
         if !stack.insert(name.to_string()) {
             return Err(GeometryError::RecursiveHierarchy {
                 name: name.to_string(),
@@ -309,9 +312,7 @@ mod tests {
         leaf.add_shape(rect_shape(0, 0, 10, 2));
         l.add_cell(leaf).unwrap();
         let mut top = Cell::new("top");
-        top.add_instance(
-            Instance::new("leaf", (0, 0).into()).with_orientation(Orientation::R90),
-        );
+        top.add_instance(Instance::new("leaf", (0, 0).into()).with_orientation(Orientation::R90));
         l.add_cell(top).unwrap();
         let shapes = l.flatten("top").unwrap();
         assert_eq!(shapes[0].bbox().width(), Nm(2));

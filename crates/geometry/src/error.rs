@@ -67,7 +67,10 @@ impl fmt::Display for GeometryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GeometryError::DegenerateRect { width, height } => {
-                write!(f, "rectangle must have positive extent, got {width} x {height}")
+                write!(
+                    f,
+                    "rectangle must have positive extent, got {width} x {height}"
+                )
             }
             GeometryError::TooFewVertices { got } => {
                 write!(f, "polygon needs at least 3 vertices, got {got}")
@@ -101,7 +104,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = GeometryError::UnknownCell { name: "sram".into() };
+        let e = GeometryError::UnknownCell {
+            name: "sram".into(),
+        };
         assert!(e.to_string().contains("sram"));
         let e = GeometryError::Parse {
             line: 3,

@@ -139,7 +139,9 @@ pub fn from_text(text: &str) -> Result<Layout, GeometryError> {
                     .ok_or_else(|| err(lineno, &format!("unknown layer `{layer_name}`")))?;
                 let mut coords = [0i64; 4];
                 for c in &mut coords {
-                    let t = tok.next().ok_or_else(|| err(lineno, "missing coordinate"))?;
+                    let t = tok
+                        .next()
+                        .ok_or_else(|| err(lineno, "missing coordinate"))?;
                     *c = t
                         .parse()
                         .map_err(|_| err(lineno, &format!("bad coordinate `{t}`")))?;
@@ -193,7 +195,9 @@ pub fn from_text(text: &str) -> Result<Layout, GeometryError> {
                 let cell = current
                     .as_mut()
                     .ok_or_else(|| err(lineno, "`inst` outside a cell"))?;
-                let target = tok.next().ok_or_else(|| err(lineno, "missing instance cell"))?;
+                let target = tok
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing instance cell"))?;
                 let x: i64 = tok
                     .next()
                     .ok_or_else(|| err(lineno, "missing x"))?
@@ -208,8 +212,7 @@ pub fn from_text(text: &str) -> Result<Layout, GeometryError> {
                 let orientation = Orientation::parse_name(orient_name)
                     .ok_or_else(|| err(lineno, &format!("unknown orientation `{orient_name}`")))?;
                 cell.add_instance(
-                    Instance::new(target, Point::new(Nm(x), Nm(y)))
-                        .with_orientation(orientation),
+                    Instance::new(target, Point::new(Nm(x), Nm(y))).with_orientation(orientation),
                 );
             }
             other => {

@@ -185,7 +185,12 @@ mod tests {
 
     #[test]
     fn name_roundtrip() {
-        for l in [Layer::diffusion(), Layer::metal(1), Layer::via(3), Layer::gate()] {
+        for l in [
+            Layer::diffusion(),
+            Layer::metal(1),
+            Layer::via(3),
+            Layer::gate(),
+        ] {
             assert_eq!(Layer::parse_name(&l.to_string()), Some(l));
         }
         assert_eq!(Layer::parse_name("bogus"), None);

@@ -120,10 +120,7 @@ impl Rect {
 
     /// Center point (integer division).
     pub fn center(&self) -> Point {
-        Point::new(
-            (self.ll.x + self.ur.x) / 2,
-            (self.ll.y + self.ur.y) / 2,
-        )
+        Point::new((self.ll.x + self.ur.x) / 2, (self.ll.y + self.ur.y) / 2)
     }
 
     /// Area in nm², as `i128` to avoid overflow.
@@ -175,12 +172,7 @@ impl Rect {
     /// [`GeometryError::DegenerateRect`] if shrinking collapses the
     /// rectangle.
     pub fn expand(&self, d: Nm) -> Result<Rect, GeometryError> {
-        Rect::new(
-            self.ll.x - d,
-            self.ll.y - d,
-            self.ur.x + d,
-            self.ur.y + d,
-        )
+        Rect::new(self.ll.x - d, self.ll.y - d, self.ur.x + d, self.ur.y + d)
     }
 
     /// Translates by a displacement vector.

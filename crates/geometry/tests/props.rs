@@ -15,7 +15,9 @@ fn arb_rect() -> impl Strategy<Value = Rect> {
         1i64..5_000,
         1i64..5_000,
     )
-        .prop_map(|(x, y, w, h)| Rect::new(Nm(x), Nm(y), Nm(x + w), Nm(y + h)).expect("positive extent"))
+        .prop_map(|(x, y, w, h)| {
+            Rect::new(Nm(x), Nm(y), Nm(x + w), Nm(y + h)).expect("positive extent")
+        })
 }
 
 fn arb_orientation() -> impl Strategy<Value = Orientation> {

@@ -284,7 +284,11 @@ mod tests {
         // BL spans from VSS top + 22.5 to VDD bottom - 22.5:
         // VSS top = 12 - 1.5 = 10.5; VDD bottom = 84 + 1.5 = 85.5.
         // Width = (85.5 - 22.5) - (10.5 + 22.5) = 63 - 33 = 30.
-        assert!((printed.track(bl).width_nm() - 30.0).abs() < 1e-9, "width {}", printed.track(bl).width_nm());
+        assert!(
+            (printed.track(bl).width_nm() - 30.0).abs() < 1e-9,
+            "width {}",
+            printed.track(bl).width_nm()
+        );
         // Rails got narrower while BL got wider: anti-correlation.
         let vss = printed.index_of_net("VSS").unwrap();
         assert!(printed.track(vss).width_nm() < 24.0);
@@ -302,10 +306,7 @@ mod tests {
         });
         let printed = apply_draw(&base, &d).unwrap();
         // Stack without the trailing VSS2: BLB becomes the boundary track.
-        let truncated = TrackStack::new(
-            base.tracks()[..4].to_vec(),
-        )
-        .unwrap();
+        let truncated = TrackStack::new(base.tracks()[..4].to_vec()).unwrap();
         let printed_trunc = apply_draw(&truncated, &d).unwrap();
         let interior = printed.index_of_net("BLB").unwrap();
         let boundary = printed_trunc.index_of_net("BLB").unwrap();

@@ -96,10 +96,12 @@ mod tests {
         let budget = VariationBudget::paper_default(PatterningOption::Euv, 8.0).unwrap();
         let mut rng = RngStream::from_seed(11);
         let s: Summary = (0..50_000)
-            .map(|_| match sample_draw(PatterningOption::Euv, &budget, &mut rng).unwrap() {
-                Draw::Euv(d) => d.cd_nm,
-                _ => unreachable!(),
-            })
+            .map(
+                |_| match sample_draw(PatterningOption::Euv, &budget, &mut rng).unwrap() {
+                    Draw::Euv(d) => d.cd_nm,
+                    _ => unreachable!(),
+                },
+            )
             .collect();
         // sigma = 1nm (3sigma = 3nm), slightly reduced by truncation.
         assert!(s.mean().abs() < 0.02, "mean {}", s.mean());

@@ -152,11 +152,7 @@ impl<'a> AcAnalysis<'a> {
         /// A stamp closure: (matrix, row, col, value).
         type Stamp<'s> = &'s mut dyn FnMut(&mut SparseMatrix, Option<usize>, Option<usize>, f64);
         let two_terminal_g =
-            |a: &mut SparseMatrix,
-             stamp: Stamp<'_>,
-             p: Option<usize>,
-             q: Option<usize>,
-             g: f64| {
+            |a: &mut SparseMatrix, stamp: Stamp<'_>, p: Option<usize>, q: Option<usize>, g: f64| {
                 stamp(a, p, p, g);
                 stamp(a, q, q, g);
                 stamp(a, p, q, -g);
@@ -171,11 +167,18 @@ impl<'a> AcAnalysis<'a> {
         let mut vsrc = 0usize;
         for e in net.elements() {
             match e {
-                Element::Resistor { a: na, b: nb, ohms, .. } => {
+                Element::Resistor {
+                    a: na, b: nb, ohms, ..
+                } => {
                     let (p, q) = (idx(*na), idx(*nb));
                     two_terminal_g(&mut a, &mut stamp_g, p, q, 1.0 / ohms);
                 }
-                Element::Capacitor { a: na, b: nb, farads, .. } => {
+                Element::Capacitor {
+                    a: na,
+                    b: nb,
+                    farads,
+                    ..
+                } => {
                     let b = omega * farads;
                     let (p, q) = (idx(*na), idx(*nb));
                     // Susceptance two-terminal pattern.
@@ -371,8 +374,7 @@ mod tests {
         // Far above the corner: -20 dB/decade.
         let bode = result.bode(out);
         let hi = bode.len() - 1;
-        let slope = (bode[hi].1 - bode[hi - 10].1)
-            / (bode[hi].0.log10() - bode[hi - 10].0.log10());
+        let slope = (bode[hi].1 - bode[hi - 10].1) / (bode[hi].0.log10() - bode[hi - 10].0.log10());
         assert!((slope + 20.0).abs() < 1.0, "slope {slope}");
     }
 

@@ -196,14 +196,8 @@ mod tests {
             .unwrap();
         net.add_vsource("VG", gate, Netlist::GROUND, Waveform::dc(0.0))
             .unwrap();
-        net.add_mosfet(
-            "MP",
-            out,
-            gate,
-            vdd,
-            MosfetModel::new(*tech.pmos()),
-        )
-        .unwrap();
+        net.add_mosfet("MP", out, gate, vdd, MosfetModel::new(*tech.pmos()))
+            .unwrap();
         net.add_mosfet(
             "MN",
             out,

@@ -254,7 +254,11 @@ pub(crate) fn assemble(
                         stamp_current(&mut rhs, *a, g * vprev);
                         stamp_current(&mut rhs, *b, -g * vprev);
                     }
-                    ReactivePolicy::Trapezoidal { dt, prev_v, prev_ic } => {
+                    ReactivePolicy::Trapezoidal {
+                        dt,
+                        prev_v,
+                        prev_ic,
+                    } => {
                         let g = 2.0 * farads / dt;
                         let vprev = prev_v[a.index()] - prev_v[b.index()];
                         let ieq = g * vprev + prev_ic[cap_index];
@@ -364,7 +368,8 @@ mod tests {
         net.add_vsource("V1", vdd, Netlist::GROUND, Waveform::dc(1.0))
             .unwrap();
         net.add_resistor("R1", vdd, mid, 1e3).unwrap();
-        net.add_capacitor("C1", mid, Netlist::GROUND, 1e-12).unwrap();
+        net.add_capacitor("C1", mid, Netlist::GROUND, 1e-12)
+            .unwrap();
         let op = OperatingPoint::solve(&net).unwrap();
         // No DC path through the cap: mid floats up to vdd.
         assert!((op.voltage(mid) - 1.0).abs() < 1e-6);

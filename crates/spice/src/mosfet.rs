@@ -142,9 +142,7 @@ impl MosfetModel {
             // d(shape)/dvdsat = -vds*(2 - 2u)/vdsat^2 = -u * dshape_dvds
             let dshape_dvdsat = -u * (2.0 - 2.0 * u) / vdsat;
 
-            let gm = (didsat0_dvov * shape + idsat0 * dshape_dvdsat * dvdsat_dvov)
-                * dvov
-                * clm;
+            let gm = (didsat0_dvov * shape + idsat0 * dshape_dvdsat * dvdsat_dvov) * dvov * clm;
             let gds = idsat0 * (dshape_dvds * clm + shape * p.lambda_per_v());
             SmallSignal { id, gm, gds }
         }

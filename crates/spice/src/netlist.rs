@@ -182,7 +182,11 @@ impl Netlist {
 
     /// Looks up an existing node by name without creating it.
     pub fn find_node(&self, name: &str) -> Option<NodeId> {
-        let key = if name.eq_ignore_ascii_case("gnd") { "0" } else { name };
+        let key = if name.eq_ignore_ascii_case("gnd") {
+            "0"
+        } else {
+            name
+        };
         self.node_index.get(key).copied()
     }
 

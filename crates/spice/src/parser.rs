@@ -158,24 +158,24 @@ pub fn parse_deck(text: &str, models: &HashMap<String, MosfetModel>) -> Result<D
             if toks.len() < 3 {
                 return Err(perr(lineno, ".tran needs <step> <stop>".into()));
             }
-            let step = parse_value(toks[1]).map_err(|_| {
-                perr(lineno, format!("bad .tran step `{}`", toks[1]))
-            })?;
-            let stop = parse_value(toks[2]).map_err(|_| {
-                perr(lineno, format!("bad .tran stop `{}`", toks[2]))
-            })?;
+            let step = parse_value(toks[1])
+                .map_err(|_| perr(lineno, format!("bad .tran step `{}`", toks[1])))?;
+            let stop = parse_value(toks[2])
+                .map_err(|_| perr(lineno, format!("bad .tran stop `{}`", toks[2])))?;
             deck.tran = Some((step, stop));
             continue;
         }
         if upper.starts_with(".DC") {
             let toks: Vec<&str> = trimmed.split_whitespace().collect();
             if toks.len() < 5 {
-                return Err(perr(lineno, ".dc needs <source> <start> <stop> <step>".into()));
+                return Err(perr(
+                    lineno,
+                    ".dc needs <source> <start> <stop> <step>".into(),
+                ));
             }
             let mut nums = [0.0f64; 3];
             for (slot, t) in nums.iter_mut().zip(&toks[2..5]) {
-                *slot = parse_value(t)
-                    .map_err(|_| perr(lineno, format!("bad .dc value `{t}`")))?;
+                *slot = parse_value(t).map_err(|_| perr(lineno, format!("bad .dc value `{t}`")))?;
             }
             if nums[2] == 0.0 {
                 return Err(perr(lineno, ".dc step must be nonzero".into()));
@@ -196,7 +196,10 @@ pub fn parse_deck(text: &str, models: &HashMap<String, MosfetModel>) -> Result<D
             } else if toks.len() >= 4 {
                 toks[1..4].to_vec()
             } else {
-                return Err(perr(lineno, ".ac needs [dec] <points> <fstart> <fstop>".into()));
+                return Err(perr(
+                    lineno,
+                    ".ac needs [dec] <points> <fstart> <fstop>".into(),
+                ));
             };
             let points: usize = args[0]
                 .parse()
@@ -221,19 +224,22 @@ pub fn parse_deck(text: &str, models: &HashMap<String, MosfetModel>) -> Result<D
         }
         if upper.starts_with(".IC") {
             for assignment in trimmed.split_whitespace().skip(1) {
-                let (lhs, rhs) = assignment.split_once('=').ok_or_else(|| {
-                    perr(lineno, format!("bad .ic assignment `{assignment}`"))
-                })?;
+                let (lhs, rhs) = assignment
+                    .split_once('=')
+                    .ok_or_else(|| perr(lineno, format!("bad .ic assignment `{assignment}`")))?;
                 let node = lhs
                     .trim()
                     .strip_prefix("v(")
                     .or_else(|| lhs.trim().strip_prefix("V("))
                     .and_then(|s| s.strip_suffix(')'))
                     .ok_or_else(|| {
-                        perr(lineno, format!("expected v(node)=value, got `{assignment}`"))
+                        perr(
+                            lineno,
+                            format!("expected v(node)=value, got `{assignment}`"),
+                        )
                     })?;
-                let volts = parse_value(rhs)
-                    .map_err(|_| perr(lineno, format!("bad .ic value `{rhs}`")))?;
+                let volts =
+                    parse_value(rhs).map_err(|_| perr(lineno, format!("bad .ic value `{rhs}`")))?;
                 deck.initial_conditions.push((node.to_string(), volts));
             }
             continue;
@@ -291,9 +297,9 @@ pub fn parse_deck(text: &str, models: &HashMap<String, MosfetModel>) -> Result<D
                 let d = deck.netlist.node(&toks[1]);
                 let g = deck.netlist.node(&toks[2]);
                 let s = deck.netlist.node(&toks[3]);
-                let model = models.get(toks[4].as_str()).ok_or_else(|| {
-                    perr(lineno, format!("unknown mosfet model `{}`", toks[4]))
-                })?;
+                let model = models
+                    .get(toks[4].as_str())
+                    .ok_or_else(|| perr(lineno, format!("unknown mosfet model `{}`", toks[4])))?;
                 deck.netlist.add_mosfet(&name, d, g, s, *model)?;
             }
             other => {
@@ -326,12 +332,10 @@ fn parse_waveform(toks: &[String], lineno: usize) -> Result<Waveform, SpiceError
     let head = toks[0].to_ascii_uppercase();
     match head.as_str() {
         "DC" => {
-            let v = toks
-                .get(1)
-                .ok_or_else(|| perr("DC needs a value".into()))?;
-            Ok(Waveform::dc(parse_value(v).map_err(|_| {
-                perr(format!("bad DC value `{v}`"))
-            })?))
+            let v = toks.get(1).ok_or_else(|| perr("DC needs a value".into()))?;
+            Ok(Waveform::dc(
+                parse_value(v).map_err(|_| perr(format!("bad DC value `{v}`")))?,
+            ))
         }
         "PULSE" => {
             let args = paren_args(&toks[1..], lineno)?;
@@ -341,7 +345,9 @@ fn parse_waveform(toks: &[String], lineno: usize) -> Result<Waveform, SpiceError
                     args.len()
                 )));
             }
-            Waveform::pulse(args[0], args[1], args[2], args[3], args[4], args[5], args[6])
+            Waveform::pulse(
+                args[0], args[1], args[2], args[3], args[4], args[5], args[6],
+            )
         }
         "PWL" => {
             let args = paren_args(&toks[1..], lineno)?;
@@ -409,8 +415,18 @@ pub fn write_deck(
                     format_value(*farads)
                 ));
             }
-            Element::VSource { name, p, n, waveform }
-            | Element::ISource { name, p, n, waveform } => {
+            Element::VSource {
+                name,
+                p,
+                n,
+                waveform,
+            }
+            | Element::ISource {
+                name,
+                p,
+                n,
+                waveform,
+            } => {
                 out.push_str(&format!(
                     "{name} {} {} {}\n",
                     net.node_name(*p),
@@ -418,7 +434,13 @@ pub fn write_deck(
                     format_waveform(waveform)
                 ));
             }
-            Element::Mosfet { name, d, g, s, model } => {
+            Element::Mosfet {
+                name,
+                d,
+                g,
+                s,
+                model,
+            } => {
                 out.push_str(&format!(
                     "{name} {} {} {} {}\n",
                     net.node_name(*d),
@@ -489,7 +511,8 @@ mod tests {
 
     #[test]
     fn parses_basic_deck() {
-        let deck = "* rc divider\nR1 vdd mid 10k\nC1 mid 0 100f\nVDD vdd 0 DC 0.7\n.tran 1p 2n\n.end\n";
+        let deck =
+            "* rc divider\nR1 vdd mid 10k\nC1 mid 0 100f\nVDD vdd 0 DC 0.7\n.tran 1p 2n\n.end\n";
         let d = parse_deck(deck, &models()).unwrap();
         assert_eq!(d.title.as_deref(), Some("rc divider"));
         assert_eq!(d.netlist.elements().len(), 3);
@@ -607,8 +630,7 @@ mod tests {
         assert!((vals[0] - 0.7).abs() < 1e-12);
         assert!(vals[7].abs() < 1e-12);
         // It drives a real sweep.
-        let sweep =
-            crate::dcsweep::dc_sweep(&d.netlist, &dc.source, &dc.values()).unwrap();
+        let sweep = crate::dcsweep::dc_sweep(&d.netlist, &dc.source, &dc.values()).unwrap();
         assert_eq!(sweep.len(), 8);
     }
 
@@ -662,10 +684,7 @@ mod tests {
             d.netlist.element("VWL").unwrap(),
             d2.netlist.element("VWL").unwrap(),
         ) {
-            (
-                Element::VSource { waveform: w1, .. },
-                Element::VSource { waveform: w2, .. },
-            ) => {
+            (Element::VSource { waveform: w1, .. }, Element::VSource { waveform: w2, .. }) => {
                 for t in [0.0, 105e-12, 1e-9, 6e-9] {
                     assert!((w1.eval(t) - w2.eval(t)).abs() < 1e-9);
                 }

@@ -175,10 +175,7 @@ impl SparseMatrix {
 
             let piv = *rows[k].get(&k).expect("pivot present by construction");
             // Snapshot pivot-row tail (columns > k) for the updates.
-            let tail: Vec<(usize, f64)> = rows[k]
-                .range(k + 1..)
-                .map(|(&c, &v)| (c, v))
-                .collect();
+            let tail: Vec<(usize, f64)> = rows[k].range(k + 1..).map(|(&c, &v)| (c, v)).collect();
 
             // Eliminate every row below k that has column k occupied.
             let below: Vec<usize> = cols[k].range(k + 1..).copied().collect();

@@ -15,7 +15,9 @@
 use std::collections::HashMap;
 
 use crate::error::SpiceError;
-use crate::mna::{assemble, is_linear, solve_nonlinear, system_size, OperatingPoint, ReactivePolicy};
+use crate::mna::{
+    assemble, is_linear, solve_nonlinear, system_size, OperatingPoint, ReactivePolicy,
+};
 use crate::netlist::{Element, Netlist, NodeId};
 
 /// Integration method for the transient solver.
@@ -150,8 +152,7 @@ impl<'a> Transient<'a> {
             // The trapezoidal rule needs consistent capacitor currents at
             // the previous point. In UIC mode they are unknown at t=0, so
             // take the first step with backward Euler (standard practice).
-            let use_be = matches!(self.method, Method::BackwardEuler)
-                || (first_step && self.uic);
+            let use_be = matches!(self.method, Method::BackwardEuler) || (first_step && self.uic);
             let policy = if use_be {
                 ReactivePolicy::BackwardEuler {
                     dt,
@@ -279,9 +280,7 @@ impl<'a> Transient<'a> {
             }
             if dt_eff <= dt_min && err > 10.0 * tol_v {
                 return Err(SpiceError::InvalidAnalysis {
-                    message: format!(
-                        "adaptive step underflow at t = {t:.3e}s (err {err:.3e}V)"
-                    ),
+                    message: format!("adaptive step underflow at t = {t:.3e}s (err {err:.3e}V)"),
                 });
             }
 
@@ -336,8 +335,7 @@ impl<'a> Transient<'a> {
         let nn = net.num_nodes();
         // First step under UIC starts with backward Euler (no consistent
         // capacitor currents yet).
-        let use_be =
-            matches!(self.method, Method::BackwardEuler) || !state.bootstrapped;
+        let use_be = matches!(self.method, Method::BackwardEuler) || !state.bootstrapped;
         let policy = if use_be {
             ReactivePolicy::BackwardEuler {
                 dt,
@@ -597,7 +595,8 @@ mod tests {
         )
         .unwrap();
         net.add_resistor("R1", vin, out, 10e3).unwrap();
-        net.add_capacitor("C1", out, Netlist::GROUND, 100e-15).unwrap();
+        net.add_capacitor("C1", out, Netlist::GROUND, 100e-15)
+            .unwrap();
         let tran = Transient::new(&net).unwrap();
         let r = tran.run(1e-11, 5e-9).unwrap();
         // tau = 1ns; at 1ns ~ 63.2%, at 5ns ~ 99.3%.
@@ -615,7 +614,8 @@ mod tests {
         net.add_vsource("V1", vin, Netlist::GROUND, Waveform::dc(0.7))
             .unwrap();
         net.add_resistor("R1", vin, out, 1e3).unwrap();
-        net.add_capacitor("C1", out, Netlist::GROUND, 10e-15).unwrap();
+        net.add_capacitor("C1", out, Netlist::GROUND, 10e-15)
+            .unwrap();
         let tran = Transient::new(&net).unwrap();
         let r = tran.run(5e-12, 1e-9).unwrap();
         for &v in r.waveform(out) {
@@ -630,7 +630,8 @@ mod tests {
         let mut net = Netlist::new();
         let bl = net.node("bl");
         let wl = net.node("wl");
-        net.add_capacitor("Cbl", bl, Netlist::GROUND, 2e-15).unwrap();
+        net.add_capacitor("Cbl", bl, Netlist::GROUND, 2e-15)
+            .unwrap();
         net.add_vsource(
             "VWL",
             wl,
@@ -761,7 +762,8 @@ mod tests {
         )
         .unwrap();
         net.add_resistor("R1", a, out, 1e3).unwrap();
-        net.add_capacitor("C1", out, Netlist::GROUND, 5e-14).unwrap();
+        net.add_capacitor("C1", out, Netlist::GROUND, 5e-14)
+            .unwrap();
         let tran = Transient::new(&net).unwrap();
         let r = tran.run_adaptive(2e-10, 3e-9, 1e-4).unwrap();
         // The source is quiet for 1ns: out must still be near 0 right
@@ -771,10 +773,7 @@ mod tests {
         let during = r.sample(out, 1.45e-9).unwrap();
         assert!(during > 0.9, "pulse seen: {during}");
         // A breakpoint-aligned sample exists at the edge start.
-        assert!(r
-            .times()
-            .iter()
-            .any(|&t| (t - 1e-9).abs() < 1e-15));
+        assert!(r.times().iter().any(|&t| (t - 1e-9).abs() < 1e-15));
     }
 
     #[test]
@@ -795,7 +794,8 @@ mod tests {
         let mut net = Netlist::new();
         let bl = net.node("bl");
         let wl = net.node("wl");
-        net.add_capacitor("Cbl", bl, Netlist::GROUND, 2e-15).unwrap();
+        net.add_capacitor("Cbl", bl, Netlist::GROUND, 2e-15)
+            .unwrap();
         net.add_vsource(
             "VWL",
             wl,

@@ -170,10 +170,7 @@ mod tests {
         for v in [4700.0, 1e-14, 3.3, 0.001, 2e6, 1e-9, 47e-12, 1.5e12] {
             let s = format_value(v);
             let back = parse_value(&s).unwrap();
-            assert!(
-                ((back - v) / v).abs() < 1e-6,
-                "{v} -> {s} -> {back}"
-            );
+            assert!(((back - v) / v).abs() < 1e-6, "{v} -> {s} -> {back}");
         }
     }
 

@@ -100,7 +100,12 @@ impl SramArray {
         let rail_w = c.rail_width();
         let bl_w = c.bl_width();
         let track = |y_center: Nm, w: Nm| -> Result<Rect, SramError> {
-            Ok(Rect::new(Nm(0), y_center - w / 2, len, y_center - w / 2 + w)?)
+            Ok(Rect::new(
+                Nm(0),
+                y_center - w / 2,
+                len,
+                y_center - w / 2 + w,
+            )?)
         };
         bitcell.add_shape(Shape::rect(m1, track(Nm(0), rail_w)?).with_net("VSS"));
         bitcell.add_shape(Shape::rect(m1, track(p, bl_w)?).with_net("BL"));
@@ -133,10 +138,7 @@ impl SramArray {
             for pair in 0..self.pairs {
                 array.add_instance(Instance::new(
                     "bitcell",
-                    Point::new(
-                        len * row as i64,
-                        c.cell_height() * pair as i64,
-                    ),
+                    Point::new(len * row as i64, c.cell_height() * pair as i64),
                 ));
             }
         }

@@ -193,7 +193,13 @@ impl BitcellGeometry {
                 Nm(0),
                 x1,
             )?);
-            tracks.push(Track::new(blb_name, base + p * 3, self.bl_width, Nm(0), x1)?);
+            tracks.push(Track::new(
+                blb_name,
+                base + p * 3,
+                self.bl_width,
+                Nm(0),
+                x1,
+            )?);
         }
         // Closing rail so the top bit-line pair sees the same
         // environment as interior pairs.

@@ -131,10 +131,7 @@ mod tests {
     fn wider_bitline_lowers_rbl() {
         let tech = n10();
         let cell = BitcellGeometry::n10_hd(&tech).unwrap();
-        let wide = cell
-            .clone()
-            .with_bl_width(mpvar_geometry::Nm(30))
-            .unwrap();
+        let wide = cell.clone().with_bl_width(mpvar_geometry::Nm(30)).unwrap();
         let p_nom = FormulaParams::derive(&tech, &cell, 0.7).unwrap();
         let p_wide = FormulaParams::derive(&tech, &wide, 0.7).unwrap();
         assert!(p_wide.rbl_ohm < p_nom.rbl_ohm);

@@ -20,8 +20,7 @@
 use mpvar_extract::{emit_rc_deck, RcDeckSpec};
 use mpvar_litho::{apply_draw, Draw};
 use mpvar_spice::{
-    cross_differential, cross_threshold, CrossDirection, MosfetModel, Netlist, Transient,
-    Waveform,
+    cross_differential, cross_threshold, CrossDirection, MosfetModel, Netlist, Transient, Waveform,
 };
 use mpvar_tech::TechDb;
 
@@ -147,8 +146,12 @@ pub fn simulate_read(
     for (net_name, _far) in [("BL", bl_far), ("BLB", blb_far)] {
         for k in 1..=n_cells {
             let tap = deck_tap(&deck, net_name, k)?;
-            deck.netlist_mut()
-                .add_capacitor(&format!("Cfe_{net_name}_{k}"), tap, Netlist::GROUND, cfe)?;
+            deck.netlist_mut().add_capacitor(
+                &format!("Cfe_{net_name}_{k}"),
+                tap,
+                Netlist::GROUND,
+                cfe,
+            )?;
         }
     }
 
@@ -156,12 +159,11 @@ pub fn simulate_read(
 
     // ---- accessed cell at the far end ------------------------------------
     let q = net.node("q");
-    let pass = MosfetModel::new(
-        nmos.scaled(sizing.pass_gate)
-            .map_err(|e| SramError::InvalidStructure {
-                message: e.to_string(),
-            })?,
-    );
+    let pass = MosfetModel::new(nmos.scaled(sizing.pass_gate).map_err(|e| {
+        SramError::InvalidStructure {
+            message: e.to_string(),
+        }
+    })?);
     let pull_down = MosfetModel::new(nmos.scaled(sizing.pull_down).map_err(|e| {
         SramError::InvalidStructure {
             message: e.to_string(),
@@ -179,11 +181,13 @@ pub fn simulate_read(
 
     // BLB side: pass-gate into the complementary node held high.
     let qb = net.node("qb");
-    let pull_up = MosfetModel::new(pmos.scaled(sizing.pull_up).map_err(|e| {
-        SramError::InvalidStructure {
-            message: e.to_string(),
-        }
-    })?);
+    let pull_up =
+        MosfetModel::new(
+            pmos.scaled(sizing.pull_up)
+                .map_err(|e| SramError::InvalidStructure {
+                    message: e.to_string(),
+                })?,
+        );
     net.add_mosfet("Mpass_b", blb_far, wl, qb, pass)?;
     // Gate at ground keeps the PMOS on, holding qb at vdd (the stored 1).
     net.add_mosfet("Mpu_b", qb, Netlist::GROUND, vdd, pull_up)?;
@@ -196,11 +200,13 @@ pub fn simulate_read(
 
     // ---- precharge loads at the near end ---------------------------------
     let pre_strength = sizing.precharge_per_cell * n_cells as f64;
-    let precharge = MosfetModel::new(pmos.scaled(pre_strength).map_err(|e| {
-        SramError::InvalidStructure {
-            message: e.to_string(),
-        }
-    })?);
+    let precharge =
+        MosfetModel::new(
+            pmos.scaled(pre_strength)
+                .map_err(|e| SramError::InvalidStructure {
+                    message: e.to_string(),
+                })?,
+        );
     // Gate at vdd: off during the read; the device contributes its
     // (size-scaled) junction capacitance.
     net.add_mosfet("Mpre_bl", bl_near, vdd, vdd, precharge)?;
@@ -224,22 +230,15 @@ pub fn simulate_read(
     // ---- window estimation and the retry loop ----------------------------
     let fp = FormulaParams::derive(tech, cell, config.vdd_v)?;
     let n = n_cells as f64;
-    let est = 0.105
-        * (n * fp.rbl_ohm + fp.rfe_ohm)
-        * (n * (fp.cbl_f + fp.cfe_f) + fp.cpre_f(n_cells));
+    let est =
+        0.105 * (n * fp.rbl_ohm + fp.rfe_ohm) * (n * (fp.cbl_f + fp.cfe_f) + fp.cpre_f(n_cells));
     let mut window = config.wl_delay_s + config.wl_rise_s + config.window_scale * est;
 
     for _attempt in 0..=config.max_retries {
         let dt = window / config.steps as f64;
         let result = tran.run(dt, window)?;
-        let t_wl = cross_threshold(
-            &result,
-            wl,
-            config.vdd_v / 2.0,
-            CrossDirection::Rising,
-            0.0,
-        )
-        .map_err(|e| SramError::Spice(e.to_string()))?;
+        let t_wl = cross_threshold(&result, wl, config.vdd_v / 2.0, CrossDirection::Rising, 0.0)
+            .map_err(|e| SramError::Spice(e.to_string()))?;
         match cross_differential(
             &result,
             blb_near,
@@ -312,8 +311,12 @@ mod tests {
         let (tech, cell) = setup();
         let cfg = ReadConfig::default();
         let nominal = Draw::nominal(PatterningOption::Euv);
-        let td16 = simulate_read(&tech, &cell, &cfg, 16, &nominal).unwrap().td_s;
-        let td64 = simulate_read(&tech, &cell, &cfg, 64, &nominal).unwrap().td_s;
+        let td16 = simulate_read(&tech, &cell, &cfg, 16, &nominal)
+            .unwrap()
+            .td_s;
+        let td64 = simulate_read(&tech, &cell, &cfg, 64, &nominal)
+            .unwrap()
+            .td_s;
         assert!(td64 > 2.0 * td16, "td16 {td16:.3e} td64 {td64:.3e}");
         // Super-linear growth is mild while FET-limited: below quadratic.
         assert!(td64 < 8.0 * td16);

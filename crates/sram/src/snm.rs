@@ -183,8 +183,7 @@ mod tests {
     #[test]
     fn read_vtc_shape() {
         let tech = n10();
-        let vtc = half_cell_vtc(&tech, &DeviceSizing::default(), SnmMode::Read, 0.7, 71)
-            .unwrap();
+        let vtc = half_cell_vtc(&tech, &DeviceSizing::default(), SnmMode::Read, 0.7, 71).unwrap();
         assert_eq!(vtc.len(), 71);
         // Monotone non-increasing.
         for w in vtc.windows(2) {
@@ -201,8 +200,7 @@ mod tests {
     #[test]
     fn hold_vtc_has_clean_low_level() {
         let tech = n10();
-        let vtc = half_cell_vtc(&tech, &DeviceSizing::default(), SnmMode::Hold, 0.7, 71)
-            .unwrap();
+        let vtc = half_cell_vtc(&tech, &DeviceSizing::default(), SnmMode::Hold, 0.7, 71).unwrap();
         let low = vtc.last().unwrap().1;
         assert!(low < 0.02, "hold low level {low}");
     }
@@ -210,8 +208,7 @@ mod tests {
     #[test]
     fn read_snm_is_positive_and_hd_class() {
         let tech = n10();
-        let snm = static_noise_margin(&tech, &DeviceSizing::default(), SnmMode::Read, 0.7)
-            .unwrap();
+        let snm = static_noise_margin(&tech, &DeviceSizing::default(), SnmMode::Read, 0.7).unwrap();
         // HD 6T read SNM at 0.7V: roughly 10-30% of vdd.
         assert!(
             snm.snm_v > 0.05 && snm.snm_v < 0.30,
@@ -224,10 +221,10 @@ mod tests {
     #[test]
     fn hold_snm_exceeds_read_snm() {
         let tech = n10();
-        let read = static_noise_margin(&tech, &DeviceSizing::default(), SnmMode::Read, 0.7)
-            .unwrap();
-        let hold = static_noise_margin(&tech, &DeviceSizing::default(), SnmMode::Hold, 0.7)
-            .unwrap();
+        let read =
+            static_noise_margin(&tech, &DeviceSizing::default(), SnmMode::Read, 0.7).unwrap();
+        let hold =
+            static_noise_margin(&tech, &DeviceSizing::default(), SnmMode::Hold, 0.7).unwrap();
         assert!(
             hold.snm_v > read.snm_v,
             "hold {} vs read {}",

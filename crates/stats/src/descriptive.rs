@@ -256,7 +256,9 @@ mod tests {
 
     #[test]
     fn matches_two_pass_reference() {
-        let xs: Vec<f64> = (0..500).map(|i| ((i * 37 % 101) as f64).sin() * 3.0 + 1.0).collect();
+        let xs: Vec<f64> = (0..500)
+            .map(|i| ((i * 37 % 101) as f64).sin() * 3.0 + 1.0)
+            .collect();
         let s: Summary = xs.iter().copied().collect();
         let (mean, var, skew, kurt) = reference_moments(&xs);
         assert!((s.mean() - mean).abs() < 1e-10);

@@ -164,12 +164,9 @@ mod tests {
     #[test]
     fn validation() {
         assert!(ks_test_gaussian(&[1.0; 4], 0.0, 1.0).is_err());
-        assert!(ks_test_gaussian(
-            &[1.0, 2.0, f64::NAN, 4.0, 5.0, 6.0, 7.0, 8.0],
-            0.0,
-            1.0
-        )
-        .is_err());
+        assert!(
+            ks_test_gaussian(&[1.0, 2.0, f64::NAN, 4.0, 5.0, 6.0, 7.0, 8.0], 0.0, 1.0).is_err()
+        );
         assert!(ks_test_gaussian(&[1.0; 10], 0.0, 0.0).is_err());
     }
 

@@ -139,12 +139,12 @@ impl MonteCarlo {
         } else {
             let chunk = self.trials.div_ceil(self.threads);
             let mut first_err: Vec<Option<(usize, E)>> = Vec::new();
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for (t, slice) in samples.chunks_mut(chunk).enumerate() {
                     let base = &base;
                     let trial = &trial;
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         let offset = t * chunk;
                         for (i, slot) in slice.iter_mut().enumerate() {
                             let k = offset + i;
@@ -160,8 +160,7 @@ impl MonteCarlo {
                 for h in handles {
                     first_err.push(h.join().expect("monte-carlo worker panicked"));
                 }
-            })
-            .expect("crossbeam scope failed");
+            });
 
             let mut best: Option<(usize, E)> = None;
             for e in first_err.into_iter().flatten() {
@@ -215,8 +214,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = MonteCarlo::new(10).unwrap().with_seed(1).run(|r| r.next_f64());
-        let b = MonteCarlo::new(10).unwrap().with_seed(2).run(|r| r.next_f64());
+        let a = MonteCarlo::new(10)
+            .unwrap()
+            .with_seed(1)
+            .run(|r| r.next_f64());
+        let b = MonteCarlo::new(10)
+            .unwrap()
+            .with_seed(2)
+            .run(|r| r.next_f64());
         assert_ne!(a.samples(), b.samples());
     }
 
@@ -270,7 +275,10 @@ mod tests {
     #[test]
     fn histogram_from_outcome() {
         let g = Gaussian::new(0.0, 1.0).unwrap();
-        let out = MonteCarlo::new(2000).unwrap().with_seed(3).run(|r| g.sample(r));
+        let out = MonteCarlo::new(2000)
+            .unwrap()
+            .with_seed(3)
+            .run(|r| g.sample(r));
         let h = out.histogram(20).unwrap();
         assert_eq!(h.total(), 2000);
         // Mode should be near the center bins for a Gaussian.

@@ -69,7 +69,12 @@ impl RngStream {
         }
         // xoshiro must not start from the all-zero state.
         if s == [0, 0, 0, 0] {
-            s = [0x1, 0x9E3779B97F4A7C15, 0xBF58476D1CE4E5B9, 0x94D049BB133111EB];
+            s = [
+                0x1,
+                0x9E3779B97F4A7C15,
+                0xBF58476D1CE4E5B9,
+                0x94D049BB133111EB,
+            ];
         }
         Self { s, seed, stream }
     }
@@ -80,7 +85,10 @@ impl RngStream {
     /// have already been drawn, which makes per-trial substreams safe to
     /// create lazily from worker threads.
     pub fn substream(&self, k: u64) -> Self {
-        Self::with_substream(self.seed, self.stream.wrapping_mul(0x9E37).wrapping_add(k + 1))
+        Self::with_substream(
+            self.seed,
+            self.stream.wrapping_mul(0x9E37).wrapping_add(k + 1),
+        )
     }
 
     /// The seed this stream (and all of its substreams) was derived from.
@@ -91,6 +99,19 @@ impl RngStream {
     /// The substream index of this stream.
     pub fn stream_id(&self) -> u64 {
         self.stream
+    }
+
+    /// Lazily derives the substreams for every index in `indices`.
+    ///
+    /// Combined with [`substream_chunks`], this is the parallel-farming
+    /// surface: worker `w` walks `base.substreams(chunk_w)` and obtains
+    /// exactly the same generators a sequential loop would have built,
+    /// so results stay bit-identical for any worker count.
+    pub fn substreams(
+        &self,
+        indices: std::ops::Range<u64>,
+    ) -> impl Iterator<Item = RngStream> + '_ {
+        indices.map(|k| self.substream(k))
     }
 
     /// Draws a `f64` uniformly from the half-open interval `[0, 1)`.
@@ -121,10 +142,7 @@ impl RngCore for RngStream {
 
     fn next_u64(&mut self) -> u64 {
         // xoshiro256** scrambler.
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -166,6 +184,32 @@ impl Default for RngStream {
     fn default() -> Self {
         Self::from_seed(0)
     }
+}
+
+/// Partitions the substream index range `0..total` into at most
+/// `chunks` contiguous ranges of near-equal size (the first
+/// `total % chunks` ranges are one index longer).
+///
+/// This is the canonical work split for parallel Monte-Carlo: trial
+/// `k` always consumes substream `k`, workers own contiguous index
+/// ranges, and the partition depends only on `(total, chunks)` — never
+/// on scheduling — so the assembled sample vector is bit-identical to
+/// the sequential run for any worker count.
+pub fn substream_chunks(total: u64, chunks: usize) -> Vec<std::ops::Range<u64>> {
+    let chunks = (chunks.max(1) as u64).min(total.max(1));
+    let base = total / chunks;
+    let extra = total % chunks;
+    let mut out = Vec::with_capacity(chunks as usize);
+    let mut start = 0u64;
+    for c in 0..chunks {
+        let len = base + u64::from(c < extra);
+        if len == 0 {
+            break;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
 }
 
 #[cfg(test)]

@@ -167,9 +167,11 @@ pub fn from_text(text: &str) -> Result<TechDb, TechError> {
     })?;
 
     let get = |map: &BTreeMap<String, f64>, section: &str, key: &str| -> Result<f64, TechError> {
-        map.get(key).copied().ok_or_else(|| TechError::MissingField {
-            field: format!("{section}.{key}"),
-        })
+        map.get(key)
+            .copied()
+            .ok_or_else(|| TechError::MissingField {
+                field: format!("{section}.{key}"),
+            })
     };
 
     let mut nmos = None;

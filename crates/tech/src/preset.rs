@@ -81,8 +81,8 @@ pub fn n10() -> TechDb {
     tech.add_metal(m1);
     tech.add_metal(m2);
     for option in PatterningOption::ALL {
-        let budget = VariationBudget::paper_default(option, 8.0)
-            .expect("paper default budgets are valid");
+        let budget =
+            VariationBudget::paper_default(option, 8.0).expect("paper default budgets are valid");
         tech.set_budget(option, budget);
     }
     tech
@@ -158,8 +158,8 @@ pub fn n7() -> TechDb {
     tech.add_metal(m1);
     tech.add_metal(m2);
     for option in PatterningOption::ALL {
-        let budget = VariationBudget::paper_default(option, 8.0)
-            .expect("paper default budgets are valid");
+        let budget =
+            VariationBudget::paper_default(option, 8.0).expect("paper default budgets are valid");
         tech.set_budget(option, budget);
     }
     tech

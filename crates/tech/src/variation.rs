@@ -16,9 +16,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::{non_negative, TechError};
 
 /// The patterning options compared in the paper.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum PatterningOption {
     /// Triple litho-etch (LELELE): three masks with CD + overlay errors.
     Le3,
@@ -122,10 +120,7 @@ impl VariationBudget {
     ) -> Result<Self, TechError> {
         Ok(Self {
             cd_three_sigma_nm: non_negative("cd_three_sigma_nm", cd_three_sigma_nm)?,
-            overlay_three_sigma_nm: non_negative(
-                "overlay_three_sigma_nm",
-                overlay_three_sigma_nm,
-            )?,
+            overlay_three_sigma_nm: non_negative("overlay_three_sigma_nm", overlay_three_sigma_nm)?,
             spacer_three_sigma_nm: non_negative("spacer_three_sigma_nm", spacer_three_sigma_nm)?,
         })
     }

@@ -41,6 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mc = McConfig {
         trials: 8_000,
         seed: 2015,
+        ..McConfig::default()
     };
     let margins: Vec<f64> = (0..48).map(|k| 0.25 * k as f64).collect();
     println!("timing margin needed for 99.7% yield at 10x{n}:\n");

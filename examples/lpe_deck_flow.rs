@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    parsed copy — proving the `.tech` format carries everything.
     let tech_text = tech_io::to_text(&n10());
     let tech = tech_io::from_text(&tech_text)?;
-    println!("tech `{}` round-tripped ({} bytes)", tech.name(), tech_text.len());
+    println!(
+        "tech `{}` round-tripped ({} bytes)",
+        tech.name(),
+        tech_text.len()
+    );
 
     // 2. Layout: an 8x2 array as a hierarchical cell database, exported
     //    to the text-GDS format and re-imported.

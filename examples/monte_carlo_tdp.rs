@@ -20,9 +20,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mc = McConfig {
         trials: 10_000,
         seed: 2015,
+        ..McConfig::default()
     };
 
-    println!("Monte-Carlo tdp at 10x{n}, {} trials per option\n", mc.trials);
+    println!(
+        "Monte-Carlo tdp at 10x{n}, {} trials per option\n",
+        mc.trials
+    );
 
     let mut sigmas = Vec::new();
     for option in PatterningOption::ALL {
@@ -45,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for ol in [3.0, 5.0, 7.0, 8.0] {
         let budget = VariationBudget::paper_default(PatterningOption::Le3, ol)?;
         let dist = tdp_distribution(&tech, &cell, PatterningOption::Le3, &budget, n, &mc)?;
-        println!("  3-sigma OL = {ol:.0}nm: sigma = {:.3}%", dist.sigma_percent());
+        println!(
+            "  3-sigma OL = {ol:.0}nm: sigma = {:.3}%",
+            dist.sigma_percent()
+        );
     }
     println!(
         "\npaper's conclusion to check: tight (<=3nm) overlay control brings\n\

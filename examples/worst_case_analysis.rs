@@ -21,10 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sizes = [16usize, 64];
 
     println!("worst-case corners (criterion: max C_bl, paper Table I)\n");
-    println!(
-        "{:<8} {:>10} {:>10}  corner",
-        "option", "dC_bl", "dR_bl"
-    );
+    println!("{:<8} {:>10} {:>10}  corner", "option", "dC_bl", "dR_bl");
     let mut worst_cases = Vec::new();
     for option in PatterningOption::ALL {
         let budget = VariationBudget::paper_default(option, 8.0)?;
@@ -47,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nsimulated read-time penalty at each array size (Fig. 4)\n");
-    println!("{:<8} {}", "option", sizes.map(|n| format!("{:>10}", format!("10x{n}"))).join(""));
+    println!(
+        "{:<8} {}",
+        "option",
+        sizes.map(|n| format!("{:>10}", format!("10x{n}"))).join("")
+    );
     for wc in &worst_cases {
         let rows = worst_case_td_study(&tech, &cell, &config, wc, &sizes)?;
         let cells: Vec<String> = rows

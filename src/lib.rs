@@ -6,6 +6,7 @@
 //!
 //! See the individual crates for subsystem documentation:
 //!
+//! * [`exec`] — deterministic parallel execution (thread-count knob);
 //! * [`stats`] — RNG streams, samplers, Monte-Carlo engine;
 //! * [`geometry`] — nm-unit layout database;
 //! * [`tech`] — technology description and the N10 preset;
@@ -20,6 +21,7 @@
 #![forbid(unsafe_code)]
 
 pub use mpvar_core as core;
+pub use mpvar_exec as exec;
 pub use mpvar_extract as extract;
 pub use mpvar_geometry as geometry;
 pub use mpvar_litho as litho;

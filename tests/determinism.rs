@@ -15,11 +15,12 @@ fn tdp_distribution_bit_identical_across_runs() {
     let mc = McConfig {
         trials: 400,
         seed: 99,
+        ..McConfig::default()
     };
-    let a = tdp_distribution(&tech, &cell, PatterningOption::Le3, &budget, 64, &mc)
-        .expect("mc runs");
-    let b = tdp_distribution(&tech, &cell, PatterningOption::Le3, &budget, 64, &mc)
-        .expect("mc runs");
+    let a =
+        tdp_distribution(&tech, &cell, PatterningOption::Le3, &budget, 64, &mc).expect("mc runs");
+    let b =
+        tdp_distribution(&tech, &cell, PatterningOption::Le3, &budget, 64, &mc).expect("mc runs");
     assert_eq!(a.samples_percent(), b.samples_percent());
     assert_eq!(a.sigma_percent(), b.sigma_percent());
     assert_eq!(a.shorted_draws(), b.shorted_draws());
@@ -39,6 +40,7 @@ fn different_seeds_give_different_samples_same_statistics() {
         &McConfig {
             trials: 3000,
             seed: 1,
+            ..McConfig::default()
         },
     )
     .expect("mc runs");
@@ -51,6 +53,7 @@ fn different_seeds_give_different_samples_same_statistics() {
         &McConfig {
             trials: 3000,
             seed: 2,
+            ..McConfig::default()
         },
     )
     .expect("mc runs");
@@ -65,11 +68,11 @@ fn stats_engine_thread_count_invariance_carries_to_draws() {
     // The generic Monte-Carlo engine guarantees substream-per-trial;
     // spot-check with a trial body that samples litho draws.
     let budget = VariationBudget::paper_default(PatterningOption::Le3, 8.0).expect("budget");
-    let trial = |rng: &mut RngStream| {
-        match sample_draw(PatterningOption::Le3, &budget, rng).expect("samples") {
-            mpvar::litho::Draw::Le3(d) => d.overlay_nm[1] + d.cd_nm[0],
-            _ => unreachable!(),
-        }
+    let trial = |rng: &mut RngStream| match sample_draw(PatterningOption::Le3, &budget, rng)
+        .expect("samples")
+    {
+        mpvar::litho::Draw::Le3(d) => d.overlay_nm[1] + d.cd_nm[0],
+        _ => unreachable!(),
     };
     let serial = MonteCarlo::new(512)
         .expect("trials > 0")
@@ -81,6 +84,68 @@ fn stats_engine_thread_count_invariance_carries_to_draws() {
         .with_threads(4)
         .run(trial);
     assert_eq!(serial.samples(), parallel.samples());
+}
+
+#[test]
+fn thread_count_never_changes_results() {
+    // The mpvar-exec contract: for the same seed, threads = 1/4/8 give
+    // byte-identical tdp samples and the identical worst-case corner,
+    // for every patterning option.
+    use mpvar::exec::ExecConfig;
+
+    let tech = n10();
+    let cell = BitcellGeometry::n10_hd(&tech).expect("cell builds");
+    for option in PatterningOption::ALL {
+        let budget = VariationBudget::paper_default(option, 8.0).expect("budget");
+        let window = NominalWindow::build(&tech, &cell, option).expect("window builds");
+
+        let mc = |threads: usize| McConfig {
+            trials: 300,
+            seed: 41,
+            exec: ExecConfig::with_threads(threads),
+        };
+        let serial = tdp_distribution_with(&window, &budget, 64, &mc(1)).expect("mc runs");
+        for threads in [4usize, 8] {
+            let parallel =
+                tdp_distribution_with(&window, &budget, 64, &mc(threads)).expect("mc runs");
+            let serial_bits: Vec<u64> = serial
+                .samples_percent()
+                .iter()
+                .map(|s| s.to_bits())
+                .collect();
+            let parallel_bits: Vec<u64> = parallel
+                .samples_percent()
+                .iter()
+                .map(|s| s.to_bits())
+                .collect();
+            assert_eq!(serial_bits, parallel_bits, "{option} @ {threads} threads");
+            assert_eq!(
+                serial.shorted_draws(),
+                parallel.shorted_draws(),
+                "{option} @ {threads} threads"
+            );
+        }
+
+        let wc_serial =
+            find_worst_case_with(&window, &budget, ExecConfig::SERIAL).expect("search runs");
+        for threads in [4usize, 8] {
+            let wc_parallel =
+                find_worst_case_with(&window, &budget, ExecConfig::with_threads(threads))
+                    .expect("search runs");
+            assert_eq!(
+                wc_serial.draw, wc_parallel.draw,
+                "{option} @ {threads} threads"
+            );
+            assert_eq!(
+                wc_serial.infeasible_corners, wc_parallel.infeasible_corners,
+                "{option} @ {threads} threads"
+            );
+            assert_eq!(
+                wc_serial.worst, wc_parallel.worst,
+                "{option} @ {threads} threads"
+            );
+        }
+    }
 }
 
 #[test]

@@ -70,8 +70,7 @@ fn drawn_array_passes_printed_floor_everywhere_but_le3_extreme() {
     // Every nominal print and the SADP/EUV worst corners stay above a
     // 0.55x process floor; the LE3 8nm worst corner dips below it.
     for option in PatterningOption::ALL {
-        let printed =
-            apply_draw(&stack, &Draw::nominal(option)).expect("nominal prints");
+        let printed = apply_draw(&stack, &Draw::nominal(option)).expect("nominal prints");
         assert!(check_printed_stack(&printed, m1, 0.55).is_empty());
     }
     let budget = VariationBudget::paper_default(PatterningOption::Le3, 8.0).expect("budget");
@@ -94,7 +93,9 @@ fn hierarchical_array_layout_drc() {
     let layout = array.to_layout().expect("layout builds");
     let violations = check_layout(&layout, "array", &tech).expect("drc runs");
     assert!(
-        violations.iter().all(|v| v.to_string().contains("min-space")),
+        violations
+            .iter()
+            .all(|v| v.to_string().contains("min-space")),
         "{violations:?}"
     );
     assert!(!violations.is_empty());
@@ -109,8 +110,8 @@ fn ler_profile_feeds_extraction_consistently() {
     let profile = ler.sample_profile(64, 130.0, &mut rng).expect("samples");
     // Segment resistances sum close to, but above, the uniform wire
     // (Jensen) for a zero-mean profile.
-    let uniform = mpvar::extract::wire_resistance_ohm(m1, 26.0, 130.0 * 64.0)
-        .expect("uniform extracts");
+    let uniform =
+        mpvar::extract::wire_resistance_ohm(m1, 26.0, 130.0 * 64.0).expect("uniform extracts");
     let summed: f64 = profile
         .iter()
         .map(|&d| mpvar::extract::wire_resistance_ohm(m1, 26.0 + d, 130.0).expect("segment"))
@@ -195,6 +196,7 @@ fn yield_and_le2_compose_with_the_mc_engine() {
         &McConfig {
             trials: 1500,
             seed: 3,
+            ..McConfig::default()
         },
     )
     .expect("mc runs");

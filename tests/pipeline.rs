@@ -18,8 +18,8 @@ fn tech_file_roundtrip_preserves_experiment_results() {
     let cell_a = BitcellGeometry::n10_hd(&original).expect("cell builds");
     let cell_b = BitcellGeometry::n10_hd(&parsed).expect("cell builds");
     let budget = VariationBudget::paper_default(PatterningOption::Le3, 8.0).expect("budget");
-    let wc_a = find_worst_case(&original, &cell_a, PatterningOption::Le3, &budget)
-        .expect("search runs");
+    let wc_a =
+        find_worst_case(&original, &cell_a, PatterningOption::Le3, &budget).expect("search runs");
     let wc_b =
         find_worst_case(&parsed, &cell_b, PatterningOption::Le3, &budget).expect("search runs");
     assert_eq!(wc_a.draw, wc_b.draw);
@@ -54,8 +54,7 @@ fn worst_case_draw_actually_slows_the_simulated_read() {
     let cell = BitcellGeometry::n10_hd(&tech).expect("cell builds");
     let config = ReadConfig::default();
     let budget = VariationBudget::paper_default(PatterningOption::Le3, 8.0).expect("budget");
-    let wc =
-        find_worst_case(&tech, &cell, PatterningOption::Le3, &budget).expect("search runs");
+    let wc = find_worst_case(&tech, &cell, PatterningOption::Le3, &budget).expect("search runs");
 
     let nominal = simulate_read(
         &tech,
@@ -136,8 +135,7 @@ fn central_pair_is_free_of_edge_effects() {
 
     let extract_bl = |pairs: usize, active: usize| {
         let stack = cell.column_stack(pairs, active, 4).expect("stack builds");
-        let printed =
-            apply_draw(&stack, &Draw::nominal(PatterningOption::Euv)).expect("prints");
+        let printed = apply_draw(&stack, &Draw::nominal(PatterningOption::Euv)).expect("prints");
         let bl = printed.index_of_net("BL").expect("bl exists");
         extract_track(&printed, bl, m1).expect("extracts")
     };
@@ -153,8 +151,22 @@ fn central_pair_is_free_of_edge_effects() {
     // everything. Check the strongest edge case instead: a bare stack
     // whose BL has no upper neighbour at all.
     let bare = mpvar::geometry::TrackStack::new(vec![
-        mpvar::geometry::Track::new("VSS0", mpvar::geometry::Nm(0), mpvar::geometry::Nm(24), mpvar::geometry::Nm(0), mpvar::geometry::Nm(520)).expect("track"),
-        mpvar::geometry::Track::new("BL", mpvar::geometry::Nm(48), mpvar::geometry::Nm(26), mpvar::geometry::Nm(0), mpvar::geometry::Nm(520)).expect("track"),
+        mpvar::geometry::Track::new(
+            "VSS0",
+            mpvar::geometry::Nm(0),
+            mpvar::geometry::Nm(24),
+            mpvar::geometry::Nm(0),
+            mpvar::geometry::Nm(520),
+        )
+        .expect("track"),
+        mpvar::geometry::Track::new(
+            "BL",
+            mpvar::geometry::Nm(48),
+            mpvar::geometry::Nm(26),
+            mpvar::geometry::Nm(0),
+            mpvar::geometry::Nm(520),
+        )
+        .expect("track"),
     ])
     .expect("stack");
     let printed = apply_draw(&bare, &Draw::nominal(PatterningOption::Euv)).expect("prints");

@@ -1,8 +1,8 @@
 //! Circuit-simulator validation against closed-form references —
 //! the trust anchor for every td number in the reproduction.
 
-use mpvar::spice::prelude::*;
 use mpvar::spice::measure::{cross_threshold, CrossDirection};
+use mpvar::spice::prelude::*;
 use mpvar::spice::Method;
 
 /// Builds an n-segment uniform RC ladder driven at node 0, returns
@@ -27,7 +27,8 @@ fn single_pole_discharge_matches_exponential_to_four_digits() {
     let mut net = Netlist::new();
     let a = net.node("a");
     net.add_resistor("R", a, Netlist::GROUND, 10e3).expect("R");
-    net.add_capacitor("C", a, Netlist::GROUND, 100e-15).expect("C");
+    net.add_capacitor("C", a, Netlist::GROUND, 100e-15)
+        .expect("C");
     let mut tran = Transient::new(&net).expect("tran builds");
     tran.set_initial_voltage(a, 0.7);
     let result = tran.run(1e-12, 5e-9).expect("runs");
@@ -122,13 +123,8 @@ fn kcl_holds_at_every_transient_sample() {
     // all capacitor currents downstream; verify via charge balance:
     // integral of source current == total charge delivered.
     let (mut net, first, last) = ladder(5, 2e3, 50e-15);
-    net.add_vsource(
-        "VIN",
-        first,
-        Netlist::GROUND,
-        Waveform::dc(1.0),
-    )
-    .expect("source");
+    net.add_vsource("VIN", first, Netlist::GROUND, Waveform::dc(1.0))
+        .expect("source");
     let tran = Transient::new(&net).expect("tran builds");
     let result = tran.run(1e-12, 5e-9).expect("runs");
     // After ~5 time constants everything sits at 1V.
@@ -158,10 +154,7 @@ fn spice_deck_roundtrip_preserves_transient_behaviour() {
     let v_orig = run(&net, last);
     let last2 = parsed.netlist.find_node("n8").expect("node survives");
     let v_round = run(&parsed.netlist, last2);
-    assert!(
-        (v_orig - v_round).abs() < 1e-9,
-        "{v_orig} vs {v_round}"
-    );
+    assert!((v_orig - v_round).abs() < 1e-9, "{v_orig} vs {v_round}");
 }
 
 #[test]
@@ -177,21 +170,29 @@ fn sram_discharge_current_magnitude_is_physical() {
     let wl = net.node("wl");
     let vdd = net.node("vdd");
     let c_load = 2e-15;
-    net.add_capacitor("Cbl", bl, Netlist::GROUND, c_load).expect("C");
-    net.add_vsource("VWL", wl, Netlist::GROUND, Waveform::dc(0.7)).expect("V");
-    net.add_vsource("VDD", vdd, Netlist::GROUND, Waveform::dc(0.7)).expect("V");
-    net.add_mosfet("Mpass", bl, wl, q, MosfetModel::new(*tech.nmos())).expect("M");
-    net.add_mosfet("Mpd", q, vdd, Netlist::GROUND, MosfetModel::new(*tech.nmos()))
+    net.add_capacitor("Cbl", bl, Netlist::GROUND, c_load)
+        .expect("C");
+    net.add_vsource("VWL", wl, Netlist::GROUND, Waveform::dc(0.7))
+        .expect("V");
+    net.add_vsource("VDD", vdd, Netlist::GROUND, Waveform::dc(0.7))
+        .expect("V");
+    net.add_mosfet("Mpass", bl, wl, q, MosfetModel::new(*tech.nmos()))
         .expect("M");
-    net.add_capacitor("Cq", q, Netlist::GROUND, 0.1e-15).expect("C");
+    net.add_mosfet(
+        "Mpd",
+        q,
+        vdd,
+        Netlist::GROUND,
+        MosfetModel::new(*tech.nmos()),
+    )
+    .expect("M");
+    net.add_capacitor("Cq", q, Netlist::GROUND, 0.1e-15)
+        .expect("C");
     let mut tran = Transient::new(&net).expect("tran builds");
     tran.set_initial_voltage(bl, 0.7);
     let result = tran.run(1e-12, 200e-12).expect("runs");
     let v0 = result.sample(bl, 10e-12).expect("in window");
     let v1 = result.sample(bl, 60e-12).expect("in window");
     let i_avg = c_load * (v0 - v1) / 50e-12;
-    assert!(
-        i_avg > 1e-6 && i_avg < 50e-6,
-        "discharge current {i_avg} A"
-    );
+    assert!(i_avg > 1e-6 && i_avg < 50e-6, "discharge current {i_avg} A");
 }
