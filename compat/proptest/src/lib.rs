@@ -17,7 +17,7 @@
 
 #![deny(missing_docs)]
 
-use std::ops::Range;
+use std::ops::{Range, RangeInclusive};
 
 // ---------------------------------------------------------------------------
 // Config and runner
@@ -143,6 +143,22 @@ impl Strategy for Range<f64> {
 
     fn generate(&self, rng: &mut TestRng) -> f64 {
         self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    /// Inclusive range: the endpoints themselves are emitted with
+    /// boosted probability (1/16 each) so boundary cases like `q = 1.0`
+    /// are actually explored, not just approached.
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        match rng.index(16) {
+            0 => start,
+            1 => end,
+            _ => start + rng.next_f64() * (end - start),
+        }
     }
 }
 
@@ -355,6 +371,13 @@ macro_rules! __proptest_bindings {
     };
     ($rng:ident; $arg:ident in $strat:expr, $($rest:tt)*) => {
         let $arg = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bindings!{ $rng; $($rest)* }
+    };
+    ($rng:ident; mut $arg:ident in $strat:expr) => {
+        let mut $arg = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; mut $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let mut $arg = $crate::Strategy::generate(&($strat), &mut $rng);
         $crate::__proptest_bindings!{ $rng; $($rest)* }
     };
     ($rng:ident; $arg:ident : $ty:ty) => {

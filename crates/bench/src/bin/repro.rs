@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--out DIR] <experiment | all>
+//! repro check [--fast] [--golden DIR] [--oracle-cases N]
 //! ```
 //!
 //! Experiments: table1 fig4 table2 table3 fig5 table4 ablation-delay
@@ -11,16 +12,26 @@
 //! (default `results/`). The extra `bench-parallel` target measures
 //! Monte-Carlo throughput per thread count and writes the
 //! `BENCH_parallel.json` snapshot tracked across PRs.
+//!
+//! `check` re-runs the matrix and verdicts it: committed goldens are
+//! compared value-wise under per-column tolerances, the paper's shape
+//! claims are asserted as named invariants, and the three delay paths
+//! (formula, Elmore, SPICE) are cross-validated on randomized arrays.
+//! Exit status is non-zero when any named check fails. `--fast` runs
+//! the reduced profile (heights {16, 64}, 5 000 trials, statistical
+//! bands on Monte-Carlo columns).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use mpvar_bench::check::{run_check, CheckOptions};
 use mpvar_bench::{parallel_bench_snapshot, run, EXPERIMENT_IDS};
 use mpvar_core::experiments::ExperimentContext;
 
 fn usage() -> String {
     format!(
         "usage: repro [--quick] [--out DIR] <experiment | all | bench-parallel>\n\
+         \x20      repro check [--fast] [--golden DIR] [--oracle-cases N]\n\
          experiments: {}",
         EXPERIMENT_IDS.join(" ")
     )
@@ -28,17 +39,35 @@ fn usage() -> String {
 
 fn main() -> ExitCode {
     let mut quick = false;
+    let mut fast = false;
     let mut out_dir = PathBuf::from("results");
+    let mut golden_dir = PathBuf::from("results");
+    let mut oracle_cases = 128usize;
     let mut target: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--fast" => fast = true,
             "--out" => match args.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => {
                     eprintln!("--out needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--golden" => match args.next() {
+                Some(dir) => golden_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--golden needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--oracle-cases" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => oracle_cases = n,
+                _ => {
+                    eprintln!("--oracle-cases needs a positive integer\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -60,6 +89,41 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
+
+    if target == "check" {
+        let opts = CheckOptions {
+            fast,
+            golden_dir,
+            oracle_cases,
+            ..CheckOptions::new(fast)
+        };
+        eprintln!(
+            "repro check ({} profile, goldens from {}, {} oracle cases)",
+            if fast { "fast" } else { "full" },
+            opts.golden_dir.display(),
+            opts.oracle_cases
+        );
+        let report = match run_check(&opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("check could not regenerate the matrix: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", report.render());
+        return if report.passed() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    if fast || oracle_cases != 128 {
+        eprintln!(
+            "--fast/--oracle-cases are only valid with `check`\n{}",
+            usage()
+        );
+        return ExitCode::FAILURE;
+    }
 
     let ctx = match if quick {
         ExperimentContext::quick()

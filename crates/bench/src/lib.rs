@@ -8,6 +8,8 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod check;
+
 use std::fmt::Write as _;
 
 use mpvar_core::experiments::{

@@ -1,0 +1,83 @@
+//! Property-based tests of the thread-budget arithmetic: however the
+//! outer/inner split is requested, the product never exceeds the
+//! budget and no dimension ever collapses to zero.
+
+use proptest::prelude::*;
+
+use mpvar_exec::{chunk_ranges, ExecConfig};
+
+proptest! {
+    /// `split` hands out at least one thread per dimension and never
+    /// oversubscribes: `outer * inner <= effective_threads()`.
+    #[test]
+    fn split_respects_the_budget(threads in 1usize..64, cells in 0usize..200) {
+        let cfg = ExecConfig::with_threads(threads);
+        let total = cfg.effective_threads();
+        let (outer, inner_cfg) = cfg.split(cells);
+        let inner = inner_cfg.effective_threads();
+        prop_assert!(outer >= 1);
+        prop_assert!(inner >= 1);
+        prop_assert!(
+            outer * inner <= total,
+            "split({cells}) on {total} threads gave {outer} x {inner}"
+        );
+        // The outer loop never gets more workers than it has cells
+        // (except the degenerate zero-cell case, which still gets 1).
+        prop_assert!(outer <= cells.max(1));
+    }
+
+    /// Saturating cases: more cells than threads pin the inner config
+    /// to serial; a single cell hands the whole budget inward.
+    #[test]
+    fn split_saturation(threads in 1usize..64, extra in 0usize..100) {
+        let cfg = ExecConfig::with_threads(threads);
+        let (outer, inner) = cfg.split(threads + extra);
+        prop_assert_eq!(outer, threads);
+        prop_assert_eq!(inner.effective_threads(), 1);
+
+        let (outer1, inner1) = cfg.split(1);
+        prop_assert_eq!(outer1, 1);
+        prop_assert_eq!(inner1.effective_threads(), threads);
+    }
+
+    /// The serial config splits to exactly (1, serial) for any cell
+    /// count — the sequential code path is preserved verbatim.
+    #[test]
+    fn serial_split_stays_serial(cells in 0usize..200) {
+        let (outer, inner) = ExecConfig::SERIAL.split(cells);
+        prop_assert_eq!(outer, 1);
+        prop_assert_eq!(inner.effective_threads(), 1);
+    }
+
+    /// Zero-thread requests clamp to one rather than underflowing.
+    #[test]
+    fn zero_threads_clamps(cells in 0usize..50) {
+        let cfg = ExecConfig::with_threads(0);
+        prop_assert_eq!(cfg.effective_threads(), 1);
+        let (outer, inner) = cfg.split(cells);
+        prop_assert_eq!(outer * inner.effective_threads(), 1);
+    }
+
+    /// `chunk_ranges` partitions `0..n` exactly: contiguous, disjoint,
+    /// near-equal sizes, and never more than `chunks` pieces.
+    #[test]
+    fn chunk_ranges_partition_exactly(n in 0usize..500, chunks in 0usize..40) {
+        let ranges = chunk_ranges(n, chunks);
+        prop_assert!(ranges.len() <= chunks.max(1));
+        let mut covered = 0usize;
+        let mut cursor = 0usize;
+        for r in &ranges {
+            prop_assert_eq!(r.start, cursor, "ranges not contiguous");
+            prop_assert!(r.end > r.start, "empty range handed out");
+            covered += r.end - r.start;
+            cursor = r.end;
+        }
+        prop_assert_eq!(covered, n);
+        if let (Some(min), Some(max)) = (
+            ranges.iter().map(|r| r.end - r.start).min(),
+            ranges.iter().map(|r| r.end - r.start).max(),
+        ) {
+            prop_assert!(max - min <= 1, "chunk sizes differ by more than 1");
+        }
+    }
+}

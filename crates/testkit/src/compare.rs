@@ -1,0 +1,338 @@
+//! Golden comparison engine: per-column tolerance policies over
+//! key-joined rows.
+//!
+//! A [`TableSpec`] names the key columns that identify a row (array
+//! size, option label, …) and a tolerance [`Policy`] per value column.
+//! Rows are joined golden↔fresh by key, so a reduced design of
+//! experiments (the `--fast` profile runs fewer array sizes) still
+//! gates every row it shares with the golden, and column order in the
+//! files is irrelevant.
+
+use crate::csv::{parse_interval, parse_number, CsvTable};
+
+/// How one column's cells are compared.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// Trimmed string equality (corner descriptions, labels).
+    Text,
+    /// Numeric comparison: pass when
+    /// `|fresh − golden| ≤ abs + rel·|golden|`. Interval cells
+    /// (`[lo, hi]`) compare both bounds. Cells that fail to parse on
+    /// either side fall back to [`Policy::Text`].
+    Numeric {
+        /// Relative tolerance against the golden magnitude.
+        rel: f64,
+        /// Absolute tolerance floor (covers rendering quantization).
+        abs: f64,
+    },
+    /// Column is not compared (e.g. a bootstrap CI whose width is a
+    /// function of the trial count the profile changed).
+    Ignore,
+}
+
+impl Policy {
+    /// A numeric policy admitting only formatting noise: the golden
+    /// values are printed with 2–3 decimals, so half a unit in the
+    /// last place plus a hair of relative slack never masks a real
+    /// change.
+    pub fn strict() -> Self {
+        Policy::Numeric {
+            rel: 1e-6,
+            abs: 0.005,
+        }
+    }
+
+    /// A numeric policy for Monte-Carlo-derived values re-estimated
+    /// with a different trial count: `rel` sized from the sampling
+    /// error of the reduced profile.
+    pub fn statistical(rel: f64) -> Self {
+        Policy::Numeric { rel, abs: 0.02 }
+    }
+}
+
+/// One column to compare.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSpec {
+    /// Header name (matched case-insensitively).
+    pub name: String,
+    /// Comparison policy.
+    pub policy: Policy,
+}
+
+impl ColumnSpec {
+    /// Shorthand constructor.
+    pub fn new(name: &str, policy: Policy) -> Self {
+        Self {
+            name: name.to_string(),
+            policy,
+        }
+    }
+}
+
+/// The comparison contract of one golden table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSpec {
+    /// Experiment id (`table1`, `fig4`, …) — used in mismatch text.
+    pub id: String,
+    /// Columns whose trimmed text identifies a row.
+    pub key: Vec<String>,
+    /// Value columns and their policies.
+    pub columns: Vec<ColumnSpec>,
+    /// When `true`, every golden row must be matched by a fresh row
+    /// (full-profile runs regenerate the whole design of experiments);
+    /// when `false`, fresh rows may be a subset (reduced profiles).
+    pub require_all_golden_rows: bool,
+}
+
+impl TableSpec {
+    /// Builds a spec from `(name, policy)` column pairs.
+    pub fn new(
+        id: &str,
+        key: &[&str],
+        columns: &[(&str, Policy)],
+        require_all_golden_rows: bool,
+    ) -> Self {
+        Self {
+            id: id.to_string(),
+            key: key.iter().map(|s| s.to_string()).collect(),
+            columns: columns
+                .iter()
+                .map(|(n, p)| ColumnSpec::new(n, *p))
+                .collect(),
+            require_all_golden_rows,
+        }
+    }
+}
+
+/// Compares `fresh` against `golden` under `spec`, returning one
+/// message per mismatch (empty = pass).
+pub fn compare_tables(spec: &TableSpec, golden: &CsvTable, fresh: &CsvTable) -> Vec<String> {
+    let mut out = Vec::new();
+    let id = &spec.id;
+
+    // Resolve key columns on both sides.
+    let mut golden_key = Vec::new();
+    let mut fresh_key = Vec::new();
+    for k in &spec.key {
+        match (golden.column(k), fresh.column(k)) {
+            (Some(g), Some(f)) => {
+                golden_key.push(g);
+                fresh_key.push(f);
+            }
+            (g, f) => {
+                out.push(format!(
+                    "{id}: key column `{k}` missing ({})",
+                    match (g, f) {
+                        (None, _) => "in golden",
+                        _ => "in fresh run",
+                    }
+                ));
+                return out;
+            }
+        }
+    }
+
+    // Index golden rows by key.
+    let mut golden_by_key = std::collections::BTreeMap::new();
+    for (i, row) in golden.rows.iter().enumerate() {
+        let key = golden.key_of(row, &golden_key);
+        if golden_by_key.insert(key.clone(), i).is_some() {
+            out.push(format!("{id}: duplicate golden key `{key}`"));
+        }
+    }
+
+    let mut matched_golden = vec![false; golden.rows.len()];
+    let mut matched_rows = 0usize;
+    for fresh_row in &fresh.rows {
+        let key = fresh.key_of(fresh_row, &fresh_key);
+        let Some(&gi) = golden_by_key.get(&key) else {
+            // A fresh row outside the golden DOE is not an error in
+            // itself (new experiments extend the matrix), but it is
+            // worth flagging when full coverage was requested.
+            if spec.require_all_golden_rows {
+                out.push(format!("{id}: fresh row `{key}` has no golden counterpart"));
+            }
+            continue;
+        };
+        matched_golden[gi] = true;
+        matched_rows += 1;
+        let golden_row = &golden.rows[gi];
+
+        for col in &spec.columns {
+            if matches!(col.policy, Policy::Ignore) {
+                continue;
+            }
+            let (Some(gc), Some(fc)) = (golden.column(&col.name), fresh.column(&col.name)) else {
+                out.push(format!(
+                    "{id}[{key}]: column `{}` missing on one side",
+                    col.name
+                ));
+                continue;
+            };
+            if let Some(msg) = compare_cells(&col.policy, &golden_row[gc], &fresh_row[fc]) {
+                out.push(format!("{id}[{key}].{}: {msg}", col.name));
+            }
+        }
+    }
+
+    if matched_rows == 0 {
+        out.push(format!(
+            "{id}: no fresh row matched any golden row (keys disjoint?)"
+        ));
+    }
+    if spec.require_all_golden_rows {
+        for (i, seen) in matched_golden.iter().enumerate() {
+            if !seen {
+                let key = golden.key_of(&golden.rows[i], &golden_key);
+                out.push(format!("{id}: golden row `{key}` was not regenerated"));
+            }
+        }
+    }
+    out
+}
+
+/// Compares one pair of cells; `None` = match, `Some(message)` =
+/// mismatch.
+fn compare_cells(policy: &Policy, golden: &str, fresh: &str) -> Option<String> {
+    match policy {
+        Policy::Ignore => None,
+        Policy::Text => {
+            if golden.trim() == fresh.trim() {
+                None
+            } else {
+                Some(format!("`{}` != `{}`", golden.trim(), fresh.trim()))
+            }
+        }
+        Policy::Numeric { rel, abs } => {
+            // Interval cells compare bound-wise.
+            if let (Some((glo, ghi)), Some((flo, fhi))) =
+                (parse_interval(golden), parse_interval(fresh))
+            {
+                return match (
+                    numeric_gap(glo, flo, *rel, *abs),
+                    numeric_gap(ghi, fhi, *rel, *abs),
+                ) {
+                    (None, None) => None,
+                    _ => Some(format!(
+                        "interval [{glo}, {ghi}] vs [{flo}, {fhi}] outside tolerance"
+                    )),
+                };
+            }
+            match (parse_number(golden), parse_number(fresh)) {
+                (Some(g), Some(f)) => numeric_gap(g, f, *rel, *abs)
+                    .map(|gap| format!("{f} vs golden {g} (gap {gap:.4} > tol)")),
+                // Non-numeric content under a numeric policy: fall
+                // back to text so label drift is still caught.
+                _ => compare_cells(&Policy::Text, golden, fresh),
+            }
+        }
+    }
+}
+
+/// The excess gap when `|fresh − golden|` exceeds the tolerance.
+fn numeric_gap(golden: f64, fresh: f64, rel: f64, abs: f64) -> Option<f64> {
+    let tol = abs + rel * golden.abs();
+    let gap = (fresh - golden).abs();
+    (gap > tol).then_some(gap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(text: &str) -> CsvTable {
+        CsvTable::parse(text).unwrap()
+    }
+
+    fn spec(require_all: bool) -> TableSpec {
+        TableSpec::new(
+            "t",
+            &["array"],
+            &[
+                ("td", Policy::strict()),
+                ("label", Policy::Text),
+                ("sigma", Policy::statistical(0.10)),
+            ],
+            require_all,
+        )
+    }
+
+    #[test]
+    fn identical_tables_pass() {
+        let g = table("array,td,label,sigma\n10x16,6.84 ps,a,1.0\n10x64,22.27 ps,b,2.0\n");
+        assert!(compare_tables(&spec(true), &g, &g).is_empty());
+    }
+
+    #[test]
+    fn float_formatting_and_column_order_do_not_diff() {
+        let g = table("array,td,label,sigma\n10x16,6.84 ps,a,1.000\n");
+        let f = table("label,sigma,array,td\na,1.0000000,10x16,+6.84ps\n");
+        // Different column order, trailing zeros, explicit sign, no
+        // space before the unit: all the same values.
+        assert!(compare_tables(&spec(true), &g, &f).is_empty());
+    }
+
+    #[test]
+    fn value_drift_is_caught() {
+        let g = table("array,td,label,sigma\n10x16,6.84 ps,a,1.0\n");
+        let f = table("array,td,label,sigma\n10x16,6.95 ps,a,1.0\n");
+        let diffs = compare_tables(&spec(true), &g, &f);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("t[10x16].td"), "{diffs:?}");
+    }
+
+    #[test]
+    fn statistical_band_is_wider() {
+        let g = table("array,td,label,sigma\n10x16,1.0 ps,a,2.000\n");
+        let f = table("array,td,label,sigma\n10x16,1.0 ps,a,2.150\n");
+        // 7.5% off: inside the 10% statistical band.
+        assert!(compare_tables(&spec(true), &g, &f).is_empty());
+        let f2 = table("array,td,label,sigma\n10x16,1.0 ps,a,2.5\n");
+        assert_eq!(compare_tables(&spec(true), &g, &f2).len(), 1);
+    }
+
+    #[test]
+    fn subset_rows_allowed_when_not_requiring_cover() {
+        let g = table("array,td,label,sigma\n10x16,1 ps,a,1\n10x64,2 ps,b,2\n");
+        let f = table("array,td,label,sigma\n10x16,1 ps,a,1\n");
+        assert!(compare_tables(&spec(false), &g, &f).is_empty());
+        let diffs = compare_tables(&spec(true), &g, &f);
+        assert!(diffs.iter().any(|d| d.contains("not regenerated")));
+    }
+
+    #[test]
+    fn disjoint_keys_fail_loudly() {
+        let g = table("array,td,label,sigma\n10x16,1 ps,a,1\n");
+        let f = table("array,td,label,sigma\n10x999,1 ps,a,1\n");
+        let diffs = compare_tables(&spec(false), &g, &f);
+        assert!(diffs.iter().any(|d| d.contains("no fresh row matched")));
+    }
+
+    #[test]
+    fn missing_column_reported() {
+        let g = table("array,td,label,sigma\n10x16,1 ps,a,1\n");
+        let f = table("array,label,sigma\n10x16,a,1\n");
+        let diffs = compare_tables(&spec(false), &g, &f);
+        assert!(diffs.iter().any(|d| d.contains("`td` missing")));
+    }
+
+    #[test]
+    fn interval_cells_compare_boundwise() {
+        let s = TableSpec::new("t", &["k"], &[("ci", Policy::statistical(0.05))], true);
+        let g = table("k,ci\na,\"[1.00, 2.00]\"\n");
+        let ok = table("k,ci\na,\"[1.02, 1.98]\"\n");
+        assert!(compare_tables(&s, &g, &ok).is_empty());
+        let bad = table("k,ci\na,\"[0.50, 2.00]\"\n");
+        assert_eq!(compare_tables(&s, &g, &bad).len(), 1);
+    }
+
+    #[test]
+    fn text_policy_catches_corner_changes() {
+        let s = TableSpec::new("t1", &["option"], &[("worst corner", Policy::Text)], true);
+        let g = table("option,worst corner\nSADP,cd_core=-3.0 spacer=-1.5\n");
+        let f = table("option,worst corner\nSADP,cd_core=+3.0 spacer=-1.5\n");
+        let diffs = compare_tables(&s, &g, &f);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("worst corner"));
+    }
+}

@@ -1,0 +1,410 @@
+//! Differential oracles over the three independent delay paths.
+//!
+//! The workspace computes the read delay three independent ways:
+//!
+//! 1. the paper's analytical lumped-RC formula (eqs. 1–5,
+//!    [`mpvar_core::formula`]);
+//! 2. the distributed Elmore refinement ([`mpvar_core::elmore`]);
+//! 3. the SPICE transient testbench ([`mpvar_sram::simulate_read`]).
+//!
+//! None of them shares code below the extracted parasitics, so they
+//! cross-validate each other: on randomized small arrays (random
+//! patterning option, random sampled draw, random height) the three
+//! answers must stay inside documented mutual-error bounds. A bug in
+//! `litho`, `extract`, `spice`, or `core` that shifts any one path
+//! breaks a bound; a bug that shifts all three identically is caught
+//! by the golden comparisons instead.
+//!
+//! Documented bounds (see also `EXPERIMENTS.md`):
+//!
+//! * Elmore is a strict lower bound on the lumped formula (distributed
+//!   wire halves the wire-R·wire-C product) and never below half of it;
+//! * SPICE/formula stays within the paper's own Table II band —
+//!   configurable, default `[0.4, 1.6]` — and likewise SPICE/Elmore;
+//! * the worst-case *penalty* (`tdp`) of SPICE and formula agree
+//!   within a per-case bound in percentage points (default 15pp, the
+//!   paper's Table III worst observed gap plus margin).
+
+use std::collections::BTreeMap;
+
+use mpvar_core::{AnalyticalModel, ElmoreModel, NominalWindow};
+use mpvar_extract::{extract_track, RelativeVariation};
+use mpvar_litho::{apply_draw, sample_draw, Draw};
+use mpvar_sram::{simulate_read, BitcellGeometry, FormulaParams, ReadConfig};
+use mpvar_stats::RngStream;
+use mpvar_tech::{PatterningOption, TechDb, VariationBudget};
+
+use crate::report::CheckItem;
+use crate::TestkitError;
+
+/// Configuration of the randomized differential study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleConfig {
+    /// Randomized arrays to evaluate (shorted draws are skipped and
+    /// replaced, so this many cases actually run).
+    pub cases: usize,
+    /// RNG seed; the whole study is bit-reproducible per seed.
+    pub seed: u64,
+    /// Smallest array height sampled.
+    pub n_min: usize,
+    /// Largest array height sampled.
+    pub n_max: usize,
+    /// LE3 overlay budget (3σ, nm) for sampled draws.
+    pub overlay_nm: f64,
+    /// Allowed `td_spice / td_formula` band.
+    pub spice_formula_band: (f64, f64),
+    /// Allowed `td_spice / td_elmore` band.
+    pub spice_elmore_band: (f64, f64),
+    /// Allowed `td_elmore / td_lumped` band (upper end 1: Elmore is a
+    /// lower bound).
+    pub elmore_lumped_band: (f64, f64),
+    /// Max |tdp_spice − tdp_formula| per case, percentage points.
+    pub max_tdp_gap_pp: f64,
+}
+
+impl Default for OracleConfig {
+    /// 128 cases, heights 4–24, the documented default bands.
+    fn default() -> Self {
+        Self {
+            cases: 128,
+            seed: 0xD1FF_0DA7,
+            n_min: 4,
+            n_max: 24,
+            overlay_nm: 8.0,
+            spice_formula_band: (0.4, 1.6),
+            spice_elmore_band: (0.4, 1.6),
+            elmore_lumped_band: (0.5, 1.0 + 1e-9),
+            max_tdp_gap_pp: 15.0,
+        }
+    }
+}
+
+/// Outcome of the differential study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleReport {
+    /// Cases actually evaluated.
+    pub cases_evaluated: usize,
+    /// Sampled draws skipped because the geometry shorted.
+    pub shorted_skipped: usize,
+    /// Observed `td_spice / td_formula` range.
+    pub spice_formula_range: (f64, f64),
+    /// Observed `td_spice / td_elmore` range.
+    pub spice_elmore_range: (f64, f64),
+    /// Observed `td_elmore / td_lumped` range.
+    pub elmore_lumped_range: (f64, f64),
+    /// Largest observed |tdp_spice − tdp_formula|, pp.
+    pub max_tdp_gap_pp: f64,
+    /// Per-bound violations (empty = all oracles agree).
+    pub violations: Vec<String>,
+    /// The configuration the study ran under.
+    pub config: OracleConfig,
+}
+
+impl OracleReport {
+    /// Renders the report as named check items (one per bound).
+    pub fn items(&self) -> Vec<CheckItem> {
+        let cases = self.cases_evaluated;
+        let by_bound = |prefix: &str| -> Vec<String> {
+            self.violations
+                .iter()
+                .filter(|v| v.starts_with(prefix))
+                .cloned()
+                .collect()
+        };
+        let mut items = Vec::new();
+        items.push(if cases >= self.config.cases {
+            CheckItem::pass(
+                "oracle.coverage",
+                format!(
+                    "{cases} randomized arrays ({} shorted draws replaced)",
+                    self.shorted_skipped
+                ),
+            )
+        } else {
+            CheckItem::fail(
+                "oracle.coverage",
+                format!(
+                    "only {cases}/{} cases could be evaluated",
+                    self.config.cases
+                ),
+            )
+        });
+        items.push(CheckItem::from_violations(
+            "oracle.elmore-below-lumped",
+            &format!(
+                "td_elmore/td_lumped in [{:.4}, {:.4}] over {cases} cases (bound [{}, 1])",
+                self.elmore_lumped_range.0,
+                self.elmore_lumped_range.1,
+                self.config.elmore_lumped_band.0
+            ),
+            &by_bound("elmore-lumped"),
+        ));
+        items.push(CheckItem::from_violations(
+            "oracle.spice-vs-formula",
+            &format!(
+                "td_spice/td_formula in [{:.4}, {:.4}] over {cases} cases (bound [{}, {}])",
+                self.spice_formula_range.0,
+                self.spice_formula_range.1,
+                self.config.spice_formula_band.0,
+                self.config.spice_formula_band.1
+            ),
+            &by_bound("spice-formula"),
+        ));
+        items.push(CheckItem::from_violations(
+            "oracle.spice-vs-elmore",
+            &format!(
+                "td_spice/td_elmore in [{:.4}, {:.4}] over {cases} cases (bound [{}, {}])",
+                self.spice_elmore_range.0,
+                self.spice_elmore_range.1,
+                self.config.spice_elmore_band.0,
+                self.config.spice_elmore_band.1
+            ),
+            &by_bound("spice-elmore"),
+        ));
+        items.push(CheckItem::from_violations(
+            "oracle.tdp-agreement",
+            &format!(
+                "max |tdp_spice - tdp_formula| = {:.2}pp over {cases} cases (bound {}pp)",
+                self.max_tdp_gap_pp, self.config.max_tdp_gap_pp
+            ),
+            &by_bound("tdp-gap"),
+        ));
+        items
+    }
+}
+
+/// Runs the randomized differential study.
+///
+/// Per case: pick an option round-robin, sample a draw from its
+/// budget, print the one-cell window, extract `R_var`/`C_var`, then
+/// compute `td` through the formula, the Elmore model, and the SPICE
+/// transient on a random-height column, and check every mutual bound.
+///
+/// Deterministic: case `k` consumes RNG substream `k` of `cfg.seed`,
+/// and no state leaks between cases.
+///
+/// # Errors
+///
+/// Propagates hard analysis failures (model construction, extraction,
+/// simulation); shorted draws are skipped and replaced, not errors.
+pub fn run_delay_oracles(
+    tech: &TechDb,
+    cell: &BitcellGeometry,
+    read_config: &ReadConfig,
+    cfg: &OracleConfig,
+) -> Result<OracleReport, TestkitError> {
+    if cfg.cases == 0 || cfg.n_min == 0 || cfg.n_max < cfg.n_min {
+        return Err(TestkitError::Analysis {
+            message: format!(
+                "invalid oracle config: cases {}, n in [{}, {}]",
+                cfg.cases, cfg.n_min, cfg.n_max
+            ),
+        });
+    }
+    let params = FormulaParams::derive(tech, cell, read_config.vdd_v).map_err(|e| {
+        TestkitError::Analysis {
+            message: e.to_string(),
+        }
+    })?;
+    let level = read_config.sense_dv_v / read_config.vdd_v;
+    let lumped = AnalyticalModel::new(params, level)?;
+    let elmore = ElmoreModel::new(params, level)?;
+
+    let options = PatterningOption::ALL;
+    let mut windows = Vec::with_capacity(options.len());
+    for &option in &options {
+        windows.push(NominalWindow::build(tech, cell, option)?);
+    }
+
+    // Nominal SPICE td per height, shared across cases.
+    let mut nominal_td: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut nominal_of = |n: usize| -> Result<f64, TestkitError> {
+        if let Some(&td) = nominal_td.get(&n) {
+            return Ok(td);
+        }
+        let td = simulate_read(
+            tech,
+            cell,
+            read_config,
+            n,
+            &Draw::nominal(PatterningOption::Euv),
+        )
+        .map_err(|e| TestkitError::Analysis {
+            message: e.to_string(),
+        })?
+        .td_s;
+        nominal_td.insert(n, td);
+        Ok(td)
+    };
+
+    let base = RngStream::from_seed(cfg.seed);
+    let mut violations = Vec::new();
+    let mut sf_range = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut se_range = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut el_range = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut max_gap = 0.0f64;
+    let mut evaluated = 0usize;
+    let mut shorted = 0usize;
+
+    let attempt_limit = 4 * cfg.cases as u64 + 64;
+    let mut k = 0u64;
+    while evaluated < cfg.cases && k < attempt_limit {
+        let mut rng = base.substream(k);
+        k += 1;
+        let option = options[(k - 1) as usize % options.len()];
+        let span = (cfg.n_max - cfg.n_min + 1) as f64;
+        let n = cfg.n_min + ((rng.next_f64() * span) as usize).min(cfg.n_max - cfg.n_min);
+
+        let budget = VariationBudget::paper_default(option, cfg.overlay_nm).map_err(|e| {
+            TestkitError::Analysis {
+                message: e.to_string(),
+            }
+        })?;
+        let window = &windows[options
+            .iter()
+            .position(|&o| o == option)
+            .expect("option in ALL")];
+        let draw = sample_draw(option, &budget, &mut rng)?;
+        let printed = match apply_draw(window.stack(), &draw) {
+            Ok(p) => p,
+            Err(_) => {
+                shorted += 1;
+                continue;
+            }
+        };
+        let parasitics =
+            extract_track(&printed, window.bl_index(), window.metal()).map_err(|e| {
+                TestkitError::Analysis {
+                    message: e.to_string(),
+                }
+            })?;
+        let var = RelativeVariation::between(window.nominal(), &parasitics);
+
+        let td_formula = lumped.td_s(n, var.r_var, var.c_var);
+        let td_elmore = elmore.td_s(n, var.r_var, var.c_var);
+        let td_spice = simulate_read(tech, cell, read_config, n, &draw)
+            .map_err(|e| TestkitError::Analysis {
+                message: e.to_string(),
+            })?
+            .td_s;
+        let td_nominal = nominal_of(n)?;
+        evaluated += 1;
+
+        let case = format!("case {k_prev} ({option}, n={n})", k_prev = k - 1);
+        let el = td_elmore / td_formula;
+        el_range = (el_range.0.min(el), el_range.1.max(el));
+        if el < cfg.elmore_lumped_band.0 || el > cfg.elmore_lumped_band.1 {
+            violations.push(format!("elmore-lumped {case}: ratio {el:.4}"));
+        }
+        let sf = td_spice / td_formula;
+        sf_range = (sf_range.0.min(sf), sf_range.1.max(sf));
+        if sf < cfg.spice_formula_band.0 || sf > cfg.spice_formula_band.1 {
+            violations.push(format!("spice-formula {case}: ratio {sf:.4}"));
+        }
+        let se = td_spice / td_elmore;
+        se_range = (se_range.0.min(se), se_range.1.max(se));
+        if se < cfg.spice_elmore_band.0 || se > cfg.spice_elmore_band.1 {
+            violations.push(format!("spice-elmore {case}: ratio {se:.4}"));
+        }
+        let tdp_spice_pp = (td_spice / td_nominal - 1.0) * 100.0;
+        let tdp_formula_pp = lumped.tdp_percent(n, var.r_var, var.c_var);
+        let gap = (tdp_spice_pp - tdp_formula_pp).abs();
+        max_gap = max_gap.max(gap);
+        if gap > cfg.max_tdp_gap_pp {
+            violations.push(format!(
+                "tdp-gap {case}: spice {tdp_spice_pp:+.2}pp vs formula {tdp_formula_pp:+.2}pp"
+            ));
+        }
+    }
+
+    Ok(OracleReport {
+        cases_evaluated: evaluated,
+        shorted_skipped: shorted,
+        spice_formula_range: sf_range,
+        spice_elmore_range: se_range,
+        elmore_lumped_range: el_range,
+        max_tdp_gap_pp: max_gap,
+        violations,
+        config: *cfg,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpvar_tech::preset::n10;
+
+    fn setup() -> (TechDb, BitcellGeometry) {
+        let tech = n10();
+        let cell = BitcellGeometry::n10_hd(&tech).unwrap();
+        (tech, cell)
+    }
+
+    #[test]
+    fn oracles_agree_on_small_study() {
+        let (tech, cell) = setup();
+        let cfg = OracleConfig {
+            cases: 24,
+            n_max: 12,
+            ..OracleConfig::default()
+        };
+        let report = run_delay_oracles(&tech, &cell, &ReadConfig::default(), &cfg).unwrap();
+        assert_eq!(report.cases_evaluated, 24);
+        for item in report.items() {
+            assert!(item.passed, "{}: {}", item.name, item.detail);
+        }
+        // Elmore really is a lower bound, not an alias.
+        assert!(report.elmore_lumped_range.1 <= 1.0 + 1e-9);
+        assert!(report.elmore_lumped_range.0 < 1.0);
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let (tech, cell) = setup();
+        let cfg = OracleConfig {
+            cases: 8,
+            n_max: 8,
+            ..OracleConfig::default()
+        };
+        let a = run_delay_oracles(&tech, &cell, &ReadConfig::default(), &cfg).unwrap();
+        let b = run_delay_oracles(&tech, &cell, &ReadConfig::default(), &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let (tech, cell) = setup();
+        for cfg in [
+            OracleConfig {
+                cases: 0,
+                ..OracleConfig::default()
+            },
+            OracleConfig {
+                n_min: 8,
+                n_max: 4,
+                ..OracleConfig::default()
+            },
+        ] {
+            assert!(run_delay_oracles(&tech, &cell, &ReadConfig::default(), &cfg).is_err());
+        }
+    }
+
+    #[test]
+    fn tight_band_trips_named_violation() {
+        let (tech, cell) = setup();
+        let cfg = OracleConfig {
+            cases: 6,
+            n_max: 8,
+            spice_formula_band: (0.999, 1.001),
+            ..OracleConfig::default()
+        };
+        let report = run_delay_oracles(&tech, &cell, &ReadConfig::default(), &cfg).unwrap();
+        let items = report.items();
+        let sf = items
+            .iter()
+            .find(|i| i.name == "oracle.spice-vs-formula")
+            .unwrap();
+        assert!(!sf.passed);
+        assert!(sf.detail.contains("spice-formula case"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Check outcomes: named pass/fail items and the aggregate report.
+
+/// One named check: a golden comparison, an invariant, or an oracle
+/// bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckItem {
+    /// Stable dotted name (`table1.le3-dominates`,
+    /// `golden.table4`, `oracle.spice-vs-formula`).
+    pub name: String,
+    /// Whether the check passed.
+    pub passed: bool,
+    /// Human-readable evidence: the compared values on failure, a
+    /// one-line summary on success.
+    pub detail: String,
+}
+
+impl CheckItem {
+    /// A passing item.
+    pub fn pass(name: &str, detail: impl Into<String>) -> Self {
+        Self {
+            name: name.to_string(),
+            passed: true,
+            detail: detail.into(),
+        }
+    }
+
+    /// A failing item.
+    pub fn fail(name: &str, detail: impl Into<String>) -> Self {
+        Self {
+            name: name.to_string(),
+            passed: false,
+            detail: detail.into(),
+        }
+    }
+
+    /// Builds an item from a list of violations: passing when empty,
+    /// failing with the joined violations otherwise.
+    pub fn from_violations(name: &str, ok_detail: &str, violations: &[String]) -> Self {
+        if violations.is_empty() {
+            Self::pass(name, ok_detail)
+        } else {
+            Self::fail(name, violations.join("; "))
+        }
+    }
+}
+
+/// The aggregate outcome of a `check` run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Every check evaluated, in execution order.
+    pub items: Vec<CheckItem>,
+}
+
+impl CheckReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one item.
+    pub fn push(&mut self, item: CheckItem) {
+        self.items.push(item);
+    }
+
+    /// Appends every item of another report.
+    pub fn extend(&mut self, items: impl IntoIterator<Item = CheckItem>) {
+        self.items.extend(items);
+    }
+
+    /// `true` when every item passed.
+    pub fn passed(&self) -> bool {
+        self.items.iter().all(|i| i.passed)
+    }
+
+    /// The failing items.
+    pub fn failures(&self) -> Vec<&CheckItem> {
+        self.items.iter().filter(|i| !i.passed).collect()
+    }
+
+    /// Renders the report: one `PASS`/`FAIL` line per item plus a
+    /// summary tail naming every failed invariant.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for item in &self.items {
+            let tag = if item.passed { "PASS" } else { "FAIL" };
+            out.push_str(&format!("{tag}  {}", item.name));
+            if !item.detail.is_empty() {
+                out.push_str(&format!("  — {}", item.detail));
+            }
+            out.push('\n');
+        }
+        let failed = self.failures();
+        out.push_str(&format!(
+            "\n{} checks, {} failed",
+            self.items.len(),
+            failed.len()
+        ));
+        if !failed.is_empty() {
+            out.push_str(": ");
+            out.push_str(
+                &failed
+                    .iter()
+                    .map(|i| i.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_aggregates() {
+        let mut r = CheckReport::new();
+        r.push(CheckItem::pass("a", "fine"));
+        assert!(r.passed());
+        r.push(CheckItem::fail("b.x", "1 != 2"));
+        assert!(!r.passed());
+        assert_eq!(r.failures().len(), 1);
+        let text = r.render();
+        assert!(text.contains("PASS  a"));
+        assert!(text.contains("FAIL  b.x"));
+        assert!(text.contains("2 checks, 1 failed: b.x"));
+    }
+
+    #[test]
+    fn from_violations_switches_on_emptiness() {
+        let ok = CheckItem::from_violations("n", "all good", &[]);
+        assert!(ok.passed);
+        let bad = CheckItem::from_violations("n", "", &["x".into(), "y".into()]);
+        assert!(!bad.passed);
+        assert_eq!(bad.detail, "x; y");
+    }
+}

@@ -159,3 +159,25 @@ fn experiment_context_runs_are_repeatable() {
     let b = experiments::table4(&ctx).expect("table4 runs");
     assert_eq!(a.rows, b.rows);
 }
+
+#[test]
+fn check_report_identical_across_thread_counts() {
+    // The whole `repro -- check` verdict pass — golden gate, shape
+    // invariants, differential oracles — must render the exact same
+    // report whether the experiment stages run serial or on four
+    // workers. Reduced trials keep this test cheap; statistical golden
+    // bands are calibrated for the real profiles, so the assertion here
+    // is report *equality*, not that every item passes.
+    use mpvar_bench::check::{run_check, CheckOptions};
+
+    let opts = |threads: usize| CheckOptions {
+        exec: ExecConfig::with_threads(threads),
+        trials: Some(400),
+        oracle_cases: 12,
+        ..CheckOptions::new(true)
+    };
+    let serial = run_check(&opts(1)).expect("check runs serial");
+    let four = run_check(&opts(4)).expect("check runs on 4 threads");
+    assert_eq!(serial, four, "check verdicts depend on thread count");
+    assert_eq!(serial.render(), four.render());
+}

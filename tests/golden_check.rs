@@ -1,0 +1,41 @@
+//! The golden gate as a test: `repro -- check --fast` must pass on a
+//! clean tree. This is the same verdict pass CI runs through the
+//! binary, wired into `cargo test` so a local run catches golden
+//! drift, a broken paper claim, or oracle disagreement before push.
+
+use mpvar_bench::check::{run_check, table_specs, CheckOptions};
+
+#[test]
+fn fast_check_passes_on_a_clean_tree() {
+    // Integration tests run with the package root as cwd, where the
+    // committed goldens live under results/.
+    let opts = CheckOptions {
+        // The differential-oracle acceptance bar is >= 100 randomized
+        // arrays; the binary's default (128) already clears it, and the
+        // test keeps that default.
+        ..CheckOptions::new(true)
+    };
+    assert!(opts.oracle_cases >= 100);
+    let report = run_check(&opts).expect("check regenerates the matrix");
+    assert!(
+        report.passed(),
+        "fast check failed on a clean tree:\n{}",
+        report.render()
+    );
+    // Every family of checks is represented in the report.
+    let names: Vec<&str> = report.items.iter().map(|i| i.name.as_str()).collect();
+    for spec in table_specs(true) {
+        let golden = format!("golden.{}", spec.id);
+        assert!(names.contains(&golden.as_str()), "missing {golden}");
+    }
+    for required in [
+        "table1.le3-dominates",
+        "fig4.tdp-grows-with-height",
+        "table4.overlay-monotonicity",
+        "fig5.le3-least-gaussian",
+        "oracle.coverage",
+        "oracle.tdp-agreement",
+    ] {
+        assert!(names.contains(&required), "missing {required}");
+    }
+}
