@@ -17,11 +17,7 @@ use mpvar_core::montecarlo::McConfig;
 fn bench_ctx() -> ExperimentContext {
     let mut ctx = ExperimentContext::quick().expect("context builds");
     ctx.sizes = vec![16, 64];
-    ctx.mc = McConfig {
-        trials: 2_000,
-        seed: 2015,
-        ..McConfig::default()
-    };
+    ctx.mc = McConfig::builder().trials(2_000).seed(2015).build();
     ctx
 }
 

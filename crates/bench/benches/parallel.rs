@@ -32,11 +32,11 @@ fn bench_parallel_mc(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(trials as u64));
     for threads in thread_counts() {
-        let mc = McConfig {
-            trials,
-            seed: 2015,
-            exec: ExecConfig::with_threads(threads),
-        };
+        let mc = McConfig::builder()
+            .trials(trials)
+            .seed(2015)
+            .threads(threads)
+            .build();
         group.bench_with_input(
             BenchmarkId::new("tdp_distribution", threads),
             &mc,

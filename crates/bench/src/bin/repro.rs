@@ -1,8 +1,8 @@
 //! `repro` — regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--out DIR] <experiment | all>
-//! repro check [--fast] [--golden DIR] [--oracle-cases N]
+//! repro [--quick] [--out DIR] [--timings] <experiment | all>
+//! repro check [--fast] [--golden DIR] [--oracle-cases N] [--timings]
 //! ```
 //!
 //! Experiments: table1 fig4 table2 table3 fig5 table4 ablation-delay
@@ -12,6 +12,13 @@
 //! (default `results/`). The extra `bench-parallel` target measures
 //! Monte-Carlo throughput per thread count and writes the
 //! `BENCH_parallel.json` snapshot tracked across PRs.
+//!
+//! Every evaluation runs through a [`Study`] session: the artifact
+//! graph computes each shared stage (the Table I corner search, the
+//! Fig. 4 simulations) exactly once and serves every downstream
+//! consumer from the content-keyed cache. `--timings` prints the
+//! per-node report — producer runs, cache hits, wall-clock — after the
+//! run.
 //!
 //! `check` re-runs the matrix and verdicts it: committed goldens are
 //! compared value-wise under per-column tolerances, the paper's shape
@@ -23,15 +30,31 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use mpvar_bench::check::{run_check, CheckOptions};
-use mpvar_bench::{parallel_bench_snapshot, run, EXPERIMENT_IDS};
+use mpvar_bench::check::{check_context, run_check_in, CheckOptions};
+use mpvar_bench::{parallel_bench_snapshot, EXPERIMENT_IDS};
 use mpvar_core::experiments::ExperimentContext;
+use mpvar_study::{ArtifactId, NodeOutcome, Study, StudyObserver};
+
+/// Streams one progress line per evaluated node to stderr.
+struct ProgressLines;
+
+impl StudyObserver for ProgressLines {
+    fn on_node_done(&self, id: ArtifactId, outcome: NodeOutcome) {
+        match outcome {
+            NodeOutcome::Computed(wall) => {
+                eprintln!("[study] {id}: computed in {:.3} s", wall.as_secs_f64());
+            }
+            NodeOutcome::CacheHit => eprintln!("[study] {id}: cache hit"),
+        }
+    }
+}
 
 fn usage() -> String {
     format!(
-        "usage: repro [--quick] [--out DIR] <experiment | all | bench-parallel>\n\
-         \x20      repro check [--fast] [--golden DIR] [--oracle-cases N]\n\
+        "usage: repro [--quick] [--out DIR] [--timings] <experiment | all | bench-parallel>\n\
+         \x20      repro check [--fast] [--golden DIR] [--oracle-cases N] [--timings]\n\
          experiments: {}",
         EXPERIMENT_IDS.join(" ")
     )
@@ -40,6 +63,7 @@ fn usage() -> String {
 fn main() -> ExitCode {
     let mut quick = false;
     let mut fast = false;
+    let mut timings = false;
     let mut out_dir = PathBuf::from("results");
     let mut golden_dir = PathBuf::from("results");
     let mut oracle_cases = 128usize;
@@ -50,6 +74,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--quick" => quick = true,
             "--fast" => fast = true,
+            "--timings" => timings = true,
             "--out" => match args.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => {
@@ -103,7 +128,15 @@ fn main() -> ExitCode {
             opts.golden_dir.display(),
             opts.oracle_cases
         );
-        let report = match run_check(&opts) {
+        let ctx = match check_context(&opts) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("failed to build check context: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let study = Study::new(ctx).with_observer(Arc::new(ProgressLines));
+        let report = match run_check_in(&opts, &study) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("check could not regenerate the matrix: {e}");
@@ -111,6 +144,9 @@ fn main() -> ExitCode {
             }
         };
         print!("{}", report.render());
+        if timings {
+            eprint!("{}", study.timings_report());
+        }
         return if report.passed() {
             ExitCode::SUCCESS
         } else {
@@ -162,7 +198,8 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let artifacts = match run(&target, &ctx) {
+    let study = Study::new(ctx).with_observer(Arc::new(ProgressLines));
+    let artifacts = match study.run_named(&target) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("experiment failed: {e}");
@@ -185,6 +222,9 @@ fn main() -> ExitCode {
             }
             eprintln!("wrote {}", path.display());
         }
+    }
+    if timings {
+        eprint!("{}", study.timings_report());
     }
     ExitCode::SUCCESS
 }

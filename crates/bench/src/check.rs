@@ -25,11 +25,11 @@
 use std::path::PathBuf;
 
 use mpvar_core::experiments::{
-    ablation_bl_width, ablation_delay_models, ablation_sadp_anticorrelation, extension_le2,
-    extension_ler, extension_scaling, fig4, fig5, table1, table2, table3, table4,
-    ExperimentContext,
+    AblationBlWidth, AblationDelayModels, AblationSadpAnticorrelation, ExperimentContext,
+    ExtensionLe2, ExtensionLer, ExtensionScaling, Fig4, Fig5, Table1, Table2, Table3, Table4,
 };
 use mpvar_core::{CoreError, ExecConfig};
+use mpvar_study::{SensitivityMatrix, Study};
 use mpvar_testkit::compare::{compare_tables, Policy, TableSpec};
 use mpvar_testkit::csv::CsvTable;
 use mpvar_testkit::invariants;
@@ -56,7 +56,7 @@ pub struct CheckOptions {
     /// Reduced profile: array heights {16, 64} and 5 000 Monte-Carlo
     /// trials instead of the paper's {16, 64, 256, 1024} × 20 000.
     /// Deterministic artefacts still gate exactly; statistical columns
-    /// widen to [`FAST_SIGMA_REL`].
+    /// widen to the fast-profile sigma band (`FAST_SIGMA_REL`).
     pub fast: bool,
     /// Directory holding the committed golden CSVs.
     pub golden_dir: PathBuf,
@@ -291,23 +291,39 @@ fn golden_gate_item(spec: &TableSpec, golden_dir: &std::path::Path, fresh_csv: &
 ///
 /// Propagates experiment-runner failures.
 pub fn run_check(opts: &CheckOptions) -> Result<CheckReport, CoreError> {
-    let ctx = check_context(opts)?;
+    let study = Study::new(check_context(opts)?);
+    run_check_in(opts, &study)
+}
+
+/// Runs the verdict pass against an existing [`Study`] session.
+///
+/// The session's memoized cache makes the reuse explicit: the Table I
+/// corner search and Fig. 4 simulations are computed once and every
+/// downstream artefact (Tables II/III, ablation A1) fetches them as
+/// cache hits — visible in the session's `timings_report()`.
+///
+/// # Errors
+///
+/// Propagates experiment-runner failures.
+pub fn run_check_in(opts: &CheckOptions, study: &Study) -> Result<CheckReport, CoreError> {
+    let ctx = study.context().clone();
     let mut report = CheckReport::new();
 
-    // Regenerate the matrix once, sharing the expensive stages.
-    let t1 = table1(&ctx)?;
-    let f4 = fig4(&ctx, &t1)?;
-    let t2 = table2(&ctx, &f4)?;
-    let t3 = table3(&ctx, &t1, &f4)?;
-    let f5 = fig5(&ctx)?;
-    let t4 = table4(&ctx)?;
-    let a1 = ablation_delay_models(&ctx, &f4)?;
-    let a2 = ablation_bl_width(&ctx)?;
-    let a3 = ablation_sadp_anticorrelation(&ctx)?;
-    let e1 = extension_le2(&ctx)?;
-    let e2 = extension_ler(&ctx)?;
-    let e3 = extension_scaling(&ctx)?;
-    let sensitivity = crate::sensitivity_artifact(&ctx)?;
+    // Regenerate the matrix once; the artifact graph shares the
+    // expensive stages through the content-keyed cache.
+    let t1 = study.get::<Table1>()?;
+    let f4 = study.get::<Fig4>()?;
+    let t2 = study.get::<Table2>()?;
+    let t3 = study.get::<Table3>()?;
+    let f5 = study.get::<Fig5>()?;
+    let t4 = study.get::<Table4>()?;
+    let a1 = study.get::<AblationDelayModels>()?;
+    let a2 = study.get::<AblationBlWidth>()?;
+    let a3 = study.get::<AblationSadpAnticorrelation>()?;
+    let e1 = study.get::<ExtensionLe2>()?;
+    let e2 = study.get::<ExtensionLer>()?;
+    let e3 = study.get::<ExtensionScaling>()?;
+    let sensitivity = study.get::<SensitivityMatrix>()?;
 
     // Golden gate: fresh CSV vs committed artefact, value-wise.
     let fresh: Vec<(&str, String)> = vec![
@@ -321,7 +337,7 @@ pub fn run_check(opts: &CheckOptions) -> Result<CheckReport, CoreError> {
         ("ablation-sadp-vss", a3.report().to_csv()),
         ("extension-le2", e1.report().to_csv()),
         ("extension-ler", e2.report().to_csv()),
-        ("extension-sensitivity", sensitivity.csv.clone()),
+        ("extension-sensitivity", sensitivity.to_csv()),
         ("extension-scaling", e3.report().to_csv()),
     ];
     for spec in table_specs(opts.fast) {

@@ -1,27 +1,28 @@
 //! Reproduction harness for every table and figure of the paper.
 //!
-//! The [`run`] entry point maps experiment ids to the runners in
-//! `mpvar-core::experiments` and renders text + CSV artefacts. The
-//! `repro` binary and the Criterion benches are thin wrappers over this
-//! module, so "what regenerates Table III" has exactly one answer.
+//! Since the `Study` redesign, the artifact-graph engine in
+//! [`mpvar_study`] is the single entry point for evaluating
+//! experiments: the `repro` binary, the `check` verdict pass, and the
+//! Criterion benches all drive a [`Study`] session, which memoizes
+//! shared prework (the Table I corner search, the Fig. 4 simulations)
+//! in a content-keyed cache and reports per-node timings. The free
+//! functions here ([`run`], [`run_all`]) remain as thin deprecated
+//! shims so older callers keep compiling.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod check;
 
-use std::fmt::Write as _;
-
-use mpvar_core::experiments::{
-    ablation_bl_width, ablation_delay_models, ablation_sadp_anticorrelation, extension_le2,
-    extension_ler, extension_scaling, fig4, fig5, table1, table2, table3, table4,
-    ExperimentContext,
-};
-use mpvar_core::sensitivity::sensitivity_profile;
+use mpvar_core::experiments::ExperimentContext;
 use mpvar_core::{tdp_distribution_with, CoreError, ExecConfig, McConfig, NominalWindow};
+use mpvar_study::Study;
 use mpvar_tech::PatterningOption;
 
-/// Identifiers of every reproducible artefact.
+pub use mpvar_study::Artifact;
+
+/// Identifiers of every reproducible artefact, in canonical report
+/// order (mirrors [`mpvar_study::ArtifactId::ALL`]).
 pub const EXPERIMENT_IDS: [&str; 13] = [
     "table1",
     "fig4",
@@ -38,229 +39,31 @@ pub const EXPERIMENT_IDS: [&str; 13] = [
     "extension-scaling",
 ];
 
-/// One rendered artefact.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Artifact {
-    /// Experiment id (e.g. `table1`).
-    pub id: String,
-    /// Human-readable report text.
-    pub text: String,
-    /// CSV rendering where tabular (empty for figure-style artefacts).
-    pub csv: String,
-}
-
 /// Runs one experiment (or `"all"`) and returns the artefacts.
+///
+/// Thin shim over a fresh [`Study`] session; prefer driving a `Study`
+/// directly so repeated requests share the memoized artifact cache.
 ///
 /// # Errors
 ///
 /// * [`CoreError::InvalidParameter`] for an unknown id;
 /// * propagated experiment failures.
+#[deprecated(note = "drive a `mpvar_study::Study` session instead")]
 pub fn run(id: &str, ctx: &ExperimentContext) -> Result<Vec<Artifact>, CoreError> {
-    if id == "all" {
-        return run_all(ctx);
-    }
-    if !EXPERIMENT_IDS.contains(&id) {
-        return Err(CoreError::InvalidParameter {
-            name: "experiment id",
-            value: f64::NAN,
-            constraint: "must be one of the known experiment ids (or `all`)",
-        });
-    }
-    // Worst-case-derived artefacts share the Table I search and the
-    // Fig. 4 simulations; compute lazily.
-    match id {
-        "table1" => {
-            let t1 = table1(ctx)?;
-            let table = t1.report();
-            Ok(vec![Artifact {
-                id: id.to_string(),
-                text: table.render(),
-                csv: table.to_csv(),
-            }])
-        }
-        "fig4" | "table2" | "table3" | "ablation-delay" => {
-            let t1 = table1(ctx)?;
-            let f4 = fig4(ctx, &t1)?;
-            let (text, csv) = match id {
-                "fig4" => {
-                    let t = f4.report();
-                    (t.render(), t.to_csv())
-                }
-                "table2" => {
-                    let t = table2(ctx, &f4)?.report();
-                    (t.render(), t.to_csv())
-                }
-                "table3" => {
-                    let t = table3(ctx, &t1, &f4)?.report();
-                    (t.render(), t.to_csv())
-                }
-                _ => {
-                    let t = ablation_delay_models(ctx, &f4)?.report();
-                    (t.render(), t.to_csv())
-                }
-            };
-            Ok(vec![Artifact {
-                id: id.to_string(),
-                text,
-                csv,
-            }])
-        }
-        "fig5" => {
-            let f5 = fig5(ctx)?;
-            let mut csv = String::from("option,tdp_percent\n");
-            for d in &f5.distributions {
-                for &s in d.samples_percent() {
-                    let _ = writeln!(csv, "{},{s}", d.option());
-                }
-            }
-            Ok(vec![Artifact {
-                id: id.to_string(),
-                text: f5.report(),
-                csv,
-            }])
-        }
-        "table4" => {
-            let t = table4(ctx)?.report();
-            Ok(vec![Artifact {
-                id: id.to_string(),
-                text: t.render(),
-                csv: t.to_csv(),
-            }])
-        }
-        "ablation-bl-width" => {
-            let t = ablation_bl_width(ctx)?.report();
-            Ok(vec![Artifact {
-                id: id.to_string(),
-                text: t.render(),
-                csv: t.to_csv(),
-            }])
-        }
-        "ablation-sadp-vss" => {
-            let t = ablation_sadp_anticorrelation(ctx)?.report();
-            Ok(vec![Artifact {
-                id: id.to_string(),
-                text: t.render(),
-                csv: t.to_csv(),
-            }])
-        }
-        "extension-le2" => {
-            let t = extension_le2(ctx)?.report();
-            Ok(vec![Artifact {
-                id: id.to_string(),
-                text: t.render(),
-                csv: t.to_csv(),
-            }])
-        }
-        "extension-ler" => {
-            let t = extension_ler(ctx)?.report();
-            Ok(vec![Artifact {
-                id: id.to_string(),
-                text: t.render(),
-                csv: t.to_csv(),
-            }])
-        }
-        "extension-sensitivity" => Ok(vec![sensitivity_artifact(ctx)?]),
-        "extension-scaling" => {
-            let t = extension_scaling(ctx)?.report();
-            Ok(vec![Artifact {
-                id: id.to_string(),
-                text: t.render(),
-                csv: t.to_csv(),
-            }])
-        }
-        _ => unreachable!("id validated above"),
-    }
+    Study::new(ctx.clone()).run_named(id)
 }
 
 /// Runs every experiment, sharing the expensive common stages.
 ///
+/// Thin shim over a fresh [`Study`] session; prefer driving a `Study`
+/// directly so repeated requests share the memoized artifact cache.
+///
 /// # Errors
 ///
 /// Propagates the first experiment failure.
+#[deprecated(note = "drive a `mpvar_study::Study` session instead")]
 pub fn run_all(ctx: &ExperimentContext) -> Result<Vec<Artifact>, CoreError> {
-    let mut out = Vec::new();
-    let t1 = table1(ctx)?;
-    let t1_report = t1.report();
-    out.push(Artifact {
-        id: "table1".into(),
-        text: t1_report.render(),
-        csv: t1_report.to_csv(),
-    });
-    let f4 = fig4(ctx, &t1)?;
-    let f4_report = f4.report();
-    out.push(Artifact {
-        id: "fig4".into(),
-        text: f4_report.render(),
-        csv: f4_report.to_csv(),
-    });
-    let t2 = table2(ctx, &f4)?.report();
-    out.push(Artifact {
-        id: "table2".into(),
-        text: t2.render(),
-        csv: t2.to_csv(),
-    });
-    let t3 = table3(ctx, &t1, &f4)?.report();
-    out.push(Artifact {
-        id: "table3".into(),
-        text: t3.render(),
-        csv: t3.to_csv(),
-    });
-    let f5 = fig5(ctx)?;
-    let mut f5_csv = String::from("option,tdp_percent\n");
-    for d in &f5.distributions {
-        for &s in d.samples_percent() {
-            let _ = writeln!(f5_csv, "{},{s}", d.option());
-        }
-    }
-    out.push(Artifact {
-        id: "fig5".into(),
-        text: f5.report(),
-        csv: f5_csv,
-    });
-    let t4 = table4(ctx)?.report();
-    out.push(Artifact {
-        id: "table4".into(),
-        text: t4.render(),
-        csv: t4.to_csv(),
-    });
-    let a1 = ablation_delay_models(ctx, &f4)?.report();
-    out.push(Artifact {
-        id: "ablation-delay".into(),
-        text: a1.render(),
-        csv: a1.to_csv(),
-    });
-    let a2 = ablation_bl_width(ctx)?.report();
-    out.push(Artifact {
-        id: "ablation-bl-width".into(),
-        text: a2.render(),
-        csv: a2.to_csv(),
-    });
-    let a3 = ablation_sadp_anticorrelation(ctx)?.report();
-    out.push(Artifact {
-        id: "ablation-sadp-vss".into(),
-        text: a3.render(),
-        csv: a3.to_csv(),
-    });
-    let e1 = extension_le2(ctx)?.report();
-    out.push(Artifact {
-        id: "extension-le2".into(),
-        text: e1.render(),
-        csv: e1.to_csv(),
-    });
-    let e2 = extension_ler(ctx)?.report();
-    out.push(Artifact {
-        id: "extension-ler".into(),
-        text: e2.render(),
-        csv: e2.to_csv(),
-    });
-    out.push(sensitivity_artifact(ctx)?);
-    let e3 = extension_scaling(ctx)?.report();
-    out.push(Artifact {
-        id: "extension-scaling".into(),
-        text: e3.render(),
-        csv: e3.to_csv(),
-    });
-    Ok(out)
+    Study::new(ctx.clone()).run_all()
 }
 
 /// Measures Monte-Carlo trial throughput at 1, 2, and all-cores worker
@@ -291,20 +94,20 @@ pub fn parallel_bench_snapshot(ctx: &ExperimentContext) -> Result<String, CoreEr
     counts.dedup();
 
     // Warm-up so allocator/cache state doesn't bias the first entry.
-    let warm = McConfig {
-        trials,
-        seed: ctx.mc.seed,
-        exec: ExecConfig::SERIAL,
-    };
+    let warm = McConfig::builder()
+        .trials(trials)
+        .seed(ctx.mc.seed)
+        .exec(ExecConfig::SERIAL)
+        .build();
     let _ = tdp_distribution_with(&window, &budget, 64, &warm)?;
 
     let mut entries = Vec::with_capacity(counts.len());
     for &threads in &counts {
-        let mc = McConfig {
-            trials,
-            seed: ctx.mc.seed,
-            exec: ExecConfig::with_threads(threads),
-        };
+        let mc = McConfig::builder()
+            .trials(trials)
+            .seed(ctx.mc.seed)
+            .threads(threads)
+            .build();
         let mut best_s = f64::INFINITY;
         for _ in 0..3 {
             let t0 = Instant::now();
@@ -346,37 +149,20 @@ pub fn parallel_bench_snapshot(ctx: &ExperimentContext) -> Result<String, CoreEr
     Ok(json)
 }
 
-/// Builds the combined per-option sensitivity artefact.
-fn sensitivity_artifact(ctx: &ExperimentContext) -> Result<Artifact, CoreError> {
-    let n = if ctx.sizes.contains(&64) {
-        64
-    } else {
-        *ctx.sizes.last().expect("context has sizes")
-    };
-    let mut text = String::new();
-    let mut csv = String::from("option,parameter,slope_pp_per_nm,curvature_pp_per_nm2\n");
-    for option in PatterningOption::ALL_WITH_EXTENSIONS {
-        let profile = sensitivity_profile(&ctx.tech, &ctx.cell, option, n, 0.25)?;
-        text.push_str(&profile.report().render());
-        text.push('\n');
-        for p in &profile.parameters {
-            let _ = writeln!(
-                csv,
-                "{},{},{},{}",
-                option, p.name, p.slope_pp_per_nm, p.curvature_pp_per_nm2
-            );
-        }
-    }
-    Ok(Artifact {
-        id: "extension-sensitivity".into(),
-        text,
-        csv,
-    })
-}
-
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shims themselves are under test
+
     use super::*;
+    use mpvar_study::ArtifactId;
+
+    #[test]
+    fn experiment_ids_mirror_the_artifact_graph() {
+        assert_eq!(EXPERIMENT_IDS.len(), ArtifactId::ALL.len());
+        for (name, id) in EXPERIMENT_IDS.iter().zip(ArtifactId::ALL) {
+            assert_eq!(*name, id.name());
+        }
+    }
 
     #[test]
     fn unknown_id_rejected() {

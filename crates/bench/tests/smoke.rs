@@ -1,6 +1,8 @@
 //! End-to-end smoke test of the reproduction harness: `run_all` on a
 //! tiny context must produce every artefact with sane content.
 
+#![allow(deprecated)] // the compatibility shims are part of the surface under test
+
 use mpvar_bench::{run, run_all, EXPERIMENT_IDS};
 use mpvar_core::experiments::ExperimentContext;
 use mpvar_core::montecarlo::McConfig;
@@ -8,11 +10,7 @@ use mpvar_core::montecarlo::McConfig;
 fn tiny_ctx() -> ExperimentContext {
     let mut ctx = ExperimentContext::quick().expect("context builds");
     ctx.sizes = vec![8];
-    ctx.mc = McConfig {
-        trials: 250,
-        seed: 1,
-        ..McConfig::default()
-    };
+    ctx.mc = McConfig::builder().trials(250).seed(1).build();
     ctx
 }
 

@@ -24,7 +24,13 @@ use crate::worst_case::{find_worst_case, find_worst_case_with, WorstCase};
 
 /// Everything an experiment needs: technology, cell, DOE sizes, and
 /// Monte-Carlo settings.
+///
+/// Construct via [`ExperimentContext::paper`], [`ExperimentContext::quick`],
+/// or [`ExperimentContext::builder`]; the struct is `#[non_exhaustive]`
+/// so future knobs are not breaking changes (fields stay public for
+/// reading and in-place mutation).
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ExperimentContext {
     /// Technology under test.
     pub tech: TechDb,
@@ -46,36 +52,58 @@ pub struct ExperimentContext {
 }
 
 impl ExperimentContext {
-    /// The paper's full design of experiments.
+    /// A builder seeded with the paper's full design of experiments
+    /// (the [`ExperimentContextBuilder::paper_preset`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tech/cell construction failures.
+    pub fn builder() -> Result<ExperimentContextBuilder, CoreError> {
+        let tech = n10();
+        let cell = BitcellGeometry::n10_hd(&tech)?;
+        Ok(ExperimentContextBuilder {
+            ctx: Self {
+                tech,
+                cell,
+                read_config: ReadConfig::default(),
+                sizes: mpvar_sram::array::PAPER_ARRAY_SIZES.to_vec(),
+                mc: McConfig::default(),
+                le3_overlay_sweep_nm: vec![3.0, 5.0, 7.0, 8.0],
+                le3_overlay_nm: 8.0,
+                exec: ExecConfig::default(),
+            },
+        })
+    }
+
+    /// The paper's full design of experiments (the builder's
+    /// [`ExperimentContextBuilder::paper_preset`]).
     ///
     /// # Errors
     ///
     /// Propagates tech/cell construction failures.
     pub fn paper() -> Result<Self, CoreError> {
-        let tech = n10();
-        let cell = BitcellGeometry::n10_hd(&tech)?;
-        Ok(Self {
-            tech,
-            cell,
-            read_config: ReadConfig::default(),
-            sizes: mpvar_sram::array::PAPER_ARRAY_SIZES.to_vec(),
-            mc: McConfig::default(),
-            le3_overlay_sweep_nm: vec![3.0, 5.0, 7.0, 8.0],
-            le3_overlay_nm: 8.0,
-            exec: ExecConfig::default(),
-        })
+        Ok(Self::builder()?.build())
     }
 
-    /// A down-scaled context for fast runs (small arrays, fewer trials).
+    /// A down-scaled context for fast runs (the builder's
+    /// [`ExperimentContextBuilder::quick_preset`]).
     ///
     /// # Errors
     ///
     /// Propagates tech/cell construction failures.
     pub fn quick() -> Result<Self, CoreError> {
-        let mut ctx = Self::paper()?;
-        ctx.sizes = vec![8, 16];
-        ctx.mc.trials = 1_500;
-        Ok(ctx)
+        Ok(Self::builder()?.quick_preset().build())
+    }
+
+    /// The array height n-pinned artefacts (Fig. 5, Table IV, the
+    /// sensitivity/LE2/LER/scaling extensions) measure at: 64 when the
+    /// DOE includes it (the paper's choice), else the largest size.
+    pub fn pinned_height(&self) -> usize {
+        if self.sizes.contains(&64) {
+            64
+        } else {
+            *self.sizes.last().expect("context has sizes")
+        }
     }
 
     /// The variation budget of `option` with this context's LE3 overlay.
@@ -97,6 +125,121 @@ impl ExperimentContext {
     /// inner thread share.
     fn mc_with(&self, exec: ExecConfig) -> McConfig {
         McConfig { exec, ..self.mc }
+    }
+}
+
+/// Builder for [`ExperimentContext`].
+///
+/// Starts from the paper's full design of experiments; presets and
+/// knob setters layer on top, so adding a knob later never breaks
+/// callers.
+///
+/// ```
+/// use mpvar_core::experiments::ExperimentContext;
+///
+/// let ctx = ExperimentContext::builder()?
+///     .quick_preset()
+///     .trials(500)
+///     .seed(7)
+///     .threads(1)
+///     .build();
+/// assert_eq!(ctx.mc.trials, 500);
+/// assert_eq!(ctx.exec.effective_threads(), 1);
+/// # Ok::<(), mpvar_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExperimentContextBuilder {
+    ctx: ExperimentContext,
+}
+
+impl ExperimentContextBuilder {
+    /// The paper's full design of experiments: arrays of 16/64/256/1024
+    /// word lines, 20 000 Monte-Carlo trials (the builder's default).
+    #[must_use]
+    pub fn paper_preset(mut self) -> Self {
+        self.ctx.sizes = mpvar_sram::array::PAPER_ARRAY_SIZES.to_vec();
+        self.ctx.mc.trials = McConfig::default().trials;
+        self
+    }
+
+    /// The down-scaled CI-speed preset: 8/16-word-line arrays, 1 500
+    /// trials.
+    #[must_use]
+    pub fn quick_preset(mut self) -> Self {
+        self.ctx.sizes = vec![8, 16];
+        self.ctx.mc.trials = 1_500;
+        self
+    }
+
+    /// Overrides the technology and matching bitcell geometry together
+    /// (they must agree, so they travel as a pair).
+    #[must_use]
+    pub fn tech_cell(mut self, tech: TechDb, cell: mpvar_sram::BitcellGeometry) -> Self {
+        self.ctx.tech = tech;
+        self.ctx.cell = cell;
+        self
+    }
+
+    /// Overrides the read-testbench configuration.
+    #[must_use]
+    pub fn read_config(mut self, read_config: ReadConfig) -> Self {
+        self.ctx.read_config = read_config;
+        self
+    }
+
+    /// Overrides the DOE array sizes (word lines).
+    #[must_use]
+    pub fn sizes(mut self, sizes: Vec<usize>) -> Self {
+        self.ctx.sizes = sizes;
+        self
+    }
+
+    /// Overrides the Monte-Carlo trial count.
+    #[must_use]
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.ctx.mc.trials = trials;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.ctx.mc.seed = seed;
+        self
+    }
+
+    /// Pins both thread-count knobs (experiment dispatch and the
+    /// Monte-Carlo farm). Results are bit-identical for any setting.
+    #[must_use]
+    pub fn threads(self, threads: usize) -> Self {
+        self.exec(ExecConfig::with_threads(threads))
+    }
+
+    /// Sets both execution knobs from an [`ExecConfig`].
+    #[must_use]
+    pub fn exec(mut self, exec: ExecConfig) -> Self {
+        self.ctx.exec = exec;
+        self.ctx.mc.exec = exec;
+        self
+    }
+
+    /// Overrides the LE3 overlay budgets swept in Table IV.
+    #[must_use]
+    pub fn le3_overlay_sweep_nm(mut self, sweep: Vec<f64>) -> Self {
+        self.ctx.le3_overlay_sweep_nm = sweep;
+        self
+    }
+
+    /// Overrides the reference LE3 overlay budget (3σ, nm).
+    #[must_use]
+    pub fn le3_overlay_nm(mut self, overlay_nm: f64) -> Self {
+        self.ctx.le3_overlay_nm = overlay_nm;
+        self
+    }
+
+    /// Finalizes the context.
+    pub fn build(self) -> ExperimentContext {
+        self.ctx
     }
 }
 
@@ -396,11 +539,7 @@ pub struct Fig5 {
 ///
 /// Propagates Monte-Carlo failures.
 pub fn fig5(ctx: &ExperimentContext) -> Result<Fig5, CoreError> {
-    let n = if ctx.sizes.contains(&64) {
-        64
-    } else {
-        *ctx.sizes.last().expect("context has sizes")
-    };
+    let n = ctx.pinned_height();
     // Per-option cells run in parallel against cached nominal windows;
     // each cell's Monte-Carlo farm gets the remaining thread share.
     let cache = NominalCache::build(&ctx.tech, &ctx.cell, &PatterningOption::ALL)?;
@@ -464,11 +603,7 @@ pub struct Table4 {
 ///
 /// Propagates Monte-Carlo failures.
 pub fn table4(ctx: &ExperimentContext) -> Result<Table4, CoreError> {
-    let n = if ctx.sizes.contains(&64) {
-        64
-    } else {
-        *ctx.sizes.last().expect("context has sizes")
-    };
+    let n = ctx.pinned_height();
     // Independent cells: the LE3 overlay sweep plus SADP and EUV. All
     // LE3 cells share one cached nominal window (the nominal print does
     // not depend on the overlay budget).
@@ -738,11 +873,7 @@ pub struct ExtensionLe2 {
 ///
 /// Propagates search / Monte-Carlo failures.
 pub fn extension_le2(ctx: &ExperimentContext) -> Result<ExtensionLe2, CoreError> {
-    let n = if ctx.sizes.contains(&64) {
-        64
-    } else {
-        *ctx.sizes.last().expect("context has sizes")
-    };
+    let n = ctx.pinned_height();
     let mut rows = Vec::new();
     for option in PatterningOption::ALL_WITH_EXTENSIONS {
         let budget = VariationBudget::paper_default(option, ctx.le3_overlay_nm)?;
@@ -817,11 +948,7 @@ pub fn extension_ler(ctx: &ExperimentContext) -> Result<ExtensionLer, CoreError>
     use mpvar_extract::wire_resistance_ohm;
     use mpvar_litho::LerModel;
 
-    let n = if ctx.sizes.contains(&64) {
-        64
-    } else {
-        *ctx.sizes.last().expect("context has sizes")
-    };
+    let n = ctx.pinned_height();
     let m1 = ctx
         .tech
         .metal(1)
@@ -971,11 +1098,7 @@ pub struct ExtensionScaling {
 ///
 /// Propagates search / Monte-Carlo failures.
 pub fn extension_scaling(ctx: &ExperimentContext) -> Result<ExtensionScaling, CoreError> {
-    let n = if ctx.sizes.contains(&64) {
-        64
-    } else {
-        *ctx.sizes.last().expect("context has sizes")
-    };
+    let n = ctx.pinned_height();
     let mut rows = Vec::new();
     for tech in [n10(), mpvar_tech::preset::n7()] {
         let cell = BitcellGeometry::hd(&tech)?;

@@ -52,8 +52,11 @@ pub mod worst_case;
 
 pub use elmore::ElmoreModel;
 pub use error::CoreError;
+pub use experiments::{ExperimentContext, ExperimentContextBuilder};
 pub use formula::AnalyticalModel;
-pub use montecarlo::{tdp_distribution, tdp_distribution_with, McConfig, TdpDistribution};
+pub use montecarlo::{
+    tdp_distribution, tdp_distribution_with, McConfig, McConfigBuilder, TdpDistribution,
+};
 pub use mpvar_exec::ExecConfig;
 pub use nominal::{NominalCache, NominalWindow};
 pub use sensitivity::{sensitivity_profile, SensitivityProfile};
@@ -65,9 +68,10 @@ pub mod prelude {
     pub use crate::elmore::ElmoreModel;
     pub use crate::error::CoreError;
     pub use crate::experiments;
+    pub use crate::experiments::{ExperimentContext, ExperimentContextBuilder};
     pub use crate::formula::AnalyticalModel;
     pub use crate::montecarlo::{
-        tdp_distribution, tdp_distribution_with, McConfig, TdpDistribution,
+        tdp_distribution, tdp_distribution_with, McConfig, McConfigBuilder, TdpDistribution,
     };
     pub use crate::nominal::{NominalCache, NominalWindow};
     pub use crate::sensitivity::{sensitivity_profile, SensitivityProfile};

@@ -28,7 +28,12 @@ use crate::error::CoreError;
 use crate::nominal::NominalWindow;
 
 /// Monte-Carlo configuration.
+///
+/// Construct via [`McConfig::default`] or [`McConfig::builder`]; the
+/// struct is `#[non_exhaustive]` so future knobs are not breaking
+/// changes (fields stay public for reading and in-place mutation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct McConfig {
     /// Number of trials.
     pub trials: usize,
@@ -48,6 +53,63 @@ impl Default for McConfig {
             seed: 2015,
             exec: ExecConfig::default(),
         }
+    }
+}
+
+impl McConfig {
+    /// A builder starting from the defaults.
+    ///
+    /// ```
+    /// use mpvar_core::montecarlo::McConfig;
+    ///
+    /// let mc = McConfig::builder().trials(500).seed(7).threads(1).build();
+    /// assert_eq!((mc.trials, mc.seed), (500, 7));
+    /// assert_eq!(mc.exec.effective_threads(), 1);
+    /// ```
+    pub fn builder() -> McConfigBuilder {
+        McConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`McConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct McConfigBuilder {
+    cfg: McConfig,
+}
+
+impl McConfigBuilder {
+    /// Sets the trial count.
+    #[must_use]
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.cfg.trials = trials;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the trial-farm thread configuration.
+    #[must_use]
+    pub fn exec(mut self, exec: ExecConfig) -> Self {
+        self.cfg.exec = exec;
+        self
+    }
+
+    /// Pins the trial farm to `threads` workers.
+    #[must_use]
+    pub fn threads(self, threads: usize) -> Self {
+        self.exec(ExecConfig::with_threads(threads))
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> McConfig {
+        self.cfg
     }
 }
 

@@ -1,0 +1,14 @@
+//! Error helpers shared across the engine.
+
+use mpvar_core::CoreError;
+
+/// The error returned for an unknown artifact/experiment id — the same
+/// shape the pre-`Study` harness surfaced, so existing callers keep
+/// their matching behaviour.
+pub(crate) fn unknown_artifact() -> CoreError {
+    CoreError::InvalidParameter {
+        name: "experiment id",
+        value: f64::NAN,
+        constraint: "must be one of the known experiment ids (or `all`)",
+    }
+}

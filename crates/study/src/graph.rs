@@ -1,0 +1,206 @@
+//! The artifact dependency graph: typed node identifiers, their
+//! declared inputs, and deterministic evaluation planning.
+//!
+//! The paper's deliverables form a small DAG — Fig. 4 simulates the
+//! Table I worst corners, Tables II/III and ablation A1 re-use the
+//! Fig. 4 delays — and every other artefact is a root. [`plan`] turns
+//! a requested artifact set into topologically-ordered *waves*: within
+//! a wave every node's inputs are already available, so the whole wave
+//! can be dispatched in parallel without changing any result.
+
+use crate::error::unknown_artifact;
+use mpvar_core::CoreError;
+
+/// Identifier of one paper deliverable (table, figure, ablation, or
+/// extension) in the artifact graph.
+///
+/// The variant order is the canonical report order used by `repro all`
+/// and the committed `results/` goldens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum ArtifactId {
+    /// Table I — worst-case variability corner per patterning option.
+    Table1,
+    /// Fig. 4 — worst-case wire-variability impact on `td`.
+    Fig4,
+    /// Table II — formula versus simulation, nominal `td`.
+    Table2,
+    /// Table III — formula versus simulation, worst-case `tdp`.
+    Table3,
+    /// Fig. 5 — Monte-Carlo `tdp` distributions.
+    Fig5,
+    /// Table IV — `tdp` sigma per option and overlay budget.
+    Table4,
+    /// Ablation A1 — lumped vs Elmore vs simulated delay.
+    AblationDelay,
+    /// Ablation A2 — bit-line drawn-width sensitivity.
+    AblationBlWidth,
+    /// Ablation A3 — SADP R_bl / R_VSS anti-correlation.
+    AblationSadpVss,
+    /// Extension E1 — LELE versus the paper's options.
+    ExtensionLe2,
+    /// Extension E2 — line-edge roughness on top of MP.
+    ExtensionLer,
+    /// Extension — per-parameter tdp sensitivities.
+    ExtensionSensitivity,
+    /// Extension E3 — N10 versus N7 node scaling.
+    ExtensionScaling,
+}
+
+impl ArtifactId {
+    /// Every artifact, in canonical report order.
+    pub const ALL: [ArtifactId; 13] = [
+        ArtifactId::Table1,
+        ArtifactId::Fig4,
+        ArtifactId::Table2,
+        ArtifactId::Table3,
+        ArtifactId::Fig5,
+        ArtifactId::Table4,
+        ArtifactId::AblationDelay,
+        ArtifactId::AblationBlWidth,
+        ArtifactId::AblationSadpVss,
+        ArtifactId::ExtensionLe2,
+        ArtifactId::ExtensionLer,
+        ArtifactId::ExtensionSensitivity,
+        ArtifactId::ExtensionScaling,
+    ];
+
+    /// The stable string id (e.g. `table1`, `extension-le2`) used by
+    /// the `repro` CLI and the `results/<id>.csv` goldens.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactId::Table1 => "table1",
+            ArtifactId::Fig4 => "fig4",
+            ArtifactId::Table2 => "table2",
+            ArtifactId::Table3 => "table3",
+            ArtifactId::Fig5 => "fig5",
+            ArtifactId::Table4 => "table4",
+            ArtifactId::AblationDelay => "ablation-delay",
+            ArtifactId::AblationBlWidth => "ablation-bl-width",
+            ArtifactId::AblationSadpVss => "ablation-sadp-vss",
+            ArtifactId::ExtensionLe2 => "extension-le2",
+            ArtifactId::ExtensionLer => "extension-ler",
+            ArtifactId::ExtensionSensitivity => "extension-sensitivity",
+            ArtifactId::ExtensionScaling => "extension-scaling",
+        }
+    }
+
+    /// Parses a CLI/golden string id.
+    pub fn parse(s: &str) -> Option<ArtifactId> {
+        ArtifactId::ALL.into_iter().find(|id| id.name() == s)
+    }
+
+    /// Like [`ArtifactId::parse`] but surfacing the engine's error.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for an unknown id.
+    pub fn try_parse(s: &str) -> Result<ArtifactId, CoreError> {
+        ArtifactId::parse(s).ok_or_else(unknown_artifact)
+    }
+
+    /// The artifacts this node consumes (its graph inputs).
+    ///
+    /// Producers receive these, already evaluated, in exactly this
+    /// order.
+    pub fn dependencies(self) -> &'static [ArtifactId] {
+        match self {
+            ArtifactId::Fig4 => &[ArtifactId::Table1],
+            ArtifactId::Table2 | ArtifactId::AblationDelay => &[ArtifactId::Fig4],
+            ArtifactId::Table3 => &[ArtifactId::Table1, ArtifactId::Fig4],
+            _ => &[],
+        }
+    }
+}
+
+impl std::fmt::Display for ArtifactId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Expands `requested` to its dependency closure and orders it into
+/// topological waves.
+///
+/// Every node appears exactly once; a node's dependencies always sit in
+/// an earlier wave. Wave membership and intra-wave order depend only on
+/// the requested set (nodes are sorted canonically inside each wave),
+/// so the plan — and therefore the evaluation — is deterministic.
+pub fn plan(requested: &[ArtifactId]) -> Vec<Vec<ArtifactId>> {
+    // Dependency closure.
+    let mut needed: Vec<ArtifactId> = Vec::new();
+    let mut stack: Vec<ArtifactId> = requested.to_vec();
+    while let Some(id) = stack.pop() {
+        if !needed.contains(&id) {
+            needed.push(id);
+            stack.extend_from_slice(id.dependencies());
+        }
+    }
+    needed.sort_unstable();
+
+    // Kahn levels: wave k holds nodes whose longest dependency chain
+    // has length k.
+    let mut waves: Vec<Vec<ArtifactId>> = Vec::new();
+    let mut placed: Vec<ArtifactId> = Vec::new();
+    while placed.len() < needed.len() {
+        let wave: Vec<ArtifactId> = needed
+            .iter()
+            .copied()
+            .filter(|id| {
+                !placed.contains(id) && id.dependencies().iter().all(|d| placed.contains(d))
+            })
+            .collect();
+        assert!(!wave.is_empty(), "artifact graph has a cycle");
+        placed.extend_from_slice(&wave);
+        waves.push(wave);
+    }
+    waves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for id in ArtifactId::ALL {
+            assert_eq!(ArtifactId::parse(id.name()), Some(id));
+        }
+        assert_eq!(ArtifactId::parse("tableX"), None);
+        assert!(ArtifactId::try_parse("tableX").is_err());
+    }
+
+    #[test]
+    fn dependencies_precede_dependents() {
+        let waves = plan(&ArtifactId::ALL);
+        let mut seen: Vec<ArtifactId> = Vec::new();
+        for wave in &waves {
+            for id in wave {
+                for dep in id.dependencies() {
+                    assert!(seen.contains(dep), "{id}: dep {dep} not in earlier wave");
+                }
+            }
+            seen.extend_from_slice(wave);
+        }
+        assert_eq!(seen.len(), ArtifactId::ALL.len());
+    }
+
+    #[test]
+    fn table3_plan_closure() {
+        let waves = plan(&[ArtifactId::Table3]);
+        assert_eq!(
+            waves,
+            vec![
+                vec![ArtifactId::Table1],
+                vec![ArtifactId::Fig4],
+                vec![ArtifactId::Table3],
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_requests_collapse() {
+        let waves = plan(&[ArtifactId::Table1, ArtifactId::Table1]);
+        assert_eq!(waves, vec![vec![ArtifactId::Table1]]);
+    }
+}

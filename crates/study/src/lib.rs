@@ -1,0 +1,55 @@
+//! # mpvar-study — the artifact-graph engine
+//!
+//! The single public entry point for running `mpvar` analyses. The
+//! paper's deliverables (Tables I–IV, Figs. 4/5, ablations, extensions)
+//! form a dependency DAG; this crate models each as a typed node
+//! ([`ArtifactId`] → producer + declared inputs) and evaluates any
+//! requested set through a [`Study`] session that
+//!
+//! * resolves the request into a topologically-ordered plan
+//!   ([`graph::plan`]),
+//! * evaluates independent nodes **in parallel** on `mpvar-exec`,
+//!   splitting the thread budget so nested parallelism never
+//!   oversubscribes,
+//! * **memoizes** every result in a content-keyed cache
+//!   ([`StudyCache`]; key = stable hash of the context knobs and the
+//!   node's dependency closure), so Table I computed for Fig. 4 is
+//!   reused by Table III and by `repro check` without re-running the
+//!   corner search, and
+//! * surfaces **observability**: per-node wall-clock / cache-hit
+//!   counters ([`Study::timings`]) and an event-hook trait
+//!   ([`StudyObserver`]) the `repro` binary uses for live progress and
+//!   `--timings`, and the test suite uses to assert cache-hit
+//!   equivalence.
+//!
+//! Determinism is inherited, not re-proven: every producer is
+//! bit-identical for any thread count (the `mpvar-exec` contract), so a
+//! cached value is *the* value — the cache can never change a result,
+//! only skip recomputing it.
+//!
+//! ```no_run
+//! use mpvar_core::experiments::{ExperimentContext, Table3};
+//! use mpvar_study::Study;
+//!
+//! let study = Study::new(ExperimentContext::quick()?);
+//! let t3 = study.get::<Table3>()?; // runs table1 → fig4 → table3 once
+//! println!("{}", t3.report().render());
+//! println!("{}", study.timings_report());
+//! # Ok::<(), mpvar_core::CoreError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+mod error;
+pub mod graph;
+pub mod observer;
+pub mod session;
+pub mod value;
+
+pub use cache::{context_fingerprint, node_key, CacheKey, StudyCache};
+pub use graph::{plan, ArtifactId};
+pub use observer::{NodeOutcome, RecordingObserver, StudyObserver};
+pub use session::{NodeStats, Study};
+pub use value::{Artifact, ArtifactData, ArtifactValue, SensitivityMatrix, TypedArtifact};

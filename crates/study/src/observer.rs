@@ -1,0 +1,82 @@
+//! Event hooks for study instrumentation.
+//!
+//! A [`StudyObserver`] sees every node evaluation: the `repro` binary
+//! installs one for live progress lines, the test suite installs a
+//! [`RecordingObserver`] to assert cache behaviour (hits where reuse is
+//! promised, misses when a knob is perturbed).
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::graph::ArtifactId;
+
+/// How a node's value was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeOutcome {
+    /// The producer ran; the wall-clock time it took.
+    Computed(Duration),
+    /// The value came from the content-keyed cache.
+    CacheHit,
+}
+
+impl NodeOutcome {
+    /// `true` for a cache hit.
+    pub fn is_hit(self) -> bool {
+        matches!(self, NodeOutcome::CacheHit)
+    }
+}
+
+/// Receives evaluation events from a [`crate::Study`].
+///
+/// Callbacks may fire concurrently from worker threads (nodes in one
+/// wave evaluate in parallel), hence `Send + Sync`.
+pub trait StudyObserver: Send + Sync {
+    /// A node is about to be evaluated (producer run or cache lookup).
+    fn on_node_start(&self, _id: ArtifactId) {}
+
+    /// A node's value is available.
+    fn on_node_done(&self, _id: ArtifactId, _outcome: NodeOutcome) {}
+}
+
+/// An observer that records every event, for assertions in tests.
+#[derive(Debug, Default)]
+pub struct RecordingObserver {
+    events: Mutex<Vec<(ArtifactId, NodeOutcome)>>,
+}
+
+impl RecordingObserver {
+    /// A fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every `(node, outcome)` pair seen so far, in completion order.
+    pub fn events(&self) -> Vec<(ArtifactId, NodeOutcome)> {
+        self.events.lock().expect("recorder lock poisoned").clone()
+    }
+
+    /// Cache hits recorded for `id`.
+    pub fn hits(&self, id: ArtifactId) -> usize {
+        self.events()
+            .iter()
+            .filter(|(e, o)| *e == id && o.is_hit())
+            .count()
+    }
+
+    /// Producer runs recorded for `id`.
+    pub fn computes(&self, id: ArtifactId) -> usize {
+        self.events()
+            .iter()
+            .filter(|(e, o)| *e == id && !o.is_hit())
+            .count()
+    }
+}
+
+impl StudyObserver for RecordingObserver {
+    fn on_node_done(&self, id: ArtifactId, outcome: NodeOutcome) {
+        self.events
+            .lock()
+            .expect("recorder lock poisoned")
+            .push((id, outcome));
+    }
+}

@@ -1,0 +1,319 @@
+//! The `Study` session: plan, evaluate, memoize, observe.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mpvar_core::experiments::ExperimentContext;
+use mpvar_core::report::TextTable;
+use mpvar_core::CoreError;
+
+use crate::cache::{context_fingerprint, node_key, CacheKey, StudyCache};
+use crate::graph::{plan, ArtifactId};
+use crate::observer::{NodeOutcome, StudyObserver};
+use crate::value::{produce, Artifact, ArtifactData, ArtifactValue, TypedArtifact};
+
+/// Per-node evaluation counters, surfaced by [`Study::timings`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Times the producer actually ran.
+    pub computed: usize,
+    /// Times the value was served from the cache (direct requests and
+    /// dependency fetches alike).
+    pub cache_hits: usize,
+    /// Total producer wall-clock across runs.
+    pub wall: Duration,
+}
+
+/// A memoized, instrumented evaluation session over the artifact graph.
+///
+/// A `Study` owns one [`ExperimentContext`] and resolves any requested
+/// artifact set into a topologically-ordered plan, evaluating
+/// independent nodes in parallel on `mpvar-exec` and memoizing every
+/// result in a content-keyed cache. Shared prework is therefore
+/// computed exactly once per session: Table III's corner search is
+/// Fig. 4's corner search is Table I.
+///
+/// # Example
+///
+/// ```no_run
+/// use mpvar_study::{ArtifactId, Study};
+/// use mpvar_core::experiments::{ExperimentContext, Table1, Table3};
+///
+/// let study = Study::new(ExperimentContext::quick()?);
+/// let t3 = study.get::<Table3>()?;          // runs table1 → fig4 → table3
+/// let t1 = study.get::<Table1>()?;          // cache hit, no recompute
+/// println!("{}", t1.report().render());
+/// println!("{}", study.timings_report());
+/// # Ok::<(), mpvar_core::CoreError>(())
+/// ```
+pub struct Study {
+    ctx: ExperimentContext,
+    fingerprint: u64,
+    cache: Arc<StudyCache>,
+    observers: Vec<Arc<dyn StudyObserver>>,
+    stats: Mutex<BTreeMap<ArtifactId, NodeStats>>,
+}
+
+impl std::fmt::Debug for Study {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Study")
+            .field("fingerprint", &self.fingerprint)
+            .field("cached_artifacts", &self.cache.len())
+            .field("observers", &self.observers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Study {
+    /// A session over `ctx` with a fresh private cache.
+    pub fn new(ctx: ExperimentContext) -> Self {
+        Self::with_cache(ctx, Arc::new(StudyCache::new()))
+    }
+
+    /// A session over `ctx` sharing an existing cache.
+    ///
+    /// Because keys are content-derived, sharing a cache across
+    /// sessions is always sound: a session only sees entries whose
+    /// context fingerprint (and dependency closure) matches its own.
+    pub fn with_cache(ctx: ExperimentContext, cache: Arc<StudyCache>) -> Self {
+        let fingerprint = context_fingerprint(&ctx);
+        Self {
+            ctx,
+            fingerprint,
+            cache,
+            observers: Vec::new(),
+            stats: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Attaches an event observer (chainable).
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<dyn StudyObserver>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Attaches an event observer.
+    pub fn add_observer(&mut self, observer: Arc<dyn StudyObserver>) {
+        self.observers.push(observer);
+    }
+
+    /// The session's experiment context.
+    pub fn context(&self) -> &ExperimentContext {
+        &self.ctx
+    }
+
+    /// The session's content-keyed cache (shareable).
+    pub fn cache(&self) -> &Arc<StudyCache> {
+        &self.cache
+    }
+
+    /// The stable fingerprint of this session's context knobs.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The content key of one node under this session's context.
+    pub fn key_of(&self, id: ArtifactId) -> CacheKey {
+        let dep_keys: Vec<CacheKey> = id.dependencies().iter().map(|&d| self.key_of(d)).collect();
+        node_key(self.fingerprint, id, &dep_keys)
+    }
+
+    /// Evaluates `requested` (plus its dependency closure) and returns
+    /// the requested values, in request order.
+    ///
+    /// Nodes already memoized are served from the cache; the rest are
+    /// planned into dependency waves and each wave's producers run in
+    /// parallel, splitting the context's thread budget so nested
+    /// parallelism never oversubscribes.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-indexed producer failure of the first failing wave.
+    pub fn materialize(
+        &self,
+        requested: &[ArtifactId],
+    ) -> Result<Vec<Arc<ArtifactValue>>, CoreError> {
+        for wave in plan(requested) {
+            // Serve memoized nodes, keep the rest for the parallel pass.
+            let missing: Vec<ArtifactId> = wave
+                .into_iter()
+                .filter(|&id| {
+                    self.notify_start(id);
+                    match self.cache.get(self.key_of(id)) {
+                        Some(_) => {
+                            self.record(id, NodeOutcome::CacheHit);
+                            false
+                        }
+                        None => true,
+                    }
+                })
+                .collect();
+            if missing.is_empty() {
+                continue;
+            }
+            // Hand each producer an equal share of the thread budget;
+            // results are bit-identical for any split (mpvar-exec
+            // contract), so this only avoids oversubscription.
+            let (outer, inner) = self.ctx.exec.split(missing.len());
+            let mut inner_ctx = self.ctx.clone();
+            inner_ctx.exec = inner;
+            inner_ctx.mc.exec = inner;
+            let values = mpvar_exec::try_par_map_indexed(&missing, outer, |_, &id| {
+                let deps: Vec<Arc<ArtifactValue>> = id
+                    .dependencies()
+                    .iter()
+                    .map(|&d| {
+                        let v = self
+                            .cache
+                            .get(self.key_of(d))
+                            .expect("dependency evaluated in an earlier wave");
+                        self.record(d, NodeOutcome::CacheHit);
+                        v
+                    })
+                    .collect();
+                let t0 = Instant::now();
+                let value = produce(id, &inner_ctx, &deps)?;
+                self.record(id, NodeOutcome::Computed(t0.elapsed()));
+                Ok::<_, CoreError>(Arc::new(value))
+            })?;
+            for (id, value) in missing.iter().zip(values) {
+                self.cache.insert(self.key_of(*id), value);
+            }
+        }
+        Ok(requested
+            .iter()
+            .map(|&id| {
+                self.cache
+                    .get(self.key_of(id))
+                    .expect("requested artifact evaluated")
+            })
+            .collect())
+    }
+
+    /// Evaluates (or fetches) one artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates producer failures.
+    pub fn artifact(&self, id: ArtifactId) -> Result<Arc<ArtifactValue>, CoreError> {
+        Ok(self.materialize(&[id])?.pop().expect("one value requested"))
+    }
+
+    /// Evaluates (or fetches) one artifact as its concrete result type.
+    ///
+    /// ```no_run
+    /// # use mpvar_study::Study;
+    /// # use mpvar_core::experiments::{ExperimentContext, Table1};
+    /// # let study = Study::new(ExperimentContext::quick()?);
+    /// let t1 = study.get::<Table1>()?;
+    /// assert_eq!(t1.worst_cases.len(), 3);
+    /// # Ok::<(), mpvar_core::CoreError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates producer failures.
+    pub fn get<T: ArtifactData>(&self) -> Result<TypedArtifact<T>, CoreError> {
+        let value = self.artifact(T::ID)?;
+        Ok(TypedArtifact::new(value).expect("artifact variant matches its id"))
+    }
+
+    /// Evaluates `requested` and renders each artifact (text + CSV), in
+    /// request order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates producer failures.
+    pub fn run(&self, requested: &[ArtifactId]) -> Result<Vec<Artifact>, CoreError> {
+        Ok(self
+            .materialize(requested)?
+            .iter()
+            .map(|v| v.render())
+            .collect())
+    }
+
+    /// Renders every artifact in canonical report order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates producer failures.
+    pub fn run_all(&self) -> Result<Vec<Artifact>, CoreError> {
+        self.run(&ArtifactId::ALL)
+    }
+
+    /// CLI entry point: `target` is an artifact name or `all`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for an unknown target;
+    /// propagated producer failures otherwise.
+    pub fn run_named(&self, target: &str) -> Result<Vec<Artifact>, CoreError> {
+        if target == "all" {
+            self.run_all()
+        } else {
+            self.run(&[ArtifactId::try_parse(target)?])
+        }
+    }
+
+    /// Per-node evaluation counters accumulated by this session.
+    pub fn timings(&self) -> BTreeMap<ArtifactId, NodeStats> {
+        self.stats
+            .lock()
+            .expect("study stats lock poisoned")
+            .clone()
+    }
+
+    /// Renders the `--timings` report: producer runs, cache hits, and
+    /// wall-clock per node, plus the cache population.
+    pub fn timings_report(&self) -> String {
+        let stats = self.timings();
+        let mut t = TextTable::new(
+            "Study timings: producer runs, cache hits, wall-clock per artifact",
+            &["artifact", "computed", "cache hits", "wall [s]"],
+        );
+        let mut total_wall = Duration::ZERO;
+        let mut total_hits = 0usize;
+        for (id, s) in &stats {
+            total_wall += s.wall;
+            total_hits += s.cache_hits;
+            t.row(&[
+                id.name(),
+                &s.computed.to_string(),
+                &s.cache_hits.to_string(),
+                &format!("{:.3}", s.wall.as_secs_f64()),
+            ]);
+        }
+        format!(
+            "{}\ntotal: {} artifacts cached, {} cache hits, {:.3} s computing\n",
+            t.render(),
+            self.cache.len(),
+            total_hits,
+            total_wall.as_secs_f64()
+        )
+    }
+
+    fn notify_start(&self, id: ArtifactId) {
+        for obs in &self.observers {
+            obs.on_node_start(id);
+        }
+    }
+
+    fn record(&self, id: ArtifactId, outcome: NodeOutcome) {
+        {
+            let mut stats = self.stats.lock().expect("study stats lock poisoned");
+            let entry = stats.entry(id).or_default();
+            match outcome {
+                NodeOutcome::Computed(wall) => {
+                    entry.computed += 1;
+                    entry.wall += wall;
+                }
+                NodeOutcome::CacheHit => entry.cache_hits += 1,
+            }
+        }
+        for obs in &self.observers {
+            obs.on_node_done(id, outcome);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Cache-correctness contract of the `Study` engine.
+//!
+//! The memoized artifact graph must be invisible in the results: a cold
+//! `Study` run returns exactly what the direct experiment functions
+//! compute, at any worker-thread count; a warm run over the same cache
+//! answers bit-identically without recomputation; and any perturbed
+//! context knob changes the fingerprint so stale entries can never be
+//! served.
+
+use std::sync::Arc;
+
+use mpvar_core::experiments::{fig4, table1, table3, ExperimentContext};
+use mpvar_core::ExecConfig;
+use mpvar_study::{context_fingerprint, ArtifactId, NodeOutcome, RecordingObserver, Study};
+
+/// A deliberately tiny context so the full dependency chain (table1 →
+/// fig4 → table3) runs in well under a second.
+fn tiny_ctx(threads: usize) -> ExperimentContext {
+    ExperimentContext::builder()
+        .expect("context builds")
+        .quick_preset()
+        .sizes(vec![8])
+        .trials(200)
+        .threads(threads)
+        .build()
+}
+
+#[test]
+fn cold_run_matches_direct_functions_serial_and_parallel() {
+    let direct_ctx = tiny_ctx(1);
+    let t1 = table1(&direct_ctx).expect("table1 runs");
+    let f4 = fig4(&direct_ctx, &t1).expect("fig4 runs");
+    let t3 = table3(&direct_ctx, &t1, &f4).expect("table3 runs");
+
+    for threads in [1usize, 4] {
+        let study = Study::new(tiny_ctx(threads));
+        let got_t1 = study
+            .get::<mpvar_core::experiments::Table1>()
+            .expect("table1 via study");
+        let got_f4 = study
+            .get::<mpvar_core::experiments::Fig4>()
+            .expect("fig4 via study");
+        let got_t3 = study
+            .get::<mpvar_core::experiments::Table3>()
+            .expect("table3 via study");
+        assert_eq!(*got_t1, t1, "table1 at {threads} threads");
+        assert_eq!(*got_f4, f4, "fig4 at {threads} threads");
+        assert_eq!(*got_t3, t3, "table3 at {threads} threads");
+    }
+}
+
+#[test]
+fn warm_run_is_bit_identical_and_never_recomputes() {
+    let ctx = tiny_ctx(2);
+    let cold = Study::new(ctx.clone());
+    let first = cold
+        .run(&[ArtifactId::Table3])
+        .expect("cold table3 evaluates");
+
+    let events = Arc::new(RecordingObserver::default());
+    let warm = Study::with_cache(ctx, Arc::clone(cold.cache()))
+        .with_observer(Arc::clone(&events) as Arc<_>);
+    let second = warm
+        .run(&[ArtifactId::Table3])
+        .expect("warm table3 evaluates");
+
+    assert_eq!(first, second, "rendered artifacts must be bit-identical");
+    for (id, outcome) in events.events() {
+        assert!(
+            matches!(outcome, NodeOutcome::CacheHit),
+            "{id} recomputed on the warm run"
+        );
+    }
+    assert!(
+        warm.timings().values().all(|s| s.computed == 0),
+        "warm session ran a producer"
+    );
+}
+
+#[test]
+fn perturbed_context_misses_the_cache() {
+    let base = tiny_ctx(1);
+    let study = Study::new(base.clone());
+    study
+        .run(&[ArtifactId::Table1])
+        .expect("baseline evaluates");
+
+    let mut reseeded = base.clone();
+    reseeded.mc.seed += 1;
+    assert_ne!(
+        context_fingerprint(&base),
+        context_fingerprint(&reseeded),
+        "seed must be part of the fingerprint"
+    );
+
+    let events = Arc::new(RecordingObserver::default());
+    let miss = Study::with_cache(reseeded, Arc::clone(study.cache()))
+        .with_observer(Arc::clone(&events) as Arc<_>);
+    miss.run(&[ArtifactId::Table1])
+        .expect("perturbed run evaluates");
+    assert!(
+        events
+            .events()
+            .iter()
+            .any(|(id, o)| *id == ArtifactId::Table1 && !o.is_hit()),
+        "perturbed context served a stale cache entry"
+    );
+}
+
+#[test]
+fn exec_knobs_are_excluded_from_the_fingerprint() {
+    let serial = tiny_ctx(1);
+    let mut parallel = serial.clone();
+    parallel.exec = ExecConfig::with_threads(4);
+    parallel.mc.exec = ExecConfig::with_threads(4);
+    assert_eq!(
+        context_fingerprint(&serial),
+        context_fingerprint(&parallel),
+        "thread count must not change cache identity: results are bit-identical"
+    );
+}

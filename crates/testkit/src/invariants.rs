@@ -416,7 +416,7 @@ pub fn scaling_invariants(e3: &ExtensionScaling) -> Vec<CheckItem> {
 }
 
 /// Extension E2 claims: LER only ever adds variance, and its
-/// resistance effect shows the Jensen (E[1/w] > 1/E[w]) bias.
+/// resistance effect shows the Jensen (E\[1/w\] > 1/E\[w\]) bias.
 pub fn ler_invariants(e2: &ExtensionLer) -> Vec<CheckItem> {
     let mut violations = Vec::new();
     for (option, s_mp, s_both, r_ler) in &e2.rows {

@@ -12,10 +12,9 @@
 //! the paper measures in time domain.
 
 use mpvar::extract::{emit_rc_deck, RcDeckSpec};
-use mpvar::litho::{apply_draw, Draw};
+use mpvar::litho::apply_draw;
+use mpvar::prelude::*;
 use mpvar::spice::{AcAnalysis, AcResult, Netlist, Waveform};
-use mpvar::sram::BitcellGeometry;
-use mpvar::tech::{preset::n10, PatterningOption, VariationBudget};
 
 fn bitline_corner_hz(
     tech: &mpvar::tech::TechDb,

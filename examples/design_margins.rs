@@ -5,9 +5,8 @@
 //! cargo run --release --example design_margins
 //! ```
 
-use mpvar::core::prelude::*;
-use mpvar::sram::{static_noise_margin, BitcellGeometry, DeviceSizing, SnmMode};
-use mpvar::tech::{preset::n10, PatterningOption, VariationBudget};
+use mpvar::prelude::*;
+use mpvar::sram::{static_noise_margin, DeviceSizing, SnmMode};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = n10();
@@ -38,11 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Timing yield: what margin does each option need?
-    let mc = McConfig {
-        trials: 8_000,
-        seed: 2015,
-        ..McConfig::default()
-    };
+    let mc = McConfig::builder().trials(8_000).seed(2015).build();
     let margins: Vec<f64> = (0..48).map(|k| 0.25 * k as f64).collect();
     println!("timing margin needed for 99.7% yield at 10x{n}:\n");
     for option in PatterningOption::ALL_WITH_EXTENSIONS {

@@ -8,11 +8,12 @@
 
 use mpvar::extract::{emit_rc_deck, extract_track, RcDeckSpec};
 use mpvar::geometry::gds;
-use mpvar::litho::{apply_draw, Draw, SadpDraw};
+use mpvar::litho::{apply_draw, SadpDraw};
+use mpvar::prelude::*;
 use mpvar::spice::parser::{parse_deck, write_deck};
 use mpvar::spice::{cross_threshold, CrossDirection, Netlist, Transient, Waveform};
-use mpvar::sram::{BitcellGeometry, SramArray};
-use mpvar::tech::{io as tech_io, preset::n10};
+use mpvar::sram::SramArray;
+use mpvar::tech::io as tech_io;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Technology file: serialize the preset, parse it back, use the

@@ -9,19 +9,13 @@
 //! at a 10x64 array, and prints the tdp histograms (Fig. 5) and the
 //! sigma comparison (Table IV's content).
 
-use mpvar::core::prelude::*;
-use mpvar::sram::BitcellGeometry;
-use mpvar::tech::{preset::n10, PatterningOption, VariationBudget};
+use mpvar::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = n10();
     let cell = BitcellGeometry::n10_hd(&tech)?;
     let n = 64;
-    let mc = McConfig {
-        trials: 10_000,
-        seed: 2015,
-        ..McConfig::default()
-    };
+    let mc = McConfig::builder().trials(10_000).seed(2015).build();
 
     println!(
         "Monte-Carlo tdp at 10x{n}, {} trials per option\n",

@@ -8,9 +8,8 @@
 //! nominal read of a 64-cell column, then re-simulates under an LE3
 //! worst-case-style variation draw and reports the read-time penalty.
 
-use mpvar::litho::{Draw, Le3Draw};
-use mpvar::sram::prelude::*;
-use mpvar::tech::{preset::n10, PatterningOption};
+use mpvar::litho::Le3Draw;
+use mpvar::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Technology and cell: the calibrated N10-class preset.
@@ -57,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. The lumped analytical model (paper eq. 4) for comparison.
     let params = FormulaParams::derive(&tech, &cell, 0.7)?;
-    let model = mpvar::core::AnalyticalModel::new(params, 0.10)?;
+    let model = AnalyticalModel::new(params, 0.10)?;
     println!(
         "analytical formula:      td = {:.2} ps (nominal, lumped RC)",
         model.td_nominal_s(n_cells) * 1e12

@@ -9,10 +9,8 @@
 //! maximizes the bit-line capacitance (Table I), then simulate the read
 //! penalty that corner causes across array sizes (Fig. 4's content).
 
-use mpvar::core::prelude::*;
 use mpvar::core::worst_case::worst_case_td_study;
-use mpvar::sram::prelude::*;
-use mpvar::tech::{preset::n10, PatterningOption, VariationBudget};
+use mpvar::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = n10();

@@ -15,7 +15,24 @@
 //! * [`extract`] — parasitic extraction (R, C, coupling, RC netlists);
 //! * [`sram`] — 6T cell, array builder, read testbench;
 //! * [`core`] — worst-case analysis, analytical td/tdp formula,
-//!   Monte-Carlo tdp distributions: the paper's contribution.
+//!   Monte-Carlo tdp distributions: the paper's contribution;
+//! * [`study`] — the artifact-graph engine: memoized, instrumented
+//!   experiment evaluation behind the [`study::Study`] session.
+//!
+//! For everyday use, `use mpvar::prelude::*;` pulls in the ~15 types
+//! most programs need:
+//!
+//! ```no_run
+//! use mpvar::prelude::*;
+//!
+//! let ctx = ExperimentContext::builder()?.quick_preset().build();
+//! let study = Study::new(ctx);
+//! for artifact in study.run(&[ArtifactId::Table1, ArtifactId::Table3])? {
+//!     println!("{}", artifact.text);
+//! }
+//! println!("{}", study.timings_report());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,4 +45,24 @@ pub use mpvar_litho as litho;
 pub use mpvar_spice as spice;
 pub use mpvar_sram as sram;
 pub use mpvar_stats as stats;
+pub use mpvar_study as study;
 pub use mpvar_tech as tech;
+
+/// The everyday surface of the workspace: experiment contexts and
+/// configuration builders, the `Study` artifact-graph engine, the
+/// technology/cell substrates, and the core analysis entry points.
+pub mod prelude {
+    pub use mpvar_core::experiments::{ExperimentContext, ExperimentContextBuilder};
+    pub use mpvar_core::montecarlo::{McConfig, McConfigBuilder};
+    pub use mpvar_core::{
+        find_worst_case, sensitivity_profile, tdp_distribution, yield_curve, AnalyticalModel,
+        CoreError, ExecConfig, TdpDistribution, WorstCase,
+    };
+    pub use mpvar_litho::Draw;
+    pub use mpvar_sram::{simulate_read, BitcellGeometry, FormulaParams, ReadConfig};
+    pub use mpvar_study::{
+        Artifact, ArtifactId, ArtifactValue, NodeOutcome, Study, StudyCache, StudyObserver,
+    };
+    pub use mpvar_tech::preset::{n10, n7};
+    pub use mpvar_tech::{PatterningOption, TechDb, VariationBudget};
+}

@@ -12,11 +12,7 @@ fn tdp_distribution_bit_identical_across_runs() {
     let tech = n10();
     let cell = BitcellGeometry::n10_hd(&tech).expect("cell builds");
     let budget = VariationBudget::paper_default(PatterningOption::Le3, 8.0).expect("budget");
-    let mc = McConfig {
-        trials: 400,
-        seed: 99,
-        ..McConfig::default()
-    };
+    let mc = McConfig::builder().trials(400).seed(99).build();
     let a =
         tdp_distribution(&tech, &cell, PatterningOption::Le3, &budget, 64, &mc).expect("mc runs");
     let b =
@@ -37,11 +33,7 @@ fn different_seeds_give_different_samples_same_statistics() {
         PatterningOption::Euv,
         &budget,
         64,
-        &McConfig {
-            trials: 3000,
-            seed: 1,
-            ..McConfig::default()
-        },
+        &McConfig::builder().trials(3000).seed(1).build(),
     )
     .expect("mc runs");
     let b = tdp_distribution(
@@ -50,11 +42,7 @@ fn different_seeds_give_different_samples_same_statistics() {
         PatterningOption::Euv,
         &budget,
         64,
-        &McConfig {
-            trials: 3000,
-            seed: 2,
-            ..McConfig::default()
-        },
+        &McConfig::builder().trials(3000).seed(2).build(),
     )
     .expect("mc runs");
     assert_ne!(a.samples_percent(), b.samples_percent());
@@ -99,10 +87,12 @@ fn thread_count_never_changes_results() {
         let budget = VariationBudget::paper_default(option, 8.0).expect("budget");
         let window = NominalWindow::build(&tech, &cell, option).expect("window builds");
 
-        let mc = |threads: usize| McConfig {
-            trials: 300,
-            seed: 41,
-            exec: ExecConfig::with_threads(threads),
+        let mc = |threads: usize| {
+            McConfig::builder()
+                .trials(300)
+                .seed(41)
+                .threads(threads)
+                .build()
         };
         let serial = tdp_distribution_with(&window, &budget, 64, &mc(1)).expect("mc runs");
         for threads in [4usize, 8] {

@@ -193,11 +193,7 @@ fn yield_and_le2_compose_with_the_mc_engine() {
         PatterningOption::Le2,
         &budget,
         64,
-        &McConfig {
-            trials: 1500,
-            seed: 3,
-            ..McConfig::default()
-        },
+        &McConfig::builder().trials(1500).seed(3).build(),
     )
     .expect("mc runs");
     assert!(dist.sigma_percent() > 0.2);

@@ -1,0 +1,171 @@
+//! Public-API snapshot: the sorted list of `pub` items per crate is
+//! committed in `tests/public_api.snapshot`, so any surface change —
+//! an added builder method, a renamed type, a dropped re-export —
+//! shows up as a reviewable diff instead of slipping through.
+//!
+//! After an intentional API change, regenerate the snapshot with:
+//!
+//! ```text
+//! UPDATE_PUBLIC_API=1 cargo test --test public_api
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Item kinds worth tracking. `pub use` re-exports are included (they
+/// ARE the facade's surface); `pub(crate)`/`pub(super)` are not public.
+const KINDS: [&str; 9] = [
+    "fn", "struct", "enum", "trait", "mod", "const", "static", "type", "use",
+];
+
+fn source_roots(repo: &Path) -> Vec<(String, PathBuf)> {
+    let mut roots = vec![("mpvar".to_string(), repo.join("src"))];
+    let crates = repo.join("crates");
+    let mut names: Vec<_> = fs::read_dir(&crates)
+        .expect("crates/ listable")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().join("src").is_dir())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    for name in names {
+        roots.push((format!("mpvar-{name}"), crates.join(&name).join("src")));
+    }
+    roots
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let mut entries: Vec<_> = fs::read_dir(dir)
+        .expect("src dir listable")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Extracts `kind name` from a line that declares a public item, or
+/// `None` for anything else (including `pub(crate)` and macro lines).
+fn public_item(line: &str) -> Option<String> {
+    let trimmed = line.trim_start();
+    let rest = trimmed.strip_prefix("pub ")?;
+    for prefix in ["unsafe ", "async ", "const ", "extern \"C\" "] {
+        // `pub const fn` must report as an `fn`, not a `const`.
+        if let Some(r) = rest.strip_prefix(prefix) {
+            if prefix != "const " || r.starts_with("fn ") {
+                return public_item_kind(r);
+            }
+        }
+    }
+    public_item_kind(rest)
+}
+
+fn public_item_kind(rest: &str) -> Option<String> {
+    let kind = KINDS.iter().find(|k| {
+        rest.strip_prefix(**k)
+            .is_some_and(|r| r.starts_with(' ') || r.starts_with('\t'))
+    })?;
+    let after = rest[kind.len()..].trim_start();
+    let name: String = if *kind == "use" {
+        // Normalize a re-export to its full path (may span lines; the
+        // first line's path segment is a stable enough key).
+        after
+            .chars()
+            .take_while(|c| !";{".contains(*c))
+            .collect::<String>()
+            .trim()
+            .to_string()
+    } else {
+        after
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect()
+    };
+    if name.is_empty() {
+        return None;
+    }
+    Some(format!("{kind} {name}"))
+}
+
+fn snapshot(repo: &Path) -> String {
+    let mut out = String::new();
+    for (crate_name, src) in source_roots(repo) {
+        let mut files = Vec::new();
+        rust_files(&src, &mut files);
+        let mut items = Vec::new();
+        for file in files {
+            let text = fs::read_to_string(&file).expect("source readable");
+            let mut in_tests = false;
+            let mut depth = 0usize;
+            for line in text.lines() {
+                // Skip `#[cfg(test)] mod tests` bodies: brace-track from
+                // the module header to its closing brace.
+                if !in_tests && line.trim_start().starts_with("mod tests") {
+                    in_tests = true;
+                    depth = 0;
+                }
+                if in_tests {
+                    depth += line.matches('{').count();
+                    let closes = line.matches('}').count();
+                    if closes >= depth {
+                        in_tests = false;
+                    } else {
+                        depth -= closes;
+                    }
+                    continue;
+                }
+                if let Some(item) = public_item(line) {
+                    items.push(item);
+                }
+            }
+        }
+        items.sort();
+        items.dedup();
+        let _ = writeln!(out, "# {crate_name}");
+        for item in items {
+            let _ = writeln!(out, "{item}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn public_api_matches_snapshot() {
+    let repo = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let snapshot_path = repo.join("tests/public_api.snapshot");
+    let current = snapshot(&repo);
+
+    if std::env::var_os("UPDATE_PUBLIC_API").is_some() {
+        fs::write(&snapshot_path, &current).expect("snapshot writable");
+        return;
+    }
+
+    let committed = fs::read_to_string(&snapshot_path).unwrap_or_default();
+    if committed == current {
+        return;
+    }
+    let committed_lines: Vec<_> = committed.lines().collect();
+    let mut diff = String::new();
+    for line in current.lines() {
+        if !committed_lines.contains(&line) {
+            let _ = writeln!(diff, "  + {line}");
+        }
+    }
+    for line in &committed_lines {
+        if !current.lines().any(|l| l == *line) {
+            let _ = writeln!(diff, "  - {line}");
+        }
+    }
+    panic!(
+        "public API surface changed:\n{diff}\n\
+         If intentional, regenerate with:\n  \
+         UPDATE_PUBLIC_API=1 cargo test --test public_api"
+    );
+}
