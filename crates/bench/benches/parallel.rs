@@ -4,12 +4,18 @@
 //! against one cached nominal window, reporting elements/sec so the
 //! parallel speedup is directly visible. The sample vectors are
 //! bit-identical across thread counts (see `tests/determinism.rs`);
-//! only the wall clock changes.
+//! only the wall clock changes. A `traced` variant repeats the
+//! all-cores configuration with an `mpvar-trace` collector installed,
+//! making the instrumentation overhead (budgeted at <2% on this hot
+//! path) directly comparable.
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpvar_core::prelude::*;
 use mpvar_sram::BitcellGeometry;
 use mpvar_tech::{preset::n10, PatterningOption, VariationBudget};
+use mpvar_trace::{Collector, NullSink};
 
 fn thread_counts() -> Vec<usize> {
     let mut counts = vec![1, 2];
@@ -49,6 +55,28 @@ fn bench_parallel_mc(c: &mut Criterion) {
             },
         );
     }
+    // Same workload, all cores, with the trace machinery live: the
+    // delta against the untraced entry above is the instrumentation
+    // overhead on the Monte-Carlo hot path.
+    let threads = ExecConfig::default().effective_threads();
+    let mc = McConfig::builder()
+        .trials(trials)
+        .seed(2015)
+        .threads(threads)
+        .build();
+    group.bench_with_input(
+        BenchmarkId::new("tdp_distribution_traced", threads),
+        &mc,
+        |b, mc| {
+            let collector = Collector::new(vec![Arc::new(NullSink)]);
+            let _session = collector.install();
+            b.iter(|| {
+                tdp_distribution_with(&window, &budget, 64, mc)
+                    .expect("mc runs")
+                    .sigma_percent()
+            })
+        },
+    );
     group.finish();
 }
 

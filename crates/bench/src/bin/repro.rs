@@ -1,8 +1,9 @@
 //! `repro` — regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--out DIR] [--timings] <experiment | all>
-//! repro check [--fast] [--golden DIR] [--oracle-cases N] [--timings]
+//! repro [--quick] [--out DIR] [--trace FILE] [--metrics] [--timings] <experiment | all>
+//! repro check [--fast] [--golden DIR] [--oracle-cases N] [--trace FILE] [--metrics] [--timings]
+//! repro validate-trace FILE
 //! ```
 //!
 //! Experiments: table1 fig4 table2 table3 fig5 table4 ablation-delay
@@ -13,12 +14,19 @@
 //! Monte-Carlo throughput per thread count and writes the
 //! `BENCH_parallel.json` snapshot tracked across PRs.
 //!
-//! Every evaluation runs through a [`Study`] session: the artifact
-//! graph computes each shared stage (the Table I corner search, the
-//! Fig. 4 simulations) exactly once and serves every downstream
-//! consumer from the content-keyed cache. `--timings` prints the
-//! per-node report — producer runs, cache hits, wall-clock — after the
-//! run.
+//! Every evaluation runs through a [`Study`] session and every layer of
+//! the pipeline is instrumented with `mpvar-trace` spans and metrics:
+//!
+//! * `--trace FILE` writes the full run telemetry — spans from the
+//!   parallel executor, the Monte-Carlo engine, the SPICE solver, and
+//!   the study graph, plus the final metrics — as machine-readable
+//!   JSONL (schema `mpvar-trace/v1`);
+//! * `--metrics` prints the metrics snapshot (MC trials/sec, solver
+//!   iterations, cache hits/misses, …) to stderr after the run;
+//! * `--timings` prints the aggregated span tree — producer runs,
+//!   cache hits, wall-clock per stage — to stderr after the run;
+//! * `validate-trace FILE` parses a JSONL trace and checks it against
+//!   the schema (CI runs this on every traced pipeline run).
 //!
 //! `check` re-runs the matrix and verdicts it: committed goldens are
 //! compared value-wise under per-column tolerances, the paper's shape
@@ -35,26 +43,95 @@ use std::sync::Arc;
 use mpvar_bench::check::{check_context, run_check_in, CheckOptions};
 use mpvar_bench::{parallel_bench_snapshot, EXPERIMENT_IDS};
 use mpvar_core::experiments::ExperimentContext;
-use mpvar_study::{ArtifactId, NodeOutcome, Study, StudyObserver};
+use mpvar_study::Study;
+use mpvar_trace::sink::{render_metrics, render_tree, TraceSink};
+use mpvar_trace::{
+    names, validate_jsonl, Collector, CollectorGuard, JsonlSink, RecordingSink, SpanRecord,
+};
 
-/// Streams one progress line per evaluated node to stderr.
+/// Streams one progress line per evaluated study node to stderr.
 struct ProgressLines;
 
-impl StudyObserver for ProgressLines {
-    fn on_node_done(&self, id: ArtifactId, outcome: NodeOutcome) {
-        match outcome {
-            NodeOutcome::Computed(wall) => {
-                eprintln!("[study] {id}: computed in {:.3} s", wall.as_secs_f64());
-            }
-            NodeOutcome::CacheHit => eprintln!("[study] {id}: cache hit"),
+impl TraceSink for ProgressLines {
+    fn on_span(&self, span: &SpanRecord) {
+        if span.name != names::SPAN_STUDY_NODE {
+            return;
         }
+        let artifact = span.str_field("artifact").unwrap_or("?");
+        match span.str_field("outcome") {
+            Some("cache_hit") => eprintln!("[study] {artifact}: cache hit"),
+            _ => eprintln!(
+                "[study] {artifact}: computed in {:.3} s",
+                span.dur_ns as f64 / 1e9
+            ),
+        }
+    }
+}
+
+/// The run's trace pipeline: which sinks are installed and where the
+/// telemetry goes when the run finishes.
+struct Telemetry {
+    collector: Arc<Collector>,
+    session: CollectorGuard,
+    recording: Option<Arc<RecordingSink>>,
+    jsonl: Option<(Arc<JsonlSink>, PathBuf)>,
+    metrics: bool,
+}
+
+impl Telemetry {
+    /// Installs the collector: progress lines always, a recording sink
+    /// when `--timings` wants the span tree, a JSONL sink for `--trace`.
+    fn install(trace: Option<PathBuf>, metrics: bool, timings: bool) -> Self {
+        let mut sinks: Vec<Arc<dyn TraceSink>> = vec![Arc::new(ProgressLines)];
+        let recording = timings.then(|| {
+            let sink = Arc::new(RecordingSink::new());
+            sinks.push(sink.clone());
+            sink
+        });
+        let jsonl = trace.map(|path| {
+            let sink = Arc::new(JsonlSink::new());
+            sinks.push(sink.clone());
+            (sink, path)
+        });
+        let collector = Collector::new(sinks);
+        let session = collector.install();
+        Telemetry {
+            collector,
+            session,
+            recording,
+            jsonl,
+            metrics,
+        }
+    }
+
+    /// Flushes and renders: uninstalls the collector (writing the final
+    /// metrics lines into the JSONL sink), writes `--trace`, prints the
+    /// `--timings` tree and `--metrics` report to stderr.
+    fn finish(self) -> Result<(), String> {
+        let snapshot = self.collector.metrics_snapshot();
+        drop(self.session);
+        if let Some((sink, path)) = &self.jsonl {
+            sink.write_to(path)
+                .map_err(|e| format!("cannot write trace {}: {e}", path.display()))?;
+            eprintln!("wrote {}", path.display());
+        }
+        if let Some(recording) = &self.recording {
+            eprint!("{}", render_tree(&recording.spans()));
+        }
+        if self.metrics {
+            eprint!("{}", render_metrics(&snapshot));
+        }
+        Ok(())
     }
 }
 
 fn usage() -> String {
     format!(
-        "usage: repro [--quick] [--out DIR] [--timings] <experiment | all | bench-parallel>\n\
-         \x20      repro check [--fast] [--golden DIR] [--oracle-cases N] [--timings]\n\
+        "usage: repro [--quick] [--out DIR] [--trace FILE] [--metrics] [--timings] \
+         <experiment | all | bench-parallel>\n\
+         \x20      repro check [--fast] [--golden DIR] [--oracle-cases N] [--trace FILE] \
+         [--metrics] [--timings]\n\
+         \x20      repro validate-trace FILE\n\
          experiments: {}",
         EXPERIMENT_IDS.join(" ")
     )
@@ -64,10 +141,13 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut fast = false;
     let mut timings = false;
+    let mut metrics = false;
+    let mut trace: Option<PathBuf> = None;
     let mut out_dir = PathBuf::from("results");
     let mut golden_dir = PathBuf::from("results");
     let mut oracle_cases = 128usize;
     let mut target: Option<String> = None;
+    let mut trace_to_validate: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -75,6 +155,14 @@ fn main() -> ExitCode {
             "--quick" => quick = true,
             "--fast" => fast = true,
             "--timings" => timings = true,
+            "--metrics" => metrics = true,
+            "--trace" => match args.next() {
+                Some(path) => trace = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--trace needs a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--out" => match args.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => {
@@ -100,6 +188,13 @@ fn main() -> ExitCode {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
             }
+            other
+                if target.as_deref() == Some("validate-trace")
+                    && trace_to_validate.is_none()
+                    && !other.starts_with('-') =>
+            {
+                trace_to_validate = Some(PathBuf::from(other));
+            }
             other if target.is_none() && !other.starts_with('-') => {
                 target = Some(other.to_string());
             }
@@ -114,6 +209,40 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
+
+    if target == "validate-trace" {
+        let Some(path) = trace_to_validate else {
+            eprintln!("validate-trace needs a JSONL file\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(raw) => raw,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_jsonl(&raw) {
+            Ok(log) => {
+                println!(
+                    "{}: valid {} trace — {} spans ({} distinct names), {} counters, \
+                     {} gauges, {} histograms",
+                    path.display(),
+                    log.schema,
+                    log.spans.len(),
+                    log.span_names().len(),
+                    log.counters.len(),
+                    log.gauges.len(),
+                    log.histograms.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{}: invalid trace: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     if target == "check" {
         let opts = CheckOptions {
@@ -135,7 +264,8 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let study = Study::new(ctx).with_observer(Arc::new(ProgressLines));
+        let telemetry = Telemetry::install(trace, metrics, timings);
+        let study = Study::new(ctx);
         let report = match run_check_in(&opts, &study) {
             Ok(r) => r,
             Err(e) => {
@@ -144,8 +274,9 @@ fn main() -> ExitCode {
             }
         };
         print!("{}", report.render());
-        if timings {
-            eprint!("{}", study.timings_report());
+        if let Err(e) = telemetry.finish() {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
         }
         return if report.passed() {
             ExitCode::SUCCESS
@@ -181,6 +312,9 @@ fn main() -> ExitCode {
     );
 
     if target == "bench-parallel" {
+        // No collector here: the bench measures traced vs untraced
+        // Monte-Carlo throughput itself, so the baseline must run with
+        // tracing genuinely disabled.
         let json = match parallel_bench_snapshot(&ctx) {
             Ok(j) => j,
             Err(e) => {
@@ -198,7 +332,8 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let study = Study::new(ctx).with_observer(Arc::new(ProgressLines));
+    let telemetry = Telemetry::install(trace, metrics, timings);
+    let study = Study::new(ctx);
     let artifacts = match study.run_named(&target) {
         Ok(a) => a,
         Err(e) => {
@@ -223,8 +358,9 @@ fn main() -> ExitCode {
             eprintln!("wrote {}", path.display());
         }
     }
-    if timings {
-        eprint!("{}", study.timings_report());
+    if let Err(e) = telemetry.finish() {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -300,7 +300,8 @@ pub fn run_check(opts: &CheckOptions) -> Result<CheckReport, CoreError> {
 /// The session's memoized cache makes the reuse explicit: the Table I
 /// corner search and Fig. 4 simulations are computed once and every
 /// downstream artefact (Tables II/III, ablation A1) fetches them as
-/// cache hits — visible in the session's `timings_report()`.
+/// cache hits — visible in the session's `timings()` counters and, with
+/// a trace collector installed, as zero-duration `study_node` spans.
 ///
 /// # Errors
 ///

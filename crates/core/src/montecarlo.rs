@@ -23,6 +23,7 @@ use mpvar_litho::{apply_draw, sample_draw};
 use mpvar_sram::BitcellGeometry;
 use mpvar_stats::{Histogram, RngStream, Summary};
 use mpvar_tech::{PatterningOption, TechDb, VariationBudget};
+use mpvar_trace::names;
 
 use crate::error::CoreError;
 use crate::nominal::NominalWindow;
@@ -210,6 +211,15 @@ pub fn tdp_distribution_with(
         });
     }
 
+    let _dist_span = mpvar_trace::span!(
+        names::SPAN_MC_DISTRIBUTION,
+        option = option.to_string(),
+        n = n,
+        trials = config.trials,
+    );
+    let traced = mpvar_trace::enabled();
+    let started = traced.then(std::time::Instant::now);
+
     let params = mpvar_sram::FormulaParams::derive(window.tech(), window.cell(), 0.7)?;
     let model = crate::formula::AnalyticalModel::new(params, 0.10)?;
 
@@ -269,6 +279,7 @@ pub fn tdp_distribution_with(
             }
             let deficit = (config.trials - samples.len()) as u64;
             let wave = deficit.max(threads as u64).min(limit - next);
+            let _wave_span = mpvar_trace::span!(names::SPAN_MC_WAVE, start = next, len = wave);
             let outcomes = mpvar_exec::try_par_map_range(wave as usize, threads, |i| {
                 Ok::<TrialOutcome, std::convert::Infallible>(eval(next + i as u64))
             })
@@ -287,6 +298,21 @@ pub fn tdp_distribution_with(
                 }
             }
         }
+    }
+
+    if traced {
+        mpvar_trace::counter_add(names::MC_TRIALS, samples.len() as u64);
+        mpvar_trace::counter_add(names::MC_SHORTED, shorted as u64);
+        if let Some(started) = started {
+            let secs = started.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                mpvar_trace::gauge_set(names::MC_TRIALS_PER_SEC, samples.len() as f64 / secs);
+            }
+        }
+        // Fixed ±50% tdp buckets in 5% steps, shared by every run so
+        // exported histograms are directly comparable.
+        let bounds: Vec<f64> = (-10..=10).map(|i| f64::from(i) * 5.0).collect();
+        mpvar_trace::histogram_record(names::MC_TDP_PERCENT, &bounds, &samples);
     }
 
     let summary = samples.iter().copied().collect();

@@ -11,6 +11,7 @@ use mpvar_extract::{extract_track, RelativeVariation, WireParasitics};
 use mpvar_litho::{apply_draw, corner_draws, CornerSpec, Draw};
 use mpvar_sram::{simulate_read, BitcellGeometry, ReadConfig};
 use mpvar_tech::{PatterningOption, TechDb, VariationBudget};
+use mpvar_trace::names;
 
 use crate::error::CoreError;
 use crate::nominal::NominalWindow;
@@ -74,6 +75,11 @@ pub fn find_worst_case_with(
 ) -> Result<WorstCase, CoreError> {
     let option = window.option();
     let draws = corner_draws(option, budget, CornerSpec::default());
+    let _search_span = mpvar_trace::span!(
+        names::SPAN_CORNER_SEARCH,
+        option = option.to_string(),
+        corners = draws.len(),
+    );
     // Score every corner independently: `None` marks a physically
     // infeasible print (shorted/collapsed lines), hard extraction
     // errors abort with the lowest corner index (what a sequential
@@ -107,6 +113,9 @@ pub fn find_worst_case_with(
             }
         }
     }
+
+    mpvar_trace::counter_add(names::CORNERS_ENUMERATED, draws.len() as u64);
+    mpvar_trace::counter_add(names::CORNERS_INFEASIBLE, infeasible as u64);
 
     let (winner, _) = best.ok_or_else(|| CoreError::NoFeasibleCorner {
         option: option.to_string(),

@@ -30,12 +30,24 @@
 //!
 //! The pool is a scoped `std::thread` fork-join (no work stealing):
 //! chunk boundaries depend only on `(n, threads)`, never on timing.
+//!
+//! # Observability
+//!
+//! When an `mpvar-trace` collector is installed, every map emits an
+//! `exec_par_map` span with one `exec_chunk` child per worker chunk
+//! (explicitly parented, since workers start with an empty span
+//! stack), plus an `exec.chunks` counter and an `exec.imbalance` gauge
+//! (slowest-chunk wall over mean-chunk wall). Instrumentation only
+//! observes — chunk boundaries and result placement are unchanged, so
+//! traced runs stay bit-identical to untraced ones.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::num::NonZeroUsize;
 use std::ops::Range;
+
+use mpvar_trace::{names, SpanGuard};
 
 /// Thread-count configuration for the parallel execution layer.
 ///
@@ -169,6 +181,8 @@ where
     F: Fn(usize) -> Result<U, E> + Sync,
 {
     let threads = threads.max(1).min(n.max(1));
+    let traced = mpvar_trace::enabled();
+    let map_span = mpvar_trace::span!(names::SPAN_EXEC_PAR_MAP, n = n, threads = threads);
     if threads <= 1 {
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
@@ -177,23 +191,49 @@ where
         return Ok(out);
     }
 
+    // One worker's output: its chunk's result buffer (or the first
+    // failing index + error) paired with the chunk's wall time in ns
+    // (0 untraced) — observation only, it never feeds back into the
+    // computation.
+    type ChunkOutcome<U, E> = (Result<Vec<U>, (usize, E)>, u64);
+
     let ranges = chunk_ranges(n, threads);
+    let parent = map_span.id();
     // Per-worker result buffers; chunk c owns output indices ranges[c].
-    let mut chunk_results: Vec<Result<Vec<U>, (usize, E)>> = std::thread::scope(|scope| {
+    let results: Vec<ChunkOutcome<U, E>> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
-            .map(|range| {
+            .enumerate()
+            .map(|(c, range)| {
                 let range = range.clone();
                 let f = &f;
                 scope.spawn(move || {
-                    let mut buf = Vec::with_capacity(range.len());
-                    for i in range {
-                        match f(i) {
-                            Ok(v) => buf.push(v),
-                            Err(e) => return Err((i, e)),
+                    let _chunk_span = if traced {
+                        SpanGuard::enter_with_parent(
+                            parent,
+                            names::SPAN_EXEC_CHUNK,
+                            vec![
+                                ("chunk", c.into()),
+                                ("start", range.start.into()),
+                                ("len", range.len().into()),
+                            ],
+                        )
+                    } else {
+                        SpanGuard::disabled()
+                    };
+                    let started = traced.then(std::time::Instant::now);
+                    let result = (|| {
+                        let mut buf = Vec::with_capacity(range.len());
+                        for i in range.clone() {
+                            match f(i) {
+                                Ok(v) => buf.push(v),
+                                Err(e) => return Err((i, e)),
+                            }
                         }
-                    }
-                    Ok(buf)
+                        Ok(buf)
+                    })();
+                    let dur_ns = started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    (result, dur_ns)
                 })
             })
             .collect();
@@ -203,10 +243,20 @@ where
             .collect()
     });
 
+    if traced {
+        mpvar_trace::counter_add(names::EXEC_CHUNKS, results.len() as u64);
+        let slowest = results.iter().map(|(_, d)| *d).max().unwrap_or(0) as f64;
+        let mean =
+            results.iter().map(|(_, d)| *d).sum::<u64>() as f64 / results.len().max(1) as f64;
+        if mean > 0.0 {
+            mpvar_trace::gauge_set(names::EXEC_IMBALANCE, slowest / mean);
+        }
+    }
+
     // Chunks are in index order, so the first failed chunk holds the
     // lowest-index error (each worker stops at its first failure).
     let mut out = Vec::with_capacity(n);
-    for result in chunk_results.drain(..) {
+    for (result, _) in results {
         match result {
             Ok(buf) => out.extend(buf),
             Err((_, e)) => return Err(e),

@@ -111,12 +111,21 @@ pub fn dc_sweep(net: &Netlist, source: &str, values: &[f64]) -> Result<DcSweepRe
     let mut working = net.clone();
     let mut x = vec![0.0; system_size(net)];
     let mut points = Vec::with_capacity(values.len());
+    let mut stats = crate::mna::NewtonStats::default();
 
     for &v in values {
         set_vsource_dc(&mut working, source, v);
-        x = solve_nonlinear(&working, 0.0, ReactivePolicy::Dc, x)?;
+        let solved = solve_nonlinear(&working, 0.0, ReactivePolicy::Dc, x, &mut stats);
+        x = match solved {
+            Ok(x) => x,
+            Err(e) => {
+                stats.emit();
+                return Err(e);
+            }
+        };
         points.push(OperatingPoint::from_solution(&working, &x));
     }
+    stats.emit();
 
     Ok(DcSweepResult {
         values: values.to_vec(),

@@ -25,6 +25,32 @@ const VSTEP_MAX: f64 = 0.3;
 /// Maximum Newton iterations before reporting non-convergence.
 const MAX_ITERS: usize = 200;
 
+/// Newton-solver statistics accumulated locally by one analysis and
+/// emitted to the trace layer in a single batch ([`NewtonStats::emit`])
+/// — per-iteration counter calls would put a lock on the hot path.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct NewtonStats {
+    /// Nonlinear MNA systems solved.
+    pub solves: u64,
+    /// Newton–Raphson iterations across all solves.
+    pub iterations: u64,
+    /// Solves that failed to converge within [`MAX_ITERS`].
+    pub failures: u64,
+}
+
+impl NewtonStats {
+    /// Flushes the batch into the trace counters (no-op when tracing
+    /// is disabled or nothing was solved).
+    pub(crate) fn emit(&self) {
+        if self.solves == 0 || !mpvar_trace::enabled() {
+            return;
+        }
+        mpvar_trace::counter_add(mpvar_trace::names::SPICE_SOLVES, self.solves);
+        mpvar_trace::counter_add(mpvar_trace::names::SPICE_NR_ITERATIONS, self.iterations);
+        mpvar_trace::counter_add(mpvar_trace::names::SPICE_NR_FAILURES, self.failures);
+    }
+}
+
 /// How reactive elements (capacitors) are treated during assembly.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum ReactivePolicy<'a> {
@@ -82,8 +108,10 @@ impl OperatingPoint {
     /// [`SpiceError::SingularMatrix`] or [`SpiceError::NoConvergence`].
     pub fn solve(net: &Netlist) -> Result<OperatingPoint, SpiceError> {
         let x0 = vec![0.0; system_size(net)];
-        let x = solve_nonlinear(net, 0.0, ReactivePolicy::Dc, x0)?;
-        Ok(Self::from_solution(net, &x))
+        let mut stats = NewtonStats::default();
+        let result = solve_nonlinear(net, 0.0, ReactivePolicy::Dc, x0, &mut stats);
+        stats.emit();
+        Ok(Self::from_solution(net, &result?))
     }
 
     pub(crate) fn from_solution(net: &Netlist, x: &[f64]) -> OperatingPoint {
@@ -131,19 +159,24 @@ pub(crate) fn system_size(net: &Netlist) -> usize {
 }
 
 /// Solves the (possibly nonlinear) MNA system at time `t` under the given
-/// reactive policy, starting from `x0`.
+/// reactive policy, starting from `x0`. Iteration counts accumulate into
+/// `stats` (plain local integers; the caller batches them to the trace
+/// layer once per analysis).
 pub(crate) fn solve_nonlinear(
     net: &Netlist,
     t: f64,
     policy: ReactivePolicy<'_>,
     mut x: Vec<f64>,
+    stats: &mut NewtonStats,
 ) -> Result<Vec<f64>, SpiceError> {
     let size = system_size(net);
     debug_assert_eq!(x.len(), size);
     let linear = is_linear(net);
     let mut last_delta = f64::INFINITY;
+    stats.solves += 1;
 
     for _iter in 0..MAX_ITERS {
+        stats.iterations += 1;
         let (matrix, rhs) = assemble(net, t, policy, &x);
         let x_new = matrix.factor()?.solve(&rhs);
 
@@ -171,6 +204,7 @@ pub(crate) fn solve_nonlinear(
         }
         last_delta = max_delta;
     }
+    stats.failures += 1;
     Err(SpiceError::NoConvergence {
         iterations: MAX_ITERS,
         last_delta_v: last_delta,

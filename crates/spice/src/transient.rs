@@ -16,7 +16,7 @@ use std::collections::HashMap;
 
 use crate::error::SpiceError;
 use crate::mna::{
-    assemble, is_linear, solve_nonlinear, system_size, OperatingPoint, ReactivePolicy,
+    assemble, is_linear, solve_nonlinear, system_size, NewtonStats, OperatingPoint, ReactivePolicy,
 };
 use crate::netlist::{Element, Netlist, NodeId};
 
@@ -82,6 +82,32 @@ impl<'a> Transient<'a> {
     /// * [`SpiceError::SingularMatrix`] / [`SpiceError::NoConvergence`]
     ///   from the per-step solves.
     pub fn run(&self, dt: f64, t_stop: f64) -> Result<TransientResult, SpiceError> {
+        let _span = mpvar_trace::span!(
+            mpvar_trace::names::SPAN_SPICE_TRANSIENT,
+            dt = dt,
+            t_stop = t_stop,
+            adaptive = false,
+        );
+        let mut stats = NewtonStats::default();
+        let result = self.run_fixed(dt, t_stop, &mut stats);
+        stats.emit();
+        if let Ok(r) = &result {
+            // Accepted integration steps (the stored t = 0 point is not
+            // a step).
+            mpvar_trace::counter_add(
+                mpvar_trace::names::SPICE_TRANSIENT_STEPS,
+                r.len().saturating_sub(1) as u64,
+            );
+        }
+        result
+    }
+
+    fn run_fixed(
+        &self,
+        dt: f64,
+        t_stop: f64,
+        stats: &mut NewtonStats,
+    ) -> Result<TransientResult, SpiceError> {
         let valid = dt > 0.0 && t_stop > 0.0;
         if !valid {
             return Err(SpiceError::InvalidAnalysis {
@@ -174,7 +200,7 @@ impl<'a> Transient<'a> {
                     f.solve(&rhs)
                 }
             } else {
-                solve_nonlinear(net, t, policy, x.clone())?
+                solve_nonlinear(net, t, policy, x.clone(), stats)?
             };
 
             // Update capacitor currents (needed by trapezoidal memory).
@@ -225,6 +251,31 @@ impl<'a> Transient<'a> {
         t_stop: f64,
         tol_v: f64,
     ) -> Result<TransientResult, SpiceError> {
+        let _span = mpvar_trace::span!(
+            mpvar_trace::names::SPAN_SPICE_TRANSIENT,
+            dt = dt_initial,
+            t_stop = t_stop,
+            adaptive = true,
+        );
+        let mut stats = NewtonStats::default();
+        let result = self.run_adaptive_inner(dt_initial, t_stop, tol_v, &mut stats);
+        stats.emit();
+        if let Ok(r) = &result {
+            mpvar_trace::counter_add(
+                mpvar_trace::names::SPICE_TRANSIENT_STEPS,
+                r.len().saturating_sub(1) as u64,
+            );
+        }
+        result
+    }
+
+    fn run_adaptive_inner(
+        &self,
+        dt_initial: f64,
+        t_stop: f64,
+        tol_v: f64,
+        stats: &mut NewtonStats,
+    ) -> Result<TransientResult, SpiceError> {
         let valid = dt_initial > 0.0 && t_stop > 0.0 && tol_v > 0.0;
         if !valid {
             return Err(SpiceError::InvalidAnalysis {
@@ -264,10 +315,10 @@ impl<'a> Transient<'a> {
             }
 
             // One full step...
-            let full = self.advance_once(&caps, &state, t + dt_eff, dt_eff)?;
+            let full = self.advance_once(&caps, &state, t + dt_eff, dt_eff, stats)?;
             // ...versus two half steps.
-            let half1 = self.advance_once(&caps, &state, t + dt_eff / 2.0, dt_eff / 2.0)?;
-            let half2 = self.advance_once(&caps, &half1, t + dt_eff, dt_eff / 2.0)?;
+            let half1 = self.advance_once(&caps, &state, t + dt_eff / 2.0, dt_eff / 2.0, stats)?;
+            let half2 = self.advance_once(&caps, &half1, t + dt_eff, dt_eff / 2.0, stats)?;
 
             let mut err = 0.0f64;
             for (a, b) in full.node_v.iter().zip(&half2.node_v) {
@@ -330,6 +381,7 @@ impl<'a> Transient<'a> {
         state: &StepState,
         t: f64,
         dt: f64,
+        stats: &mut NewtonStats,
     ) -> Result<StepState, SpiceError> {
         let net = self.net;
         let nn = net.num_nodes();
@@ -348,7 +400,7 @@ impl<'a> Transient<'a> {
                 prev_ic: &state.cap_i,
             }
         };
-        let x_new = solve_nonlinear(net, t, policy, state.x.clone())?;
+        let x_new = solve_nonlinear(net, t, policy, state.x.clone(), stats)?;
 
         let v_of = |node: NodeId, xs: &[f64]| -> f64 {
             if node.is_ground() {

@@ -34,9 +34,13 @@
 //!     16,
 //!     &Draw::nominal(PatterningOption::Euv),
 //! )?;
-//! println!("td = {:.2} ps", outcome.td_s * 1e12);
+//! assert!(outcome.td_s > 0.0); // td in seconds; see ReadOutcome
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Each [`simulate_read`] call opens an `sram_read` span when an
+//! `mpvar-trace` collector is installed, so read simulations are
+//! attributable in run telemetry (`repro all --trace run.jsonl`).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]

@@ -94,6 +94,7 @@ pub fn simulate_read(
             message: "column needs at least one cell".to_string(),
         });
     }
+    let _span = mpvar_trace::span!(mpvar_trace::names::SPAN_SRAM_READ, n_cells = n_cells);
     let m1 = tech.metal(1).ok_or_else(|| SramError::IncompleteTech {
         missing: "metal1 spec".to_string(),
     })?;

@@ -16,11 +16,14 @@
 //!   node's dependency closure), so Table I computed for Fig. 4 is
 //!   reused by Table III and by `repro check` without re-running the
 //!   corner search, and
-//! * surfaces **observability**: per-node wall-clock / cache-hit
-//!   counters ([`Study::timings`]) and an event-hook trait
-//!   ([`StudyObserver`]) the `repro` binary uses for live progress and
-//!   `--timings`, and the test suite uses to assert cache-hit
-//!   equivalence.
+//! * surfaces **observability**: with an `mpvar_trace::Collector`
+//!   installed, every `materialize` call opens a `study_materialize`
+//!   span, every node evaluation a `study_node` span (zero-duration for
+//!   cache hits), and the session bumps `study.cache_hits` /
+//!   `study.cache_misses` / `study.memo_bytes` metrics; per-node
+//!   wall-clock / cache-hit counters remain available via
+//!   [`Study::timings`]. (The legacy [`StudyObserver`] callback trait
+//!   is deprecated in favour of the trace bus.)
 //!
 //! Determinism is inherited, not re-proven: every producer is
 //! bit-identical for any thread count (the `mpvar-exec` contract), so a
@@ -34,7 +37,6 @@
 //! let study = Study::new(ExperimentContext::quick()?);
 //! let t3 = study.get::<Table3>()?; // runs table1 → fig4 → table3 once
 //! println!("{}", t3.report().render());
-//! println!("{}", study.timings_report());
 //! # Ok::<(), mpvar_core::CoreError>(())
 //! ```
 
@@ -50,6 +52,8 @@ pub mod value;
 
 pub use cache::{context_fingerprint, node_key, CacheKey, StudyCache};
 pub use graph::{plan, ArtifactId};
-pub use observer::{NodeOutcome, RecordingObserver, StudyObserver};
+#[allow(deprecated)]
+pub use observer::StudyObserver;
+pub use observer::{NodeOutcome, RecordingObserver};
 pub use session::{NodeStats, Study};
 pub use value::{Artifact, ArtifactData, ArtifactValue, SensitivityMatrix, TypedArtifact};

@@ -1,12 +1,20 @@
 //! Event hooks for study instrumentation.
 //!
-//! A [`StudyObserver`] sees every node evaluation: the `repro` binary
-//! installs one for live progress lines, the test suite installs a
-//! [`RecordingObserver`] to assert cache behaviour (hits where reuse is
-//! promised, misses when a knob is perturbed).
+//! Study evaluation events now flow through the `mpvar-trace` bus: a
+//! [`crate::Study`] emits a `study_node` span per node (guard spans for
+//! producer runs, zero-duration synthetic spans for cache hits) plus
+//! `study.cache_hits` / `study.cache_misses` counters whenever a trace
+//! collector is installed. The legacy [`StudyObserver`] callback trait
+//! is kept for compatibility but deprecated; [`RecordingObserver`] —
+//! the test-suite workhorse — is reimplemented on top of the trace
+//! layer's [`RecordingSink`], storing each event as a `study_node`
+//! [`SpanRecord`] and decoding on read.
 
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::Duration;
+
+use mpvar_trace::sink::RecordingSink;
+use mpvar_trace::{names, SpanRecord};
 
 use crate::graph::ArtifactId;
 
@@ -30,6 +38,10 @@ impl NodeOutcome {
 ///
 /// Callbacks may fire concurrently from worker threads (nodes in one
 /// wave evaluate in parallel), hence `Send + Sync`.
+#[deprecated(
+    note = "superseded by mpvar-trace: install a `mpvar_trace::Collector` and read \
+            `study_node` spans plus `study.cache_hits` / `study.cache_misses` counters"
+)]
 pub trait StudyObserver: Send + Sync {
     /// A node is about to be evaluated (producer run or cache lookup).
     fn on_node_start(&self, _id: ArtifactId) {}
@@ -39,9 +51,15 @@ pub trait StudyObserver: Send + Sync {
 }
 
 /// An observer that records every event, for assertions in tests.
+///
+/// Events are stored as synthetic `study_node` [`SpanRecord`]s in a
+/// trace-layer [`RecordingSink`] (the same representation a JSONL trace
+/// uses: an `artifact` field naming the node, an `outcome` field of
+/// `"computed"` or `"cache_hit"`, and the producer wall-clock as the
+/// span duration) and decoded back on read.
 #[derive(Debug, Default)]
 pub struct RecordingObserver {
-    events: Mutex<Vec<(ArtifactId, NodeOutcome)>>,
+    sink: Arc<RecordingSink>,
 }
 
 impl RecordingObserver {
@@ -50,9 +68,14 @@ impl RecordingObserver {
         Self::default()
     }
 
+    /// The underlying trace sink holding the raw `study_node` spans.
+    pub fn sink(&self) -> &Arc<RecordingSink> {
+        &self.sink
+    }
+
     /// Every `(node, outcome)` pair seen so far, in completion order.
     pub fn events(&self) -> Vec<(ArtifactId, NodeOutcome)> {
-        self.events.lock().expect("recorder lock poisoned").clone()
+        self.sink.spans().iter().filter_map(decode_event).collect()
     }
 
     /// Cache hits recorded for `id`.
@@ -72,11 +95,34 @@ impl RecordingObserver {
     }
 }
 
+/// Encodes one evaluation event in the trace-layer span representation.
+pub(crate) fn encode_event(id: ArtifactId, outcome: NodeOutcome) -> SpanRecord {
+    let (label, wall) = match outcome {
+        NodeOutcome::Computed(wall) => ("computed", wall),
+        NodeOutcome::CacheHit => ("cache_hit", Duration::ZERO),
+    };
+    SpanRecord::completed(
+        names::SPAN_STUDY_NODE,
+        vec![("artifact", id.name().into()), ("outcome", label.into())],
+        wall,
+    )
+}
+
+fn decode_event(span: &SpanRecord) -> Option<(ArtifactId, NodeOutcome)> {
+    if span.name != names::SPAN_STUDY_NODE {
+        return None;
+    }
+    let id = ArtifactId::try_parse(span.str_field("artifact")?).ok()?;
+    let outcome = match span.str_field("outcome")? {
+        "cache_hit" => NodeOutcome::CacheHit,
+        _ => NodeOutcome::Computed(Duration::from_nanos(span.dur_ns)),
+    };
+    Some((id, outcome))
+}
+
+#[allow(deprecated)]
 impl StudyObserver for RecordingObserver {
     fn on_node_done(&self, id: ArtifactId, outcome: NodeOutcome) {
-        self.events
-            .lock()
-            .expect("recorder lock poisoned")
-            .push((id, outcome));
+        self.sink.record(encode_event(id, outcome));
     }
 }

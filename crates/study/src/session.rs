@@ -7,10 +7,13 @@ use std::time::{Duration, Instant};
 use mpvar_core::experiments::ExperimentContext;
 use mpvar_core::report::TextTable;
 use mpvar_core::CoreError;
+use mpvar_trace::{names, SpanGuard};
 
 use crate::cache::{context_fingerprint, node_key, CacheKey, StudyCache};
 use crate::graph::{plan, ArtifactId};
-use crate::observer::{NodeOutcome, StudyObserver};
+#[allow(deprecated)]
+use crate::observer::StudyObserver;
+use crate::observer::{encode_event, NodeOutcome};
 use crate::value::{produce, Artifact, ArtifactData, ArtifactValue, TypedArtifact};
 
 /// Per-node evaluation counters, surfaced by [`Study::timings`].
@@ -44,13 +47,20 @@ pub struct NodeStats {
 /// let t3 = study.get::<Table3>()?;          // runs table1 → fig4 → table3
 /// let t1 = study.get::<Table1>()?;          // cache hit, no recompute
 /// println!("{}", t1.report().render());
-/// println!("{}", study.timings_report());
 /// # Ok::<(), mpvar_core::CoreError>(())
 /// ```
+///
+/// Every evaluation is observable through `mpvar-trace`: with a
+/// collector installed, each `materialize` call opens a
+/// `study_materialize` span, each node evaluation a `study_node` span
+/// (cache hits appear as zero-duration spans), and the session bumps
+/// `study.cache_hits` / `study.cache_misses` / `study.memo_bytes`
+/// metrics.
 pub struct Study {
     ctx: ExperimentContext,
     fingerprint: u64,
     cache: Arc<StudyCache>,
+    #[allow(deprecated)]
     observers: Vec<Arc<dyn StudyObserver>>,
     stats: Mutex<BTreeMap<ArtifactId, NodeStats>>,
 }
@@ -88,6 +98,7 @@ impl Study {
     }
 
     /// Attaches an event observer (chainable).
+    #[allow(deprecated)]
     #[must_use]
     pub fn with_observer(mut self, observer: Arc<dyn StudyObserver>) -> Self {
         self.observers.push(observer);
@@ -95,6 +106,7 @@ impl Study {
     }
 
     /// Attaches an event observer.
+    #[allow(deprecated)]
     pub fn add_observer(&mut self, observer: Arc<dyn StudyObserver>) {
         self.observers.push(observer);
     }
@@ -135,6 +147,10 @@ impl Study {
         &self,
         requested: &[ArtifactId],
     ) -> Result<Vec<Arc<ArtifactValue>>, CoreError> {
+        let mat_span =
+            mpvar_trace::span!(names::SPAN_STUDY_MATERIALIZE, requested = requested.len(),);
+        let traced = mpvar_trace::enabled();
+        let parent = mat_span.id();
         for wave in plan(requested) {
             // Serve memoized nodes, keep the rest for the parallel pass.
             let missing: Vec<ArtifactId> = wave
@@ -161,6 +177,20 @@ impl Study {
             inner_ctx.exec = inner;
             inner_ctx.mc.exec = inner;
             let values = mpvar_exec::try_par_map_indexed(&missing, outer, |_, &id| {
+                // Workers start with an empty span stack; parent their
+                // node spans to this materialize() call explicitly.
+                let _node_span = if traced {
+                    SpanGuard::enter_with_parent(
+                        parent,
+                        names::SPAN_STUDY_NODE,
+                        vec![
+                            ("artifact", id.name().into()),
+                            ("outcome", "computed".into()),
+                        ],
+                    )
+                } else {
+                    SpanGuard::disabled()
+                };
                 let deps: Vec<Arc<ArtifactValue>> = id
                     .dependencies()
                     .iter()
@@ -179,6 +209,13 @@ impl Study {
                 Ok::<_, CoreError>(Arc::new(value))
             })?;
             for (id, value) in missing.iter().zip(values) {
+                if traced {
+                    let rendered = value.render();
+                    mpvar_trace::counter_add(
+                        names::MEMO_BYTES,
+                        (rendered.text.len() + rendered.csv.len()) as u64,
+                    );
+                }
                 self.cache.insert(self.key_of(*id), value);
             }
         }
@@ -265,8 +302,12 @@ impl Study {
             .clone()
     }
 
-    /// Renders the `--timings` report: producer runs, cache hits, and
-    /// wall-clock per node, plus the cache population.
+    /// Renders the legacy `--timings` report: producer runs, cache
+    /// hits, and wall-clock per node, plus the cache population.
+    #[deprecated(
+        note = "superseded by mpvar-trace: install a `Collector` with a `RecordingSink` and \
+                render with `mpvar_trace::sink::render_tree` / `render_metrics`"
+    )]
     pub fn timings_report(&self) -> String {
         let stats = self.timings();
         let mut t = TextTable::new(
@@ -294,12 +335,14 @@ impl Study {
         )
     }
 
+    #[allow(deprecated)]
     fn notify_start(&self, id: ArtifactId) {
         for obs in &self.observers {
             obs.on_node_start(id);
         }
     }
 
+    #[allow(deprecated)]
     fn record(&self, id: ArtifactId, outcome: NodeOutcome) {
         {
             let mut stats = self.stats.lock().expect("study stats lock poisoned");
@@ -310,6 +353,18 @@ impl Study {
                     entry.wall += wall;
                 }
                 NodeOutcome::CacheHit => entry.cache_hits += 1,
+            }
+        }
+        match outcome {
+            NodeOutcome::Computed(_) => mpvar_trace::counter_add(names::CACHE_MISSES, 1),
+            NodeOutcome::CacheHit => {
+                mpvar_trace::counter_add(names::CACHE_HITS, 1);
+                // Producer runs get a guard span in materialize(); cache
+                // hits are instantaneous, so emit a zero-duration
+                // synthetic span to keep every node visible in a trace.
+                if mpvar_trace::enabled() {
+                    encode_event(id, outcome).emit();
+                }
             }
         }
         for obs in &self.observers {

@@ -1,0 +1,193 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! Each [`crate::Collector`] owns one [`MetricsRegistry`]; the free
+//! functions in [`crate::collector`] fan updates out to every active
+//! collector. Metrics are cumulative over a collector's lifetime and
+//! are delivered to sinks as one [`MetricsSnapshot`] when the collector
+//! session ends.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// One metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonic sum of deltas.
+    Counter(u64),
+    /// Last set value.
+    Gauge(f64),
+    /// Fixed-bucket histogram.
+    Histogram(HistogramMetric),
+}
+
+/// A fixed-bucket histogram: `bounds` are the ascending bucket edges,
+/// `counts[i]` tallies values in `[bounds[i], bounds[i + 1])`, with
+/// dedicated underflow/overflow tallies outside the edge range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramMetric {
+    /// Ascending bucket edges (`counts.len() + 1` entries).
+    pub bounds: Vec<f64>,
+    /// Per-bucket tallies.
+    pub counts: Vec<u64>,
+    /// Values below the first edge.
+    pub underflow: u64,
+    /// Values at or above the last edge.
+    pub overflow: u64,
+    /// Sum of all recorded values (including under/overflow).
+    pub sum: f64,
+    /// Number of recorded values.
+    pub count: u64,
+}
+
+impl HistogramMetric {
+    fn new(bounds: &[f64]) -> Self {
+        HistogramMetric {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len().saturating_sub(1)],
+            underflow: 0,
+            overflow: 0,
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+        let Some((&first, &last)) = self.bounds.first().zip(self.bounds.last()) else {
+            return;
+        };
+        if value < first {
+            self.underflow += 1;
+        } else if value >= last {
+            self.overflow += 1;
+        } else {
+            // partition_point gives the count of edges <= value; the
+            // bucket index is that count minus one.
+            let idx = self.bounds.partition_point(|&b| b <= value) - 1;
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The cumulative metrics of one collector session, name-keyed.
+pub type MetricsSnapshot = BTreeMap<String, Metric>;
+
+/// A registry of named metrics, safe for concurrent update.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<&'static str, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `name` (created at 0 on first use).
+    ///
+    /// A name registered under a different metric kind is left
+    /// untouched: the first kind wins.
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        let mut inner = self.lock();
+        if let Metric::Counter(v) = inner.entry(name).or_insert(Metric::Counter(0)) {
+            *v += delta;
+        }
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &'static str, value: f64) {
+        let mut inner = self.lock();
+        if let Metric::Gauge(v) = inner.entry(name).or_insert(Metric::Gauge(value)) {
+            *v = value;
+        }
+    }
+
+    /// Records `values` into the fixed-bucket histogram `name`,
+    /// creating it with `bounds` (ascending edges) on first use. Later
+    /// calls reuse the original bounds.
+    pub fn histogram_record(&self, name: &'static str, bounds: &[f64], values: &[f64]) {
+        let mut inner = self.lock();
+        if let Metric::Histogram(h) = inner
+            .entry(name)
+            .or_insert_with(|| Metric::Histogram(HistogramMetric::new(bounds)))
+        {
+            for &v in values {
+                h.record(v);
+            }
+        }
+    }
+
+    /// A snapshot of every metric, name-keyed.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.lock()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<&'static str, Metric>> {
+        self.inner.lock().expect("metrics registry lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = MetricsRegistry::new();
+        r.counter_add("a", 2);
+        r.counter_add("a", 3);
+        r.counter_add("b", 1);
+        let snap = r.snapshot();
+        assert_eq!(snap["a"], Metric::Counter(5));
+        assert_eq!(snap["b"], Metric::Counter(1));
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let r = MetricsRegistry::new();
+        r.gauge_set("g", 1.5);
+        r.gauge_set("g", 2.5);
+        assert_eq!(r.snapshot()["g"], Metric::Gauge(2.5));
+    }
+
+    #[test]
+    fn histogram_bucketing_with_under_and_overflow() {
+        let r = MetricsRegistry::new();
+        let bounds = [0.0, 1.0, 2.0, 3.0];
+        r.histogram_record("h", &bounds, &[-0.5, 0.0, 0.9, 1.0, 2.99, 3.0, 10.0]);
+        let Metric::Histogram(h) = &r.snapshot()["h"] else {
+            panic!("histogram expected");
+        };
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.count, 7);
+        assert!((h.sum - 17.39).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_bounds_are_fixed_by_first_call() {
+        let r = MetricsRegistry::new();
+        r.histogram_record("h", &[0.0, 10.0], &[5.0]);
+        r.histogram_record("h", &[0.0, 1.0, 2.0], &[0.5]);
+        let Metric::Histogram(h) = &r.snapshot()["h"] else {
+            panic!("histogram expected");
+        };
+        assert_eq!(h.bounds, vec![0.0, 10.0]);
+        assert_eq!(h.count, 2);
+    }
+}

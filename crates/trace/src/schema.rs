@@ -1,0 +1,623 @@
+//! The JSONL export schema (`mpvar-trace/v1`) and its validator.
+//!
+//! A trace document is newline-delimited JSON. The **first** line is a
+//! `meta` record; every other line is one of `span`, `counter`,
+//! `gauge`, or `histogram`:
+//!
+//! ```text
+//! {"type":"meta","schema":"mpvar-trace/v1","producer":"mpvar"}
+//! {"type":"span","id":2,"parent":1,"name":"mc_wave","thread":0,
+//!  "start_ns":1200,"dur_ns":88000,"fields":{"trials":512}}
+//! {"type":"counter","name":"mc.trials","value":2000}
+//! {"type":"gauge","name":"mc.trials_per_sec","value":48211.5}
+//! {"type":"histogram","name":"mc.tdp_percent","bounds":[-50.0,...],
+//!  "counts":[0,...],"underflow":0,"overflow":0,"sum":123.0,"count":9}
+//! ```
+//!
+//! Rules enforced by [`validate_jsonl`]:
+//!
+//! 1. the first line is `meta` with `schema == "mpvar-trace/v1"`;
+//! 2. span ids are unique, and every non-null `parent` refers to a
+//!    span id present **somewhere** in the document (spans are written
+//!    on completion, so children precede parents — resolution happens
+//!    after collecting the whole file);
+//! 3. span fields hold scalars only (numbers, strings, booleans);
+//! 4. histogram `bounds` has exactly `counts.len() + 1` edges.
+//!
+//! The parser is a self-contained subset-of-JSON reader (objects,
+//! arrays, strings with escapes, numbers, booleans, null) so the
+//! validator works under the workspace's no-external-dependency rule.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A validation or parse failure, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaError {
+    /// 1-based line number of the offending JSONL line.
+    pub line: usize,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace schema error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// One span entry of a parsed trace document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEntry {
+    /// Unique span id.
+    pub id: u64,
+    /// Parent span id (`None` for roots).
+    pub parent: Option<u64>,
+    /// Span name.
+    pub name: String,
+    /// Emitting thread ordinal.
+    pub thread: u64,
+    /// Start offset from the trace epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Scalar fields, name-keyed.
+    pub fields: BTreeMap<String, FieldScalar>,
+}
+
+/// A scalar span-field value as read back from JSONL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldScalar {
+    /// Any JSON number.
+    Num(f64),
+    /// A JSON string.
+    Str(String),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+/// One histogram entry of a parsed trace document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramEntry {
+    /// Ascending bucket edges.
+    pub bounds: Vec<f64>,
+    /// Per-bucket tallies (`bounds.len() - 1` entries).
+    pub counts: Vec<u64>,
+    /// Values below the first edge.
+    pub underflow: u64,
+    /// Values at or above the last edge.
+    pub overflow: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Number of recorded values.
+    pub count: u64,
+}
+
+/// A fully parsed and validated trace document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceLog {
+    /// Schema identifier from the meta line.
+    pub schema: String,
+    /// All spans, in file (= completion) order.
+    pub spans: Vec<SpanEntry>,
+    /// Final counter values, name-keyed.
+    pub counters: BTreeMap<String, u64>,
+    /// Final gauge values, name-keyed (`NaN` when exported as null).
+    pub gauges: BTreeMap<String, f64>,
+    /// Final histograms, name-keyed.
+    pub histograms: BTreeMap<String, HistogramEntry>,
+}
+
+impl TraceLog {
+    /// Spans with the given name, in file order.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanEntry> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// The distinct span names present, sorted.
+    pub fn span_names(&self) -> Vec<&str> {
+        let names: BTreeSet<&str> = self.spans.iter().map(|s| s.name.as_str()).collect();
+        names.into_iter().collect()
+    }
+}
+
+/// Parses and validates a JSONL trace document.
+pub fn validate_jsonl(text: &str) -> Result<TraceLog, SchemaError> {
+    let mut log = TraceLog::default();
+    let mut seen_ids = BTreeSet::new();
+    let mut first = true;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let err = |message: String| SchemaError {
+            line: line_no,
+            message,
+        };
+        let value = parse_json(raw).map_err(&err)?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| err("line is not a JSON object".into()))?;
+        let kind = get_str(obj, "type").map_err(&err)?;
+        if first {
+            if kind != "meta" {
+                return Err(err(format!(
+                    "first line must be a meta record, got `{kind}`"
+                )));
+            }
+            let schema = get_str(obj, "schema").map_err(&err)?;
+            if schema != crate::sink::SCHEMA_ID {
+                return Err(err(format!(
+                    "unsupported schema `{schema}` (expected `{}`)",
+                    crate::sink::SCHEMA_ID
+                )));
+            }
+            log.schema = schema.to_string();
+            first = false;
+            continue;
+        }
+        match kind {
+            "meta" => return Err(err("duplicate meta record".into())),
+            "span" => {
+                let id = get_u64(obj, "id").map_err(&err)?;
+                if !seen_ids.insert(id) {
+                    return Err(err(format!("duplicate span id {id}")));
+                }
+                let parent = match obj.get("parent") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Num(n)) => {
+                        Some(to_u64(*n).map_err(|m| err(format!("parent: {m}")))?)
+                    }
+                    Some(_) => return Err(err("parent must be a number or null".into())),
+                };
+                let empty = Obj::new();
+                let fields_obj = match obj.get("fields") {
+                    None => &empty,
+                    Some(Json::Obj(map)) => map,
+                    Some(_) => return Err(err("fields must be an object".into())),
+                };
+                let mut fields = BTreeMap::new();
+                for (key, val) in fields_obj {
+                    let scalar = match val {
+                        Json::Num(n) => FieldScalar::Num(*n),
+                        Json::Str(s) => FieldScalar::Str(s.clone()),
+                        Json::Bool(b) => FieldScalar::Bool(*b),
+                        _ => {
+                            return Err(err(format!("field `{key}` must be a scalar")));
+                        }
+                    };
+                    fields.insert(key.clone(), scalar);
+                }
+                log.spans.push(SpanEntry {
+                    id,
+                    parent,
+                    name: get_str(obj, "name").map_err(&err)?.to_string(),
+                    thread: get_u64(obj, "thread").map_err(&err)?,
+                    start_ns: get_u64(obj, "start_ns").map_err(&err)?,
+                    dur_ns: get_u64(obj, "dur_ns").map_err(&err)?,
+                    fields,
+                });
+            }
+            "counter" => {
+                let name = get_str(obj, "name").map_err(&err)?.to_string();
+                let value = get_u64(obj, "value").map_err(&err)?;
+                log.counters.insert(name, value);
+            }
+            "gauge" => {
+                let name = get_str(obj, "name").map_err(&err)?.to_string();
+                let value = match obj.get("value") {
+                    Some(Json::Num(n)) => *n,
+                    Some(Json::Null) => f64::NAN,
+                    _ => return Err(err("gauge value must be a number or null".into())),
+                };
+                log.gauges.insert(name, value);
+            }
+            "histogram" => {
+                let name = get_str(obj, "name").map_err(&err)?.to_string();
+                let bounds = get_f64_array(obj, "bounds").map_err(&err)?;
+                let counts = get_u64_array(obj, "counts").map_err(&err)?;
+                if !bounds.is_empty() && bounds.len() != counts.len() + 1 {
+                    return Err(err(format!(
+                        "histogram `{name}`: {} bounds for {} counts (expected counts + 1)",
+                        bounds.len(),
+                        counts.len()
+                    )));
+                }
+                log.histograms.insert(
+                    name,
+                    HistogramEntry {
+                        bounds,
+                        counts,
+                        underflow: get_u64(obj, "underflow").map_err(&err)?,
+                        overflow: get_u64(obj, "overflow").map_err(&err)?,
+                        sum: get_f64(obj, "sum").map_err(&err)?,
+                        count: get_u64(obj, "count").map_err(&err)?,
+                    },
+                );
+            }
+            other => return Err(err(format!("unknown record type `{other}`"))),
+        }
+    }
+    if first {
+        return Err(SchemaError {
+            line: 1,
+            message: "empty document (meta line required)".into(),
+        });
+    }
+    // Parent links resolve against the whole document: spans are
+    // emitted on completion, so children appear before their parents.
+    for span in &log.spans {
+        if let Some(parent) = span.parent {
+            if !seen_ids.contains(&parent) {
+                return Err(SchemaError {
+                    line: 0,
+                    message: format!("span {} references unknown parent {parent}", span.id),
+                });
+            }
+        }
+    }
+    Ok(log)
+}
+
+// ---------------------------------------------------------------------
+// Object field accessors
+// ---------------------------------------------------------------------
+
+type Obj = BTreeMap<String, Json>;
+
+fn get_str<'a>(obj: &'a Obj, key: &str) -> Result<&'a str, String> {
+    match obj.get(key) {
+        Some(Json::Str(s)) => Ok(s),
+        Some(_) => Err(format!("`{key}` must be a string")),
+        None => Err(format!("missing `{key}`")),
+    }
+}
+
+fn get_f64(obj: &Obj, key: &str) -> Result<f64, String> {
+    match obj.get(key) {
+        Some(Json::Num(n)) => Ok(*n),
+        Some(Json::Null) => Ok(f64::NAN),
+        Some(_) => Err(format!("`{key}` must be a number")),
+        None => Err(format!("missing `{key}`")),
+    }
+}
+
+fn get_u64(obj: &Obj, key: &str) -> Result<u64, String> {
+    let n = match obj.get(key) {
+        Some(Json::Num(n)) => *n,
+        Some(_) => return Err(format!("`{key}` must be a number")),
+        None => return Err(format!("missing `{key}`")),
+    };
+    to_u64(n).map_err(|m| format!("`{key}`: {m}"))
+}
+
+fn to_u64(n: f64) -> Result<u64, String> {
+    if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 {
+        Ok(n as u64)
+    } else {
+        Err(format!("{n} is not a non-negative integer"))
+    }
+}
+
+fn get_f64_array(obj: &Obj, key: &str) -> Result<Vec<f64>, String> {
+    let Some(Json::Arr(items)) = obj.get(key) else {
+        return Err(format!("`{key}` must be an array"));
+    };
+    items
+        .iter()
+        .map(|v| match v {
+            Json::Num(n) => Ok(*n),
+            Json::Null => Ok(f64::NAN),
+            _ => Err(format!("`{key}` must contain numbers")),
+        })
+        .collect()
+}
+
+fn get_u64_array(obj: &Obj, key: &str) -> Result<Vec<u64>, String> {
+    get_f64_array(obj, key)?
+        .into_iter()
+        .map(|n| to_u64(n).map_err(|m| format!("`{key}`: {m}")))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser (objects, arrays, strings, numbers, bools, null)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Obj),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&Obj> {
+        match self {
+            Json::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut parser = Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.chars.len() {
+        return Err(format!("trailing content at offset {}", parser.pos));
+    }
+    Ok(value)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<char, String> {
+        let c = self.peek().ok_or("unexpected end of input")?;
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        let got = self.bump()?;
+        if got == c {
+            Ok(())
+        } else {
+            Err(format!("expected `{c}`, got `{got}`"))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        for expected in word.chars() {
+            self.expect(expected)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or("unexpected end of input")? {
+            '{' => self.object(),
+            '[' => self.array(),
+            '"' => Ok(Json::Str(self.string()?)),
+            't' => self.literal("true", Json::Bool(true)),
+            'f' => self.literal("false", Json::Bool(false)),
+            'n' => self.literal("null", Json::Null),
+            '-' | '0'..='9' => self.number(),
+            other => Err(format!("unexpected character `{other}`")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut map = Obj::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump()? {
+                ',' => continue,
+                '}' => return Ok(Json::Obj(map)),
+                other => return Err(format!("expected `,` or `}}`, got `{other}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump()? {
+                ',' => continue,
+                ']' => return Ok(Json::Arr(items)),
+                other => return Err(format!("expected `,` or `]`, got `{other}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                '"' => return Ok(out),
+                '\\' => match self.bump()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let digit = self
+                                .bump()?
+                                .to_digit(16)
+                                .ok_or("invalid \\u escape digit")?;
+                            code = code * 16 + digit;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("invalid escape `\\{other}`")),
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some('0'..='9' | '.' | 'e' | 'E' | '+' | '-')) {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number `{text}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+    use crate::sink::{JsonlSink, TraceSink};
+    use crate::span::SpanGuard;
+    use std::sync::Arc;
+
+    #[test]
+    fn round_trip_through_jsonl_export() {
+        let _lock = crate::collector::test_serial();
+        let sink = Arc::new(JsonlSink::new());
+        let collector = Collector::new(vec![sink.clone()]);
+        {
+            let _session = collector.install();
+            let outer = SpanGuard::enter(
+                "mc_distribution",
+                vec![("label", crate::FieldValue::from("quick"))],
+            );
+            {
+                let _wave = SpanGuard::enter("mc_wave", vec![("trials", 512usize.into())]);
+            }
+            drop(outer);
+            crate::counter_add("mc.trials", 512);
+            crate::gauge_set("mc.trials_per_sec", 1000.5);
+            crate::histogram_record("mc.tdp_percent", &[-50.0, 0.0, 50.0], &[-1.0, 3.0, 99.0]);
+        }
+        let log = validate_jsonl(&sink.contents()).expect("valid trace");
+        assert_eq!(log.schema, crate::sink::SCHEMA_ID);
+        assert_eq!(log.spans.len(), 2);
+        // Children are written first (completion order); parent links
+        // still resolve.
+        assert_eq!(log.spans[0].name, "mc_wave");
+        assert_eq!(log.spans[0].parent, Some(log.spans[1].id));
+        assert_eq!(log.spans[0].fields["trials"], FieldScalar::Num(512.0));
+        assert_eq!(
+            log.spans[1].fields["label"],
+            FieldScalar::Str("quick".to_string())
+        );
+        assert_eq!(log.counters["mc.trials"], 512);
+        assert!((log.gauges["mc.trials_per_sec"] - 1000.5).abs() < 1e-9);
+        let hist = &log.histograms["mc.tdp_percent"];
+        assert_eq!(hist.counts, vec![1, 1]);
+        assert_eq!(hist.underflow, 0);
+        assert_eq!(hist.overflow, 1);
+        assert_eq!(hist.count, 3);
+    }
+
+    #[test]
+    fn missing_meta_line_is_rejected() {
+        let doc = "{\"type\":\"counter\",\"name\":\"x\",\"value\":1}\n";
+        let result = validate_jsonl(doc);
+        assert!(result.is_err());
+        assert!(result.unwrap_err().message.contains("meta"));
+    }
+
+    #[test]
+    fn unknown_parent_is_rejected() {
+        let sink = JsonlSink::new();
+        sink.on_span(&crate::SpanRecord {
+            id: 5,
+            parent: Some(99),
+            name: "orphan",
+            thread: 0,
+            start_ns: 0,
+            dur_ns: 1,
+            fields: vec![],
+        });
+        let result = validate_jsonl(&sink.contents());
+        assert!(result.unwrap_err().message.contains("unknown parent"));
+    }
+
+    #[test]
+    fn duplicate_span_ids_are_rejected() {
+        let sink = JsonlSink::new();
+        for _ in 0..2 {
+            sink.on_span(&crate::SpanRecord {
+                id: 7,
+                parent: None,
+                name: "dup",
+                thread: 0,
+                start_ns: 0,
+                dur_ns: 1,
+                fields: vec![],
+            });
+        }
+        let result = validate_jsonl(&sink.contents());
+        assert!(result.unwrap_err().message.contains("duplicate span id"));
+    }
+
+    #[test]
+    fn histogram_edge_count_mismatch_is_rejected() {
+        let doc = format!(
+            "{{\"type\":\"meta\",\"schema\":\"{}\"}}\n{}",
+            crate::sink::SCHEMA_ID,
+            "{\"type\":\"histogram\",\"name\":\"h\",\"bounds\":[0.0,1.0],\
+             \"counts\":[1,2],\"underflow\":0,\"overflow\":0,\"sum\":0.0,\"count\":3}"
+        );
+        let result = validate_jsonl(&doc);
+        assert!(result.unwrap_err().message.contains("bounds"));
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let value = parse_json(r#"{"a":[1,2.5,-3e2],"b":"xA\n","c":{"d":null}}"#).expect("parses");
+        let obj = value.as_object().expect("object");
+        assert_eq!(obj["b"], Json::Str("xA\n".to_string()));
+        let Json::Arr(items) = &obj["a"] else {
+            panic!("array expected")
+        };
+        assert_eq!(items[2], Json::Num(-300.0));
+    }
+}

@@ -1,4 +1,4 @@
-//! Driving the artifact-graph engine: memoization, observers, timings.
+//! Driving the artifact-graph engine: memoization, tracing, metrics.
 //!
 //! ```text
 //! cargo run --release --example study_pipeline
@@ -6,35 +6,51 @@
 //!
 //! Requests Table III — which depends on the Table I corner search and
 //! the Fig. 4 simulations — and then Table II, which reuses the cached
-//! Fig. 4 node instead of re-simulating it. An observer streams one
-//! line per node as the plan executes, and the timings report at the
-//! end shows producer runs versus cache hits. A second `Study` session
-//! sharing the same cache then answers entirely from memoized results.
+//! Fig. 4 node instead of re-simulating it. A trace collector is
+//! installed for the duration of the run: a narrator sink streams one
+//! line per study node as the plan executes, a recording sink captures
+//! every span, and the rendered span tree plus the metrics snapshot at
+//! the end show producer runs versus cache hits. A second `Study`
+//! session sharing the same cache then answers entirely from memoized
+//! results.
 
 use std::sync::Arc;
 
 use mpvar::prelude::*;
+use mpvar::trace::sink::{render_metrics, render_tree, TraceSink};
+use mpvar::trace::{names, SpanRecord};
 
-/// Prints one line per evaluated node, as the waves execute.
+/// Prints one line per evaluated study node, as the waves execute.
 struct Narrator;
 
-impl StudyObserver for Narrator {
-    fn on_node_done(&self, id: ArtifactId, outcome: NodeOutcome) {
-        match outcome {
-            NodeOutcome::Computed(wall) => {
-                println!("  {id}: computed in {:.3} s", wall.as_secs_f64());
-            }
-            NodeOutcome::CacheHit => println!("  {id}: cache hit"),
+impl TraceSink for Narrator {
+    fn on_span(&self, span: &SpanRecord) {
+        if span.name != names::SPAN_STUDY_NODE {
+            return;
+        }
+        let artifact = span.str_field("artifact").unwrap_or("?");
+        match span.str_field("outcome") {
+            Some("cache_hit") => println!("  {artifact}: cache hit"),
+            _ => println!(
+                "  {artifact}: computed in {:.3} s",
+                span.dur_ns as f64 / 1e9
+            ),
         }
     }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Observe the whole run: the narrator prints nodes live, the
+    // recording sink keeps every span for the final tree report.
+    let recording = Arc::new(RecordingSink::new());
+    let collector = Collector::new(vec![Arc::new(Narrator), recording.clone()]);
+    let session = collector.install();
+
     // A down-scaled context so the example finishes in seconds; drop
     // `.quick_preset()` (or use `ExperimentContext::paper()`) for the
     // full design of experiments.
     let ctx = ExperimentContext::builder()?.quick_preset().build();
-    let study = Study::new(ctx.clone()).with_observer(Arc::new(Narrator));
+    let study = Study::new(ctx.clone());
 
     println!("table3 (pulls in the table1 and fig4 dependencies):");
     let artifacts = study.run(&[ArtifactId::Table3])?;
@@ -43,7 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("table2 (fig4 is already memoized):");
     study.run(&[ArtifactId::Table2])?;
 
-    println!("\n{}", study.timings_report());
+    println!("\n{}", render_tree(&recording.spans()));
+    println!("{}", render_metrics(&collector.metrics_snapshot()));
 
     // A fresh session over the SAME cache: everything above resolves
     // without recomputation because the context fingerprint matches.
@@ -53,5 +70,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(again, artifacts);
     let hits: usize = warm.timings().values().map(|stats| stats.cache_hits).sum();
     println!("  table3 answered from {hits} cache hits, 0 producer runs");
+    drop(session);
     Ok(())
 }

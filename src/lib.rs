@@ -17,7 +17,9 @@
 //! * [`core`] — worst-case analysis, analytical td/tdp formula,
 //!   Monte-Carlo tdp distributions: the paper's contribution;
 //! * [`study`] — the artifact-graph engine: memoized, instrumented
-//!   experiment evaluation behind the [`study::Study`] session.
+//!   experiment evaluation behind the [`study::Study`] session;
+//! * [`trace`] — structured spans, metrics, and machine-readable run
+//!   telemetry (the `--trace` / `--metrics` machinery of `repro`).
 //!
 //! For everyday use, `use mpvar::prelude::*;` pulls in the ~15 types
 //! most programs need:
@@ -30,9 +32,14 @@
 //! for artifact in study.run(&[ArtifactId::Table1, ArtifactId::Table3])? {
 //!     println!("{}", artifact.text);
 //! }
-//! println!("{}", study.timings_report());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! To watch a run, install a trace collector first (see
+//! [`trace`]): every layer — the parallel executor, the Monte-Carlo
+//! engine, the SPICE solver, and the study graph — emits spans and
+//! metrics into it, and `repro all --trace run.jsonl --metrics` writes
+//! the same telemetry as machine-readable JSONL.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -47,6 +54,7 @@ pub use mpvar_sram as sram;
 pub use mpvar_stats as stats;
 pub use mpvar_study as study;
 pub use mpvar_tech as tech;
+pub use mpvar_trace as trace;
 
 /// The everyday surface of the workspace: experiment contexts and
 /// configuration builders, the `Study` artifact-graph engine, the
@@ -60,9 +68,12 @@ pub mod prelude {
     };
     pub use mpvar_litho::Draw;
     pub use mpvar_sram::{simulate_read, BitcellGeometry, FormulaParams, ReadConfig};
+    #[allow(deprecated)]
+    pub use mpvar_study::StudyObserver;
     pub use mpvar_study::{
-        Artifact, ArtifactId, ArtifactValue, NodeOutcome, Study, StudyCache, StudyObserver,
+        Artifact, ArtifactId, ArtifactValue, NodeOutcome, RecordingObserver, Study, StudyCache,
     };
     pub use mpvar_tech::preset::{n10, n7};
     pub use mpvar_tech::{PatterningOption, TechDb, VariationBudget};
+    pub use mpvar_trace::{Collector, JsonlSink, RecordingSink};
 }
