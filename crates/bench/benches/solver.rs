@@ -1,0 +1,36 @@
+//! Compiled sparse-LU kernel versus the legacy row-map kernel.
+//!
+//! Benchmarks the `h = 1024` fixed-step-equivalent transient workload
+//! (a 16-segment RC bit line with the 6T discharge FETs at the far
+//! end) on both [`SolverKernel`] variants. The compiled kernel's
+//! symbolic analysis is computed once per netlist structure and reused
+//! across every Newton iteration and timestep — the speedup reported
+//! here is recorded into `BENCH_parallel.json` by `repro
+//! bench-parallel` with a 3x acceptance floor.
+//!
+//! Set `MPVAR_BENCH_QUICK=1` for the CI smoke configuration (minimum
+//! sample count, same workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpvar_bench::{solver_workload_once, SOLVER_BENCH_STEPS};
+use mpvar_spice::SolverKernel;
+
+fn bench_solver_kernels(c: &mut Criterion) {
+    let quick = std::env::var("MPVAR_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let mut group = c.benchmark_group("solver_kernel");
+    group.sample_size(if quick { 10 } else { 30 });
+    for (label, kernel) in [
+        ("legacy", SolverKernel::Legacy),
+        ("compiled", SolverKernel::Compiled),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(label, SOLVER_BENCH_STEPS),
+            &kernel,
+            |b, &kernel| b.iter(|| solver_workload_once(kernel)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver_kernels);
+criterion_main!(benches);

@@ -26,7 +26,11 @@
 //! * `--timings` prints the aggregated span tree — producer runs,
 //!   cache hits, wall-clock per stage — to stderr after the run;
 //! * `validate-trace FILE` parses a JSONL trace and checks it against
-//!   the schema (CI runs this on every traced pipeline run).
+//!   the schema (CI runs this on every traced pipeline run);
+//!   `--require-counter NAME` (repeatable) additionally fails unless
+//!   the trace recorded a nonzero final value for that counter — the
+//!   CI solver smoke uses it to prove the compiled kernel actually
+//!   reused its symbolic analysis (`spice.lu_symbolic_reuses`).
 //!
 //! `check` re-runs the matrix and verdicts it: committed goldens are
 //! compared value-wise under per-column tolerances, the paper's shape
@@ -131,7 +135,7 @@ fn usage() -> String {
          <experiment | all | bench-parallel>\n\
          \x20      repro check [--fast] [--golden DIR] [--oracle-cases N] [--trace FILE] \
          [--metrics] [--timings]\n\
-         \x20      repro validate-trace FILE\n\
+         \x20      repro validate-trace [--require-counter NAME]... FILE\n\
          experiments: {}",
         EXPERIMENT_IDS.join(" ")
     )
@@ -148,6 +152,7 @@ fn main() -> ExitCode {
     let mut oracle_cases = 128usize;
     let mut target: Option<String> = None;
     let mut trace_to_validate: Option<PathBuf> = None;
+    let mut required_counters: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -174,6 +179,13 @@ fn main() -> ExitCode {
                 Some(dir) => golden_dir = PathBuf::from(dir),
                 None => {
                     eprintln!("--golden needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--require-counter" => match args.next() {
+                Some(name) if !name.is_empty() => required_counters.push(name),
+                _ => {
+                    eprintln!("--require-counter needs a counter name\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -235,7 +247,25 @@ fn main() -> ExitCode {
                     log.gauges.len(),
                     log.histograms.len()
                 );
-                ExitCode::SUCCESS
+                let mut ok = true;
+                for name in &required_counters {
+                    match log.counters.get(name) {
+                        Some(&v) if v > 0 => println!("  counter `{name}` = {v}"),
+                        Some(_) => {
+                            eprintln!("{}: counter `{name}` is zero", path.display());
+                            ok = false;
+                        }
+                        None => {
+                            eprintln!("{}: counter `{name}` missing", path.display());
+                            ok = false;
+                        }
+                    }
+                }
+                if ok {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
             }
             Err(e) => {
                 eprintln!("{}: invalid trace: {e}", path.display());
@@ -287,6 +317,13 @@ fn main() -> ExitCode {
     if fast || oracle_cases != 128 {
         eprintln!(
             "--fast/--oracle-cases are only valid with `check`\n{}",
+            usage()
+        );
+        return ExitCode::FAILURE;
+    }
+    if !required_counters.is_empty() {
+        eprintln!(
+            "--require-counter is only valid with `validate-trace`\n{}",
             usage()
         );
         return ExitCode::FAILURE;

@@ -16,10 +16,92 @@ pub mod check;
 
 use mpvar_core::experiments::ExperimentContext;
 use mpvar_core::{tdp_distribution_with, CoreError, ExecConfig, McConfig, NominalWindow};
+use mpvar_spice::{MosfetModel, Netlist, NodeId, SolverKernel, Transient, Waveform};
 use mpvar_study::Study;
 use mpvar_tech::PatterningOption;
 
 pub use mpvar_study::Artifact;
+
+/// Fixed trapezoidal step count of the solver-kernel workload: the
+/// `h = 1024` fixed-step-equivalent transient the compiled-kernel
+/// speedup is measured on.
+pub const SOLVER_BENCH_STEPS: usize = 1024;
+
+/// Simulated window of the solver-kernel workload, seconds.
+pub const SOLVER_BENCH_WINDOW_S: f64 = 200e-12;
+
+/// Builds the solver-kernel benchmark circuit: a 16-segment RC bit
+/// line with the 6T read discharge path (pass-gate + pull-down NMOS)
+/// at the far end. Returns the netlist, the UIC node/voltage pairs,
+/// and the near-end probe node. The FETs make every timestep a Newton
+/// iteration, so the workload exercises assembly + factorization —
+/// exactly what the compiled kernel accelerates.
+fn solver_bench_circuit() -> (Netlist, Vec<(NodeId, f64)>, NodeId) {
+    let tech = mpvar_tech::preset::n10();
+    let vdd_v = 0.7;
+    let segments = 16usize;
+    let mut net = Netlist::new();
+    let mut uic = Vec::new();
+
+    let near = net.node("bl0");
+    uic.push((near, vdd_v));
+    let mut prev = near;
+    for k in 1..=segments {
+        let node = net.node(&format!("bl{k}"));
+        net.add_resistor(&format!("Rbl{k}"), prev, node, 150.0)
+            .expect("valid R");
+        net.add_capacitor(&format!("Cbl{k}"), node, Netlist::GROUND, 2e-15)
+            .expect("valid C");
+        uic.push((node, vdd_v));
+        prev = node;
+    }
+    let far = prev;
+
+    let wl = net.node("wl");
+    let vdd = net.node("vdd");
+    let q = net.node("q");
+    net.add_vsource(
+        "VWL",
+        wl,
+        Netlist::GROUND,
+        Waveform::pulse(0.0, vdd_v, 20e-12, 10e-12, 10e-12, 1.0, 0.0).expect("pulse"),
+    )
+    .expect("V");
+    net.add_vsource("VDD", vdd, Netlist::GROUND, Waveform::dc(vdd_v))
+        .expect("V");
+    net.add_mosfet("Mpass", far, wl, q, MosfetModel::new(*tech.nmos()))
+        .expect("M");
+    net.add_mosfet(
+        "Mpd",
+        q,
+        vdd,
+        Netlist::GROUND,
+        MosfetModel::new(*tech.nmos()),
+    )
+    .expect("M");
+    net.add_capacitor("Cq", q, Netlist::GROUND, 0.2e-15)
+        .expect("C");
+    uic.push((vdd, vdd_v));
+    uic.push((q, 0.0));
+    (net, uic, near)
+}
+
+/// Runs the `h = 1024` fixed-step solver workload once with `kernel`,
+/// returning the final near-end bit-line voltage (consume it so the
+/// run cannot be optimized away).
+pub fn solver_workload_once(kernel: SolverKernel) -> f64 {
+    let (net, uic, probe) = solver_bench_circuit();
+    let mut tran = Transient::new(&net).expect("workload builds");
+    tran.set_kernel(kernel);
+    for &(node, v) in &uic {
+        tran.set_initial_voltage(node, v);
+    }
+    let dt = SOLVER_BENCH_WINDOW_S / SOLVER_BENCH_STEPS as f64;
+    let result = tran.run(dt, SOLVER_BENCH_WINDOW_S).expect("workload runs");
+    result
+        .sample(probe, SOLVER_BENCH_WINDOW_S)
+        .expect("in window")
+}
 
 /// Identifiers of every reproducible artefact, in canonical report
 /// order (mirrors [`mpvar_study::ArtifactId::ALL`]).
@@ -82,6 +164,11 @@ pub fn run_all(ctx: &ExperimentContext) -> Result<Vec<Artifact>, CoreError> {
 /// machinery itself is on the clock) and the traced-versus-untraced
 /// delta is reported as `overhead_percent` — the number the `<2%`
 /// hot-path budget is tracked against.
+///
+/// A `solver` section records the compiled-LU-kernel speedup over the
+/// legacy row-map kernel on the `h = 1024` fixed-step workload (see
+/// [`solver_workload_once`]); the compiled kernel's acceptance floor
+/// is 3x.
 ///
 /// # Errors
 ///
@@ -155,6 +242,22 @@ pub fn parallel_bench_snapshot(ctx: &ExperimentContext) -> Result<String, CoreEr
     };
     let overhead_percent = (traced_s / untraced_s - 1.0) * 100.0;
 
+    // Solver-kernel speedup: legacy row-map LU vs the compiled
+    // symbolic-reuse kernel on the same single-thread workload.
+    let _ = solver_workload_once(SolverKernel::Compiled); // warm-up
+    let mut legacy_s = f64::INFINITY;
+    let mut compiled_s = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let v_legacy = solver_workload_once(SolverKernel::Legacy);
+        legacy_s = legacy_s.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let v_compiled = solver_workload_once(SolverKernel::Compiled);
+        compiled_s = compiled_s.min(t0.elapsed().as_secs_f64());
+        debug_assert!((v_legacy - v_compiled).abs() < 1e-9);
+    }
+    let solver_speedup = legacy_s / compiled_s;
+
     let t1 = entries
         .iter()
         .find(|&&(t, _, _)| t == 1)
@@ -174,6 +277,12 @@ pub fn parallel_bench_snapshot(ctx: &ExperimentContext) -> Result<String, CoreEr
         "  \"instrumentation\": {{ \"threads\": {traced_threads}, \
          \"untraced_seconds\": {untraced_s:.6}, \"traced_seconds\": {traced_s:.6}, \
          \"overhead_percent\": {overhead_percent:.2} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"solver\": {{ \"workload\": \"6T read discharge, 16-seg bit line, \
+         {SOLVER_BENCH_STEPS} trapezoidal steps\", \"legacy_seconds\": {legacy_s:.6}, \
+         \"compiled_seconds\": {compiled_s:.6}, \"speedup\": {solver_speedup:.2} }},"
     );
     let _ = writeln!(json, "  \"entries\": [");
     for (i, &(threads, seconds, tps)) in entries.iter().enumerate() {

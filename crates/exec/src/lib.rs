@@ -31,6 +31,14 @@
 //! The pool is a scoped `std::thread` fork-join (no work stealing):
 //! chunk boundaries depend only on `(n, threads)`, never on timing.
 //!
+//! The same ownership discipline extends to solver state: the compiled
+//! SPICE kernel's per-netlist workspaces (symbolic LU analysis, CSR
+//! values, stamp programs) are created *inside* each trial's closure,
+//! so every worker owns its workspaces outright — nothing numeric is
+//! shared or aliased across threads, which is why the kernel's
+//! preallocated buffers never need locks and thread count cannot
+//! perturb results.
+//!
 //! # Observability
 //!
 //! When an `mpvar-trace` collector is installed, every map emits an

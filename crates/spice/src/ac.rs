@@ -18,9 +18,9 @@ use std::collections::HashMap;
 
 use crate::complex::Complex;
 use crate::error::SpiceError;
-use crate::mna::{OperatingPoint, GMIN};
+use crate::mna::{NewtonStats, OperatingPoint, GMIN};
 use crate::netlist::{Element, Netlist, NodeId};
-use crate::sparse::SparseMatrix;
+use crate::sparse::{CsrMatrix, LuWorkspace, SparseMatrix, SymbolicLu};
 
 /// A configured AC sweep over a netlist.
 #[derive(Debug, Clone)]
@@ -103,14 +103,49 @@ impl<'a> AcAnalysis<'a> {
                 .collect(),
         };
 
+        // The real-equivalent pattern is the same at every nonzero
+        // frequency, so the symbolic analysis from the first point is
+        // reused — only the numeric refactor runs per frequency. The
+        // one wrinkle is ω = 0: susceptance entries are skipped there,
+        // so a sweep starting at DC grows its pattern at the second
+        // point and rebuilds the analysis once.
+        let mut stats = NewtonStats::default();
+        let mut compiled: Option<(CsrMatrix, SymbolicLu, LuWorkspace)> = None;
+        let mut x = Vec::new();
         for (fi, &f) in frequencies.iter().enumerate() {
             let omega = 2.0 * std::f64::consts::PI * f;
             let (matrix, rhs) = self.assemble(&op, omega, m)?;
-            let x = matrix.factor()?.solve(&rhs);
+            let reused = match &mut compiled {
+                Some((csr, _, _)) => csr.try_gather(&matrix),
+                None => false,
+            };
+            if reused {
+                stats.lu_symbolic_reuses += 1;
+            } else {
+                let csr = CsrMatrix::from_sparse(&matrix);
+                let sym = match SymbolicLu::analyze(&csr) {
+                    Ok(sym) => sym,
+                    Err(e) => {
+                        stats.emit();
+                        return Err(e);
+                    }
+                };
+                let ws = sym.workspace();
+                stats.lu_symbolic_builds += 1;
+                compiled = Some((csr, sym, ws));
+            }
+            let (csr, sym, ws) = compiled.as_mut().expect("compiled above");
+            stats.lu_refactors += 1;
+            if let Err(e) = sym.refactor(csr, ws) {
+                stats.emit();
+                return Err(e);
+            }
+            sym.solve_into(ws, &rhs, &mut x);
             for node in 1..nn {
                 result.phasors[node][fi] = Complex::new(x[node - 1], x[m + node - 1]);
             }
         }
+        stats.emit();
         Ok(result)
     }
 

@@ -7,8 +7,9 @@
 //! butterfly plot.
 
 use crate::error::SpiceError;
-use crate::mna::{solve_nonlinear, system_size, OperatingPoint, ReactivePolicy};
+use crate::mna::{solve_nonlinear_ws, system_size, MnaWorkspace, OperatingPoint, ReactivePolicy};
 use crate::netlist::{Element, Netlist, NodeId};
+use crate::transient::SolverKernel;
 use crate::waveform::Waveform;
 
 /// Result of a DC sweep: one operating point per swept value.
@@ -112,10 +113,15 @@ pub fn dc_sweep(net: &Netlist, source: &str, values: &[f64]) -> Result<DcSweepRe
     let mut x = vec![0.0; system_size(net)];
     let mut points = Vec::with_capacity(values.len());
     let mut stats = crate::mna::NewtonStats::default();
+    // One compiled workspace across the whole sweep: rewriting the
+    // source only changes stamp *values*, never the matrix structure,
+    // so the symbolic analysis from the first point is reused by all
+    // later points.
+    let mut ws = MnaWorkspace::new(&working, SolverKernel::Compiled);
 
     for &v in values {
         set_vsource_dc(&mut working, source, v);
-        let solved = solve_nonlinear(&working, 0.0, ReactivePolicy::Dc, x, &mut stats);
+        let solved = solve_nonlinear_ws(&working, 0.0, ReactivePolicy::Dc, x, &mut stats, &mut ws);
         x = match solved {
             Ok(x) => x,
             Err(e) => {

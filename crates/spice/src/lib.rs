@@ -67,8 +67,8 @@ pub use measure::{cross_differential, cross_threshold, CrossDirection};
 pub use mna::OperatingPoint;
 pub use mosfet::{MosfetModel, SmallSignal};
 pub use netlist::{Element, Netlist, NodeId};
-pub use sparse::{DenseMatrix, SparseMatrix};
-pub use transient::{Method, Transient, TransientResult};
+pub use sparse::{CsrMatrix, DenseMatrix, LuWorkspace, SparseMatrix, SymbolicLu};
+pub use transient::{Method, SolverKernel, Transient, TransientResult};
 pub use waveform::Waveform;
 
 /// Convenient glob-import surface for downstream crates.

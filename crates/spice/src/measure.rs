@@ -41,7 +41,9 @@ fn crossing_time(
         };
         if hit {
             let (t0, t1) = (times[i - 1], times[i]);
-            if v1 == v0 {
+            // Exact-sample hit: the sample time IS the crossing; the
+            // interpolation below could perturb it by an ulp.
+            if v1 == threshold || v1 == v0 {
                 return Some(t1);
             }
             let t = t0 + (threshold - v0) * (t1 - t0) / (v1 - v0);
@@ -267,5 +269,82 @@ mod tests {
         let vals = [0.0, 0.5, 1.0];
         let t = crossing_time(&times, &vals, 0.5, CrossDirection::Rising, 0.0).unwrap();
         assert!((t - 1.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// A sample landing exactly on the threshold IS the crossing:
+        /// `crossing_time` returns that sample time bit-for-bit, with no
+        /// interpolation rounding.
+        #[test]
+        fn exact_threshold_sample_is_returned_verbatim(
+            threshold in -2.0f64..2.0,
+            below in 0.01f64..1.0,
+            above in 0.01f64..1.0,
+            steps in prop::collection::vec(1e-12f64..1e-9, 3..20),
+            hit_at in 1usize..19,
+        ) {
+            let hit = hit_at.min(steps.len() - 1);
+            let times: Vec<f64> = steps
+                .iter()
+                .scan(0.0, |acc, dt| {
+                    *acc += dt;
+                    Some(*acc)
+                })
+                .collect();
+            let values: Vec<f64> = (0..times.len())
+                .map(|i| match i.cmp(&hit) {
+                    std::cmp::Ordering::Less => threshold - below,
+                    std::cmp::Ordering::Equal => threshold,
+                    std::cmp::Ordering::Greater => threshold + above,
+                })
+                .collect();
+            let t = crossing_time(&times, &values, threshold, CrossDirection::Rising, 0.0);
+            prop_assert_eq!(t, Some(times[hit]));
+        }
+
+        /// A plateau that *touches* the threshold from below yields
+        /// exactly one rising crossing (the first touch) and never a
+        /// falling one: leaving an at-threshold plateau downward is not
+        /// a fall from above.
+        #[test]
+        fn plateau_touching_threshold_rises_once_never_falls(
+            threshold in -2.0f64..2.0,
+            depth in 0.01f64..1.0,
+            pre in 1usize..5,
+            plateau in 1usize..5,
+            post in 1usize..5,
+            dt in 1e-12f64..1e-9,
+        ) {
+            let n = pre + plateau + post;
+            let times: Vec<f64> = (0..n).map(|i| i as f64 * dt).collect();
+            let values: Vec<f64> = (0..n)
+                .map(|i| {
+                    if i >= pre && i < pre + plateau {
+                        threshold
+                    } else {
+                        threshold - depth
+                    }
+                })
+                .collect();
+            let rising = crossing_time(&times, &values, threshold, CrossDirection::Rising, 0.0);
+            prop_assert_eq!(rising, Some(times[pre]));
+            let falling = crossing_time(&times, &values, threshold, CrossDirection::Falling, 0.0);
+            prop_assert_eq!(falling, None);
+            let either = crossing_time(&times, &values, threshold, CrossDirection::Either, 0.0);
+            prop_assert_eq!(either, rising);
+            // Restarting the search after the plateau finds nothing:
+            // the single touch was the only crossing.
+            let after = times[pre + plateau - 1] + dt / 2.0;
+            let again = crossing_time(&times, &values, threshold, CrossDirection::Either, after);
+            prop_assert_eq!(again, None);
+        }
     }
 }

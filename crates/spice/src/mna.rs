@@ -10,7 +10,8 @@ use std::collections::HashMap;
 
 use crate::error::SpiceError;
 use crate::netlist::{Element, Netlist, NodeId};
-use crate::sparse::SparseMatrix;
+use crate::sparse::{CsrMatrix, LuFactors, LuWorkspace, SparseMatrix, SymbolicLu};
+use crate::transient::SolverKernel;
 
 /// Conductance added from every node to ground for numerical robustness
 /// (keeps gates and capacitor-only nodes from making the matrix singular).
@@ -28,7 +29,7 @@ const MAX_ITERS: usize = 200;
 /// Newton-solver statistics accumulated locally by one analysis and
 /// emitted to the trace layer in a single batch ([`NewtonStats::emit`])
 /// — per-iteration counter calls would put a lock on the hot path.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct NewtonStats {
     /// Nonlinear MNA systems solved.
     pub solves: u64,
@@ -36,18 +37,48 @@ pub(crate) struct NewtonStats {
     pub iterations: u64,
     /// Solves that failed to converge within [`MAX_ITERS`].
     pub failures: u64,
+    /// Symbolic LU analyses performed (first factor or pivot-drift rebuild).
+    pub lu_symbolic_builds: u64,
+    /// Factorizations that reused an existing symbolic analysis.
+    pub lu_symbolic_reuses: u64,
+    /// Numeric-only refactorizations into a preallocated workspace.
+    pub lu_refactors: u64,
+    /// Adaptive-transient steps accepted by the LTE controller.
+    pub step_accepts: u64,
+    /// Adaptive-transient steps rejected (halved and retried).
+    pub step_rejects: u64,
 }
 
 impl NewtonStats {
     /// Flushes the batch into the trace counters (no-op when tracing
-    /// is disabled or nothing was solved).
+    /// is disabled or nothing happened). Zero-valued counters are
+    /// skipped so e.g. a legacy-kernel run emits no symbolic metrics.
     pub(crate) fn emit(&self) {
-        if self.solves == 0 || !mpvar_trace::enabled() {
+        if *self == Self::default() || !mpvar_trace::enabled() {
             return;
         }
-        mpvar_trace::counter_add(mpvar_trace::names::SPICE_SOLVES, self.solves);
-        mpvar_trace::counter_add(mpvar_trace::names::SPICE_NR_ITERATIONS, self.iterations);
-        mpvar_trace::counter_add(mpvar_trace::names::SPICE_NR_FAILURES, self.failures);
+        if self.solves > 0 {
+            mpvar_trace::counter_add(mpvar_trace::names::SPICE_SOLVES, self.solves);
+            mpvar_trace::counter_add(mpvar_trace::names::SPICE_NR_ITERATIONS, self.iterations);
+            mpvar_trace::counter_add(mpvar_trace::names::SPICE_NR_FAILURES, self.failures);
+        }
+        for (name, value) in [
+            (
+                mpvar_trace::names::SPICE_LU_SYMBOLIC_BUILDS,
+                self.lu_symbolic_builds,
+            ),
+            (
+                mpvar_trace::names::SPICE_LU_SYMBOLIC_REUSES,
+                self.lu_symbolic_reuses,
+            ),
+            (mpvar_trace::names::SPICE_LU_REFACTORS, self.lu_refactors),
+            (mpvar_trace::names::SPICE_STEP_ACCEPTS, self.step_accepts),
+            (mpvar_trace::names::SPICE_STEP_REJECTS, self.step_rejects),
+        ] {
+            if value > 0 {
+                mpvar_trace::counter_add(name, value);
+            }
+        }
     }
 }
 
@@ -166,19 +197,36 @@ pub(crate) fn solve_nonlinear(
     net: &Netlist,
     t: f64,
     policy: ReactivePolicy<'_>,
-    mut x: Vec<f64>,
+    x: Vec<f64>,
     stats: &mut NewtonStats,
 ) -> Result<Vec<f64>, SpiceError> {
-    let size = system_size(net);
-    debug_assert_eq!(x.len(), size);
+    let mut ws = MnaWorkspace::new(net, SolverKernel::Compiled);
+    solve_nonlinear_ws(net, t, policy, x, stats, &mut ws)
+}
+
+/// [`solve_nonlinear`] with an explicit, reusable [`MnaWorkspace`]:
+/// repeated calls against the same netlist structure (Newton iterations,
+/// timesteps, sweep points, MC trials) pay for assembly-pattern
+/// compilation and symbolic factorization exactly once.
+pub(crate) fn solve_nonlinear_ws(
+    net: &Netlist,
+    t: f64,
+    policy: ReactivePolicy<'_>,
+    mut x: Vec<f64>,
+    stats: &mut NewtonStats,
+    ws: &mut MnaWorkspace,
+) -> Result<Vec<f64>, SpiceError> {
+    debug_assert_eq!(x.len(), ws.size);
     let linear = is_linear(net);
     let mut last_delta = f64::INFINITY;
     stats.solves += 1;
 
+    let mut x_new = Vec::new();
     for _iter in 0..MAX_ITERS {
         stats.iterations += 1;
-        let (matrix, rhs) = assemble(net, t, policy, &x);
-        let x_new = matrix.factor()?.solve(&rhs);
+        ws.assemble(net, t, policy, &x);
+        ws.factor(stats)?;
+        ws.solve_into(&mut x_new);
 
         let mut max_delta = 0.0f64;
         for (a, b) in x.iter().zip(&x_new) {
@@ -211,6 +259,184 @@ pub(crate) fn solve_nonlinear(
     })
 }
 
+/// Per-analysis solver state for one netlist structure: the compiled
+/// stamp program, the frozen CSR matrix, the symbolic LU analysis, and
+/// the preallocated numeric buffers. Everything is plain owned data —
+/// one workspace per analysis (and hence per `mpvar-exec` worker
+/// closure), so parallel trials never alias buffers.
+pub(crate) struct MnaWorkspace {
+    size: usize,
+    rhs: Vec<f64>,
+    kernel: KernelState,
+}
+
+/// Kernel-specific storage behind [`MnaWorkspace`].
+enum KernelState {
+    /// Reference path: per-factor map-based assembly + pivoted
+    /// elimination, exactly the pre-compiled-kernel behavior.
+    Legacy {
+        m: SparseMatrix,
+        factors: Option<LuFactors>,
+    },
+    /// Compiled path; `None` until the first assembly records the
+    /// stamp program. Boxed so the idle variant stays pointer-sized.
+    Compiled(Option<Box<CompiledMna>>),
+}
+
+/// The compiled assembly + factorization state (built on first use).
+struct CompiledMna {
+    csr: CsrMatrix,
+    /// Value-slot per recorded `add` call, in call order.
+    program: Vec<u32>,
+    /// Coordinate per recorded call, for debug-build desync checks.
+    #[cfg(debug_assertions)]
+    coords: Vec<(usize, usize)>,
+    /// `None` until the first [`MnaWorkspace::factor`] runs the
+    /// analysis (so a failed assembly never pays for it).
+    symbolic: Option<(SymbolicLu, LuWorkspace)>,
+}
+
+impl MnaWorkspace {
+    /// Creates an empty workspace for `net`'s system size.
+    pub(crate) fn new(net: &Netlist, kernel: SolverKernel) -> Self {
+        let size = system_size(net);
+        Self {
+            size,
+            rhs: vec![0.0; size],
+            kernel: match kernel {
+                SolverKernel::Legacy => KernelState::Legacy {
+                    m: SparseMatrix::new(size),
+                    factors: None,
+                },
+                SolverKernel::Compiled => KernelState::Compiled(None),
+            },
+        }
+    }
+
+    /// Assembles the linearized system around `x` at time `t` into this
+    /// workspace's matrix storage and right-hand side. On the compiled
+    /// path the first call records the stamp program and runs the
+    /// symbolic analysis lazily in [`MnaWorkspace::factor`]; subsequent
+    /// calls replay slots into the frozen CSR values.
+    pub(crate) fn assemble(
+        &mut self,
+        net: &Netlist,
+        t: f64,
+        policy: ReactivePolicy<'_>,
+        x: &[f64],
+    ) {
+        self.rhs.fill(0.0);
+        match &mut self.kernel {
+            KernelState::Legacy { m, factors: _ } => {
+                // Existing factors are kept: the linear fast path
+                // re-assembles an identical matrix per step and decides
+                // itself when a refactor is due.
+                m.clear();
+                assemble_into(net, t, policy, x, m, &mut self.rhs);
+            }
+            KernelState::Compiled(state @ None) => {
+                let mut rec = StampRecorder {
+                    coords: Vec::new(),
+                    vals: Vec::new(),
+                };
+                assemble_into(net, t, policy, x, &mut rec, &mut self.rhs);
+                let (mut csr, program) = CsrMatrix::from_coords(self.size, &rec.coords);
+                {
+                    let vals = csr.values_mut();
+                    for (&slot, &v) in program.iter().zip(&rec.vals) {
+                        vals[slot as usize] += v;
+                    }
+                }
+                *state = Some(Box::new(CompiledMna {
+                    csr,
+                    program,
+                    #[cfg(debug_assertions)]
+                    coords: rec.coords,
+                    symbolic: None,
+                }));
+            }
+            KernelState::Compiled(Some(c)) => {
+                c.csr.zero_values();
+                let mut rep = StampReplayer {
+                    slots: &c.program,
+                    #[cfg(debug_assertions)]
+                    coords: &c.coords,
+                    vals: c.csr.values_mut(),
+                    cursor: 0,
+                };
+                assemble_into(net, t, policy, x, &mut rep, &mut self.rhs);
+                assert_eq!(
+                    rep.cursor,
+                    c.program.len(),
+                    "stamp program desync: assembly is not structural"
+                );
+            }
+        }
+    }
+
+    /// Factors the assembled matrix. Compiled path: numeric-only
+    /// refactor under the frozen symbolic analysis; when a pivot has
+    /// drifted below tolerance the analysis is rebuilt once with the
+    /// current values (counted as a symbolic build) before giving up.
+    pub(crate) fn factor(&mut self, stats: &mut NewtonStats) -> Result<(), SpiceError> {
+        match &mut self.kernel {
+            KernelState::Legacy { m, factors } => {
+                *factors = Some(m.factor()?);
+                Ok(())
+            }
+            KernelState::Compiled(None) => unreachable!("assemble() before factor()"),
+            KernelState::Compiled(Some(c)) => {
+                if c.symbolic.is_none() {
+                    let sym = SymbolicLu::analyze(&c.csr)?;
+                    let ws = sym.workspace();
+                    c.symbolic = Some((sym, ws));
+                    stats.lu_symbolic_builds += 1;
+                } else {
+                    stats.lu_symbolic_reuses += 1;
+                }
+                stats.lu_refactors += 1;
+                {
+                    let (sym, lu) = c.symbolic.as_mut().expect("just ensured");
+                    if sym.refactor(&c.csr, lu).is_ok() {
+                        return Ok(());
+                    }
+                }
+                // Pivot drift under the frozen order: one re-analysis
+                // with the current values, then hard failure.
+                let sym = SymbolicLu::analyze(&c.csr)?;
+                let mut lu = sym.workspace();
+                stats.lu_symbolic_builds += 1;
+                stats.lu_refactors += 1;
+                let result = sym.refactor(&c.csr, &mut lu);
+                c.symbolic = Some((sym, lu));
+                result
+            }
+        }
+    }
+
+    /// Back-substitutes the workspace right-hand side through the last
+    /// computed factors into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a successful [`MnaWorkspace::factor`].
+    pub(crate) fn solve_into(&self, out: &mut Vec<f64>) {
+        match &self.kernel {
+            KernelState::Legacy { factors, .. } => {
+                *out = factors
+                    .as_ref()
+                    .expect("factor() before solve")
+                    .solve(&self.rhs);
+            }
+            KernelState::Compiled(Some(c)) => {
+                let (sym, lu) = c.symbolic.as_ref().expect("factor() before solve");
+                sym.solve_into(lu, &self.rhs, out);
+            }
+            KernelState::Compiled(None) => unreachable!("assemble() before solve"),
+        }
+    }
+}
+
 /// `true` when the netlist has no nonlinear elements.
 pub(crate) fn is_linear(net: &Netlist) -> bool {
     !net.elements()
@@ -218,17 +444,77 @@ pub(crate) fn is_linear(net: &Netlist) -> bool {
         .any(|e| matches!(e, Element::Mosfet { .. }))
 }
 
-/// Assembles the linearized MNA system around guess `x` at time `t`.
-pub(crate) fn assemble(
+/// Where assembled matrix entries go: the discovery pass targets a
+/// [`SparseMatrix`] (or a pattern recorder), the hot path replays into
+/// frozen CSR slots. The *sequence* of `add` calls for a given netlist
+/// is structural — every branch in [`assemble_into`] depends only on
+/// topology (ground-ness of nodes, element order), never on values or
+/// time — which is what makes the recorded stamp program replayable.
+pub(crate) trait MatrixSink {
+    /// Accumulates `v` into entry `(r, c)`.
+    fn add(&mut self, r: usize, c: usize, v: f64);
+}
+
+impl MatrixSink for SparseMatrix {
+    fn add(&mut self, r: usize, c: usize, v: f64) {
+        SparseMatrix::add(self, r, c, v);
+    }
+}
+
+/// Discovery-pass sink: records the structural coordinate sequence and
+/// the values of one assembly, from which the frozen [`CsrMatrix`] and
+/// the replayable slot program are compiled.
+struct StampRecorder {
+    coords: Vec<(usize, usize)>,
+    vals: Vec<f64>,
+}
+
+impl MatrixSink for StampRecorder {
+    fn add(&mut self, r: usize, c: usize, v: f64) {
+        // Zero values are recorded too: the program must have one slot
+        // per structural stamp or later replays would desynchronize.
+        self.coords.push((r, c));
+        self.vals.push(v);
+    }
+}
+
+/// Hot-path sink: replays a recorded stamp program into the frozen CSR
+/// value array by cursor — no maps, no search, no allocation.
+struct StampReplayer<'a> {
+    slots: &'a [u32],
+    #[cfg(debug_assertions)]
+    coords: &'a [(usize, usize)],
+    vals: &'a mut [f64],
+    cursor: usize,
+}
+
+impl MatrixSink for StampReplayer<'_> {
+    fn add(&mut self, r: usize, c: usize, v: f64) {
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            self.coords[self.cursor],
+            (r, c),
+            "stamp program desync at call {}",
+            self.cursor
+        );
+        #[cfg(not(debug_assertions))]
+        let _ = (r, c);
+        self.vals[self.slots[self.cursor] as usize] += v;
+        self.cursor += 1;
+    }
+}
+
+/// Assembles the linearized MNA system around guess `x` at time `t`
+/// into any [`MatrixSink`] and a caller-zeroed right-hand side.
+pub(crate) fn assemble_into<S: MatrixSink>(
     net: &Netlist,
     t: f64,
     policy: ReactivePolicy<'_>,
     x: &[f64],
-) -> (SparseMatrix, Vec<f64>) {
+    m: &mut S,
+    rhs: &mut [f64],
+) {
     let nn = net.num_nodes();
-    let size = system_size(net);
-    let mut m = SparseMatrix::new(size);
-    let mut rhs = vec![0.0; size];
 
     // Node voltage lookup from the current guess (ground = 0).
     let v_of = |node: NodeId| -> f64 {
@@ -247,7 +533,7 @@ pub(crate) fn assemble(
         }
     };
 
-    let stamp_conductance = |m: &mut SparseMatrix, a: NodeId, b: NodeId, g: f64| {
+    let stamp_conductance = |m: &mut S, a: NodeId, b: NodeId, g: f64| {
         if let Some(ia) = idx(a) {
             m.add(ia, ia, g);
         }
@@ -260,7 +546,7 @@ pub(crate) fn assemble(
         }
     };
     // Current `i` injected INTO node `into` (from node `from`).
-    let stamp_current = |rhs: &mut Vec<f64>, into: NodeId, i: f64| {
+    let stamp_current = |rhs: &mut [f64], into: NodeId, i: f64| {
         if let Some(ii) = idx(into) {
             rhs[ii] += i;
         }
@@ -276,7 +562,7 @@ pub(crate) fn assemble(
     for e in net.elements() {
         match e {
             Element::Resistor { a, b, ohms, .. } => {
-                stamp_conductance(&mut m, *a, *b, 1.0 / ohms);
+                stamp_conductance(m, *a, *b, 1.0 / ohms);
             }
             Element::Capacitor { a, b, farads, .. } => {
                 match policy {
@@ -284,9 +570,9 @@ pub(crate) fn assemble(
                     ReactivePolicy::BackwardEuler { dt, prev_v } => {
                         let g = farads / dt;
                         let vprev = prev_v[a.index()] - prev_v[b.index()];
-                        stamp_conductance(&mut m, *a, *b, g);
-                        stamp_current(&mut rhs, *a, g * vprev);
-                        stamp_current(&mut rhs, *b, -g * vprev);
+                        stamp_conductance(m, *a, *b, g);
+                        stamp_current(rhs, *a, g * vprev);
+                        stamp_current(rhs, *b, -g * vprev);
                     }
                     ReactivePolicy::Trapezoidal {
                         dt,
@@ -296,9 +582,9 @@ pub(crate) fn assemble(
                         let g = 2.0 * farads / dt;
                         let vprev = prev_v[a.index()] - prev_v[b.index()];
                         let ieq = g * vprev + prev_ic[cap_index];
-                        stamp_conductance(&mut m, *a, *b, g);
-                        stamp_current(&mut rhs, *a, ieq);
-                        stamp_current(&mut rhs, *b, -ieq);
+                        stamp_conductance(m, *a, *b, g);
+                        stamp_current(rhs, *a, ieq);
+                        stamp_current(rhs, *b, -ieq);
                     }
                 }
                 cap_index += 1;
@@ -320,8 +606,8 @@ pub(crate) fn assemble(
                 let i = waveform.eval(t);
                 // Positive source current flows p -> n through the source,
                 // i.e. it is pulled out of p and injected into n.
-                stamp_current(&mut rhs, *p, -i);
-                stamp_current(&mut rhs, *n, i);
+                stamp_current(rhs, *p, -i);
+                stamp_current(rhs, *n, i);
             }
             Element::Mosfet { d, g, s, model, .. } => {
                 let vgs = v_of(*g) - v_of(*s);
@@ -353,8 +639,6 @@ pub(crate) fn assemble(
             }
         }
     }
-
-    (m, rhs)
 }
 
 #[cfg(test)]

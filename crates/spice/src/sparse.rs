@@ -9,6 +9,15 @@
 //! reused across right-hand sides — transient analysis of a linear
 //! circuit factors once and back-substitutes per step.
 //!
+//! For the hot paths — Newton iterations, transient timesteps, Monte-
+//! Carlo trials — the *compiled* kernel avoids rebuilding that map
+//! structure per solve: [`CsrMatrix`] freezes the assembly pattern into
+//! compressed-sparse-row arrays, [`SymbolicLu`] runs the pivot search
+//! and fill-in analysis **once** per netlist structure, and numeric-only
+//! [`SymbolicLu::refactor`] calls reuse the static pattern with fresh
+//! values in a preallocated [`LuWorkspace`]. MC trials perturb values,
+//! never structure, so the symbolic phase amortizes across every trial.
+//!
 //! [`DenseMatrix`] is the O(n³) reference implementation used in tests
 //! and for tiny systems.
 
@@ -281,6 +290,436 @@ impl LuFactors {
     }
 }
 
+/// A square sparse matrix with a **frozen** nonzero pattern in
+/// compressed-sparse-row form.
+///
+/// The pattern (row pointers + column indices) is fixed at construction;
+/// only the value array changes afterwards. This is the assembly target
+/// for the compiled MNA path: the stamp sequence of a netlist is
+/// structural, so every re-assembly writes the same slots. Entries whose
+/// value happens to be `0.0` stay **structurally present** — unlike
+/// [`SparseMatrix::add`], nothing is dropped — which is what lets a
+/// [`SymbolicLu`] analysis remain valid when values change.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a pattern from explicit coordinates and returns, for each
+    /// input coordinate (in order, duplicates allowed), the value-slot
+    /// index it accumulates into. This is the "stamp program" used to
+    /// replay an MNA assembly sequence into the frozen pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn from_coords(n: usize, coords: &[(usize, usize)]) -> (Self, Vec<u32>) {
+        let mut pattern: Vec<(usize, usize)> = coords.to_vec();
+        pattern.sort_unstable();
+        pattern.dedup();
+        assert!(
+            pattern.len() < u32::MAX as usize,
+            "pattern too large for u32 slots"
+        );
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut cols = Vec::with_capacity(pattern.len());
+        for &(r, c) in &pattern {
+            assert!(r < n && c < n, "index out of range");
+            row_ptr[r + 1] += 1;
+            cols.push(c);
+        }
+        for r in 0..n {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let slots = coords
+            .iter()
+            .map(|rc| pattern.binary_search(rc).expect("coord in pattern") as u32)
+            .collect();
+        let vals = vec![0.0; cols.len()];
+        (
+            Self {
+                n,
+                row_ptr,
+                cols,
+                vals,
+            },
+            slots,
+        )
+    }
+
+    /// Freezes the pattern **and** current values of a [`SparseMatrix`].
+    pub fn from_sparse(m: &SparseMatrix) -> Self {
+        let mut row_ptr = Vec::with_capacity(m.n + 1);
+        let mut cols = Vec::with_capacity(m.nnz());
+        let mut vals = Vec::with_capacity(m.nnz());
+        row_ptr.push(0);
+        for row in &m.rows {
+            for (&c, &v) in row {
+                cols.push(c);
+                vals.push(v);
+            }
+            row_ptr.push(cols.len());
+        }
+        Self {
+            n: m.n,
+            row_ptr,
+            cols,
+            vals,
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of structural slots (including value-zero entries).
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Resets every value to zero, keeping the pattern.
+    pub fn zero_values(&mut self) {
+        self.vals.fill(0.0);
+    }
+
+    /// Mutable access to the value array, indexed by the slots returned
+    /// from [`CsrMatrix::from_coords`].
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.vals
+    }
+
+    /// Refills the values from `m`, keeping this pattern. Returns
+    /// `false` (leaving the values unspecified) when `m` holds an entry
+    /// **outside** the frozen pattern — the caller must then rebuild the
+    /// pattern and its symbolic analysis. Entries of the pattern absent
+    /// from `m` become zero, which is the ω = 0 case of an AC sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.dim() != dim()`.
+    pub fn try_gather(&mut self, m: &SparseMatrix) -> bool {
+        assert_eq!(m.n, self.n, "dimension mismatch");
+        self.vals.fill(0.0);
+        for r in 0..self.n {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let mut p = lo;
+            for (&c, &v) in &m.rows[r] {
+                while p < hi && self.cols[p] < c {
+                    p += 1;
+                }
+                if p == hi || self.cols[p] != c {
+                    return false;
+                }
+                self.vals[p] = v;
+                p += 1;
+            }
+        }
+        true
+    }
+
+    /// Computes `y = A x` (used by tests to check residuals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn multiply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "dimension mismatch");
+        (0..self.n)
+            .map(|r| {
+                (self.row_ptr[r]..self.row_ptr[r + 1])
+                    .map(|p| self.vals[p] * x[self.cols[p]])
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// The symbolic phase of a compiled LU factorization: a pivot order and
+/// the static fill-in pattern of `P A = L U`, computed once per matrix
+/// *structure* and reused by numeric-only [`SymbolicLu::refactor`] calls
+/// as values change across Newton iterations, timesteps, and MC trials.
+///
+/// The analysis runs a partial-pivoted elimination with **whole-row**
+/// interchanges (multipliers move with their rows, LAPACK-style), so the
+/// recorded permutation alone maps right-hand sides — no interleaved
+/// swap replay. Crucially it treats *every* pattern entry as structural:
+/// fill-in propagates even through zero-valued multipliers, so a later
+/// refactor with different values can never need a position the
+/// analysis did not allocate.
+///
+/// # Example
+///
+/// ```
+/// use mpvar_spice::{CsrMatrix, SparseMatrix, SymbolicLu};
+///
+/// let mut m = SparseMatrix::new(2);
+/// m.add(0, 0, 2.0);
+/// m.add(0, 1, 1.0);
+/// m.add(1, 0, 1.0);
+/// m.add(1, 1, 3.0);
+/// let csr = CsrMatrix::from_sparse(&m);
+/// let sym = SymbolicLu::analyze(&csr)?;
+/// let mut ws = sym.workspace();
+/// sym.refactor(&csr, &mut ws)?;
+/// let x = sym.solve(&ws, &[3.0, 4.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok::<(), mpvar_spice::SpiceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymbolicLu {
+    n: usize,
+    /// `perm[k]` = original row index eliminated at step `k`.
+    perm: Vec<usize>,
+    /// Unit-lower pattern per pivot row: `l_cols[l_ptr[k]..l_ptr[k+1]]`
+    /// ascending, all `< k`.
+    l_ptr: Vec<usize>,
+    l_cols: Vec<usize>,
+    /// Upper pattern per pivot row: diagonal first, then ascending.
+    u_ptr: Vec<usize>,
+    u_cols: Vec<usize>,
+}
+
+impl SymbolicLu {
+    /// Runs the one-time pivoted fill analysis of `a`'s pattern. Current
+    /// values steer the pivot choice (so the order is numerically sound
+    /// for the value regime the matrix was assembled in), but the
+    /// resulting pattern is valid for **any** values: fill-in is
+    /// propagated for every structural entry, zero-valued or not.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::SingularMatrix`] when no column entry exceeds the
+    /// relative pivot threshold (floating node or singular system).
+    pub fn analyze(a: &CsrMatrix) -> Result<Self, SpiceError> {
+        let n = a.n;
+        let mut rows: Vec<BTreeMap<usize, f64>> = vec![BTreeMap::new(); n];
+        let mut max_abs = 0.0f64;
+        for (r, row) in rows.iter_mut().enumerate() {
+            for p in a.row_ptr[r]..a.row_ptr[r + 1] {
+                row.insert(a.cols[p], a.vals[p]);
+                max_abs = max_abs.max(a.vals[p].abs());
+            }
+        }
+        let mut cols: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for (r, row) in rows.iter().enumerate() {
+            for &c in row.keys() {
+                cols[c].insert(r);
+            }
+        }
+        let tol = (max_abs * PIVOT_RTOL).max(f64::MIN_POSITIVE);
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Pivot search among structural entries in column k, rows >= k.
+            let mut pivot_row = usize::MAX;
+            let mut pivot_mag = tol;
+            for &r in cols[k].range(k..) {
+                let mag = rows[r].get(&k).map(|v| v.abs()).unwrap_or(0.0);
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_row == usize::MAX {
+                return Err(SpiceError::SingularMatrix { row: k });
+            }
+            if pivot_row != k {
+                // Whole-row interchange, multipliers included, so the
+                // final permutation alone describes the row order.
+                for &c in rows[k].keys() {
+                    cols[c].remove(&k);
+                }
+                for &c in rows[pivot_row].keys() {
+                    cols[c].remove(&pivot_row);
+                }
+                rows.swap(k, pivot_row);
+                for &c in rows[k].keys() {
+                    cols[c].insert(k);
+                }
+                for &c in rows[pivot_row].keys() {
+                    cols[c].insert(pivot_row);
+                }
+                perm.swap(k, pivot_row);
+            }
+
+            let piv = *rows[k].get(&k).expect("pivot present by construction");
+            let tail: Vec<(usize, f64)> = rows[k].range(k + 1..).map(|(&c, &v)| (c, v)).collect();
+            let below: Vec<usize> = cols[k].range(k + 1..).copied().collect();
+            for i in below {
+                let aik = *rows[i].get(&k).expect("occupancy tracks entries");
+                let m = aik / piv;
+                // Keep the multiplier in place (it becomes the L entry)
+                // and propagate fill even when m == 0.0 — the *pattern*
+                // must cover every value assignment, not just this one.
+                *rows[i].get_mut(&k).expect("entry present") = m;
+                for &(c, v) in &tail {
+                    let entry = rows[i].entry(c).or_insert_with(|| {
+                        cols[c].insert(i);
+                        0.0
+                    });
+                    *entry -= m * v;
+                }
+            }
+        }
+
+        let mut l_ptr = Vec::with_capacity(n + 1);
+        let mut l_cols = Vec::new();
+        let mut u_ptr = Vec::with_capacity(n + 1);
+        let mut u_cols = Vec::new();
+        l_ptr.push(0);
+        u_ptr.push(0);
+        for (k, row) in rows.iter().enumerate() {
+            l_cols.extend(row.range(..k).map(|(&c, _)| c));
+            l_ptr.push(l_cols.len());
+            debug_assert_eq!(row.range(k..).next().map(|(&c, _)| c), Some(k));
+            u_cols.extend(row.range(k..).map(|(&c, _)| c));
+            u_ptr.push(u_cols.len());
+        }
+
+        Ok(Self {
+            n,
+            perm,
+            l_ptr,
+            l_cols,
+            u_ptr,
+            u_cols,
+        })
+    }
+
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Total structural nonzeros of `L + U` (fill-in included).
+    pub fn lu_nnz(&self) -> usize {
+        self.l_cols.len() + self.u_cols.len()
+    }
+
+    /// Allocates a numeric workspace sized for this analysis.
+    pub fn workspace(&self) -> LuWorkspace {
+        LuWorkspace {
+            l_vals: vec![0.0; self.l_cols.len()],
+            u_vals: vec![0.0; self.u_cols.len()],
+            inv_diag: vec![0.0; self.n],
+            work: vec![0.0; self.n],
+        }
+    }
+
+    /// Numeric-only refactorization: recomputes `L`/`U` values from the
+    /// current values of `a` into `ws`, reusing the static pivot order
+    /// and fill pattern (row-Doolittle with a dense scatter row). No
+    /// allocation, no pivot search.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::SingularMatrix`] when a pivot has drifted below the
+    /// relative threshold under the frozen order; the caller should
+    /// re-[`analyze`](SymbolicLu::analyze) with the current values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `ws` do not match this analysis' dimensions.
+    pub fn refactor(&self, a: &CsrMatrix, ws: &mut LuWorkspace) -> Result<(), SpiceError> {
+        assert_eq!(a.n, self.n, "dimension mismatch");
+        assert_eq!(ws.inv_diag.len(), self.n, "workspace mismatch");
+        let max_abs = a.vals.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let tol = (max_abs * PIVOT_RTOL).max(f64::MIN_POSITIVE);
+
+        for k in 0..self.n {
+            // Scatter row perm[k] of A into the dense work row. Every A
+            // position is inside this row's static L∪U pattern.
+            let r = self.perm[k];
+            for p in a.row_ptr[r]..a.row_ptr[r + 1] {
+                ws.work[a.cols[p]] = a.vals[p];
+            }
+            // Eliminate with every earlier pivot row in the L pattern
+            // (ascending, so updates only touch columns still ahead).
+            for idx in self.l_ptr[k]..self.l_ptr[k + 1] {
+                let j = self.l_cols[idx];
+                let m = ws.work[j] * ws.inv_diag[j];
+                ws.l_vals[idx] = m;
+                ws.work[j] = 0.0;
+                if m != 0.0 {
+                    for t in self.u_ptr[j] + 1..self.u_ptr[j + 1] {
+                        ws.work[self.u_cols[t]] -= m * ws.u_vals[t];
+                    }
+                }
+            }
+            // Gather the U row (clearing the work row as we go).
+            for t in self.u_ptr[k]..self.u_ptr[k + 1] {
+                let c = self.u_cols[t];
+                ws.u_vals[t] = ws.work[c];
+                ws.work[c] = 0.0;
+            }
+            let diag = ws.u_vals[self.u_ptr[k]];
+            if diag.abs() <= tol {
+                return Err(SpiceError::SingularMatrix { row: k });
+            }
+            ws.inv_diag[k] = 1.0 / diag;
+        }
+        Ok(())
+    }
+
+    /// Solves `A x = b` with the factors last computed into `ws`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve(&self, ws: &LuWorkspace, b: &[f64]) -> Vec<f64> {
+        let mut x = Vec::new();
+        self.solve_into(ws, b, &mut x);
+        x
+    }
+
+    /// Allocation-free variant of [`SymbolicLu::solve`]: writes the
+    /// solution into `x` (resized as needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve_into(&self, ws: &LuWorkspace, b: &[f64], x: &mut Vec<f64>) {
+        assert_eq!(b.len(), self.n, "dimension mismatch");
+        x.clear();
+        x.extend(self.perm.iter().map(|&r| b[r]));
+        // Forward: L is unit-lower, rows in elimination order.
+        for k in 0..self.n {
+            let mut acc = x[k];
+            for idx in self.l_ptr[k]..self.l_ptr[k + 1] {
+                acc -= ws.l_vals[idx] * x[self.l_cols[idx]];
+            }
+            x[k] = acc;
+        }
+        // Backward: U rows store the diagonal first.
+        for k in (0..self.n).rev() {
+            let mut acc = x[k];
+            for t in self.u_ptr[k] + 1..self.u_ptr[k + 1] {
+                acc -= ws.u_vals[t] * x[self.u_cols[t]];
+            }
+            x[k] = acc * ws.inv_diag[k];
+        }
+    }
+}
+
+/// Preallocated numeric buffers for [`SymbolicLu::refactor`] /
+/// [`SymbolicLu::solve`]: the `L`/`U` value arrays, inverted pivots, and
+/// the dense scatter row. One workspace per thread — workspaces are
+/// plain owned data, created inside each `mpvar-exec` worker closure, so
+/// parallel trials never alias each other's buffers.
+#[derive(Debug, Clone)]
+pub struct LuWorkspace {
+    l_vals: Vec<f64>,
+    u_vals: Vec<f64>,
+    inv_diag: Vec<f64>,
+    work: Vec<f64>,
+}
+
 /// A dense reference matrix with naive partial-pivoted elimination.
 ///
 /// Exists so sparse results can be cross-checked in tests; use
@@ -543,6 +982,179 @@ mod tests {
         m.add(0, 0, 1.0);
         m.add(1, 1, 1.0);
         let _ = m.solve(&[1.0]);
+    }
+
+    fn csr_residual_norm(m: &CsrMatrix, x: &[f64], b: &[f64]) -> f64 {
+        m.multiply(x)
+            .iter()
+            .zip(b)
+            .map(|(ax, bb)| (ax - bb).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn compiled_kernel_matches_dense_on_random_band_systems() {
+        let mut seed = 0xA5A5_5A5A_1234_5678u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for n in [1usize, 3, 10, 40] {
+            let mut s = SparseMatrix::new(n);
+            let mut d = DenseMatrix::new(n);
+            for r in 0..n {
+                for off in -2i64..=2 {
+                    let c = r as i64 + off;
+                    if c < 0 || c >= n as i64 {
+                        continue;
+                    }
+                    let v = if off == 0 { 8.0 + next() } else { next() };
+                    s.add(r, c as usize, v);
+                    d.add(r, c as usize, v);
+                }
+            }
+            let csr = CsrMatrix::from_sparse(&s);
+            let sym = SymbolicLu::analyze(&csr).unwrap();
+            let mut ws = sym.workspace();
+            sym.refactor(&csr, &mut ws).unwrap();
+            let b: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
+            let xs = sym.solve(&ws, &b);
+            let xd = d.solve(&b).unwrap();
+            for (a, bb) in xs.iter().zip(&xd) {
+                assert!((a - bb).abs() < 1e-9, "n={n}: {a} vs {bb}");
+            }
+            assert!(csr_residual_norm(&csr, &xs, &b) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn refactor_reuses_pattern_across_value_changes() {
+        // Same arrow structure, three different value sets — one
+        // analysis, three numeric refactors, all checked by residual.
+        let n = 20;
+        let mut coords = Vec::new();
+        for i in 0..n {
+            coords.push((i, i));
+            if i > 0 {
+                coords.push((0, i));
+                coords.push((i, 0));
+            }
+        }
+        let (mut csr, slots) = CsrMatrix::from_coords(n, &coords);
+        let mut sym = None;
+        for trial in 0..3 {
+            csr.zero_values();
+            let vals = csr.values_mut();
+            for (pos, &slot) in slots.iter().enumerate() {
+                let (r, c) = coords[pos];
+                let base = if r == c {
+                    6.0 + trial as f64
+                } else {
+                    0.3 + 0.1 * trial as f64
+                };
+                vals[slot as usize] += base;
+            }
+            let sym = sym.get_or_insert_with(|| SymbolicLu::analyze(&csr).unwrap());
+            let mut ws = sym.workspace();
+            sym.refactor(&csr, &mut ws).unwrap();
+            let b = vec![1.0; n];
+            let x = sym.solve(&ws, &b);
+            assert!(
+                csr_residual_norm(&csr, &x, &b) < 1e-9,
+                "trial {trial} residual"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_valued_structural_entries_survive_refactor() {
+        // The (1,0) slot is zero during analysis but nonzero at
+        // refactor: the fill it induces at (1,2) must have been
+        // allocated by the (structural, not numeric) analysis.
+        let coords = [(0, 0), (0, 2), (1, 0), (1, 1), (2, 1), (2, 2)];
+        let (mut csr, slots) = CsrMatrix::from_coords(3, &coords);
+        let set = |csr: &mut CsrMatrix, vs: &[f64]| {
+            csr.zero_values();
+            for (&slot, &v) in slots.iter().zip(vs) {
+                csr.values_mut()[slot as usize] = v;
+            }
+        };
+        set(&mut csr, &[2.0, 1.0, 0.0, 3.0, 1.0, 2.0]);
+        let sym = SymbolicLu::analyze(&csr).unwrap();
+        let mut ws = sym.workspace();
+        set(&mut csr, &[2.0, 1.0, 1.5, 3.0, 1.0, 2.0]);
+        sym.refactor(&csr, &mut ws).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let x = sym.solve(&ws, &b);
+        assert!(csr_residual_norm(&csr, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn refactor_detects_pivot_drift() {
+        let mut m = SparseMatrix::new(2);
+        m.add(0, 0, 1.0);
+        m.add(0, 1, 2.0);
+        m.add(1, 0, 3.0);
+        m.add(1, 1, 4.0);
+        let mut csr = CsrMatrix::from_sparse(&m);
+        let sym = SymbolicLu::analyze(&csr).unwrap();
+        let mut ws = sym.workspace();
+        sym.refactor(&csr, &mut ws).unwrap();
+        // Make the matrix exactly singular; the frozen order must
+        // report the drifted pivot instead of dividing by ~0.
+        let mut sing = SparseMatrix::new(2);
+        sing.add(0, 0, 1.0);
+        sing.add(0, 1, 2.0);
+        sing.add(1, 0, 2.0);
+        sing.add(1, 1, 4.0);
+        assert!(csr.try_gather(&sing));
+        assert!(matches!(
+            sym.refactor(&csr, &mut ws),
+            Err(SpiceError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn gather_rejects_out_of_pattern_entries() {
+        let mut m = SparseMatrix::new(2);
+        m.add(0, 0, 1.0);
+        m.add(1, 1, 1.0);
+        let mut csr = CsrMatrix::from_sparse(&m);
+        let mut wider = SparseMatrix::new(2);
+        wider.add(0, 0, 1.0);
+        wider.add(0, 1, 5.0);
+        wider.add(1, 1, 1.0);
+        assert!(!csr.try_gather(&wider));
+        // A *subset* is fine: missing entries become zero.
+        let mut subset = SparseMatrix::new(2);
+        subset.add(1, 1, 3.0);
+        assert!(csr.try_gather(&subset));
+    }
+
+    #[test]
+    fn compiled_matches_legacy_factor_on_fill_heavy_matrix() {
+        let n = 30;
+        let mut m = SparseMatrix::new(n);
+        for i in 0..n {
+            m.add(i, i, 5.0 + (i % 3) as f64);
+            if i > 0 {
+                m.add(0, i, 1.0 + 0.01 * i as f64);
+                m.add(i, 0, 1.0 - 0.01 * i as f64);
+                m.add(i, i - 1, -1.0);
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let legacy = m.factor().unwrap().solve(&b);
+        let csr = CsrMatrix::from_sparse(&m);
+        let sym = SymbolicLu::analyze(&csr).unwrap();
+        let mut ws = sym.workspace();
+        sym.refactor(&csr, &mut ws).unwrap();
+        let compiled = sym.solve(&ws, &b);
+        for (a, bb) in compiled.iter().zip(&legacy) {
+            assert!((a - bb).abs() < 1e-9, "{a} vs {bb}");
+        }
     }
 
     #[test]

@@ -1,9 +1,13 @@
-//! Transient analysis: backward-Euler and trapezoidal integration.
+//! Transient analysis: backward-Euler and trapezoidal integration, with
+//! fixed or LTE-controlled adaptive stepping.
 //!
-//! Each step solves the nonlinear companion system with Newton iteration.
-//! For linear circuits with a fixed step the companion matrix is constant,
-//! so it is factored once and only back-substitution runs per step — this
-//! is what makes 1024-cell bit-line ladders cheap to sweep.
+//! Each step solves the nonlinear companion system with Newton iteration
+//! on a per-analysis [`MnaWorkspace`]: the stamp program and symbolic LU
+//! analysis are compiled on the first solve and reused by every later
+//! iteration and step (numeric-only refactors). For linear circuits with
+//! a fixed step the companion matrix is constant, so it is factored once
+//! and only back-substitution runs per step — this is what makes
+//! 1024-cell bit-line ladders cheap to sweep.
 //!
 //! Initial conditions: by default, a DC operating point at `t = 0` seeds
 //! the state. Setting any initial voltage via
@@ -16,9 +20,19 @@ use std::collections::HashMap;
 
 use crate::error::SpiceError;
 use crate::mna::{
-    assemble, is_linear, solve_nonlinear, system_size, NewtonStats, OperatingPoint, ReactivePolicy,
+    is_linear, solve_nonlinear_ws, system_size, MnaWorkspace, NewtonStats, OperatingPoint,
+    ReactivePolicy,
 };
 use crate::netlist::{Element, Netlist, NodeId};
+
+/// Safety factor of the LTE step controller (classic 0.9).
+const LTE_SAFETY: f64 = 0.9;
+
+/// Largest per-step growth the LTE controller may apply.
+const LTE_GROW_MAX: f64 = 2.5;
+
+/// Smallest per-step shrink the LTE controller may apply.
+const LTE_SHRINK_MIN: f64 = 0.2;
 
 /// Integration method for the transient solver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -30,6 +44,20 @@ pub enum Method {
     Trapezoidal,
 }
 
+/// Which linear-algebra kernel backs the per-step solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKernel {
+    /// The compiled CSR kernel: stamp-program assembly plus one
+    /// symbolic LU analysis reused by numeric-only refactors across
+    /// every Newton iteration and timestep (the default).
+    #[default]
+    Compiled,
+    /// The map-based reference kernel (full pivoted factorization per
+    /// solve). Kept as the differential-testing baseline and for the
+    /// `solver` bench's before/after comparison.
+    Legacy,
+}
+
 /// A configured transient analysis over a netlist.
 ///
 /// See the crate-level example for an RC discharge run.
@@ -37,6 +65,7 @@ pub enum Method {
 pub struct Transient<'a> {
     net: &'a Netlist,
     method: Method,
+    kernel: SolverKernel,
     initial: HashMap<NodeId, f64>,
     uic: bool,
 }
@@ -56,6 +85,7 @@ impl<'a> Transient<'a> {
         Ok(Self {
             net,
             method: Method::default(),
+            kernel: SolverKernel::default(),
             initial: HashMap::new(),
             uic: false,
         })
@@ -66,6 +96,14 @@ impl<'a> Transient<'a> {
         self.method = method;
     }
 
+    /// Selects the linear-algebra kernel (default: compiled). The
+    /// legacy kernel exists for differential testing and benchmarking;
+    /// results agree to solver tolerance, not bit-exactly, because the
+    /// two kernels order floating-point operations differently.
+    pub fn set_kernel(&mut self, kernel: SolverKernel) {
+        self.kernel = kernel;
+    }
+
     /// Sets an initial node voltage and switches to UIC mode.
     pub fn set_initial_voltage(&mut self, node: NodeId, volts: f64) {
         self.initial.insert(node, volts);
@@ -73,7 +111,11 @@ impl<'a> Transient<'a> {
     }
 
     /// Runs the analysis with fixed step `dt` until `t_stop` (inclusive
-    /// of the final point).
+    /// of the final point). When `dt` does not divide `t_stop`, the
+    /// final step is shortened to land exactly on `t_stop` — its
+    /// companion model is built for the short step, so the waveform
+    /// tail (and any threshold crossing in the last interval) is
+    /// integrated over the actual interval, not a full `dt`.
     ///
     /// # Errors
     ///
@@ -114,17 +156,27 @@ impl<'a> Transient<'a> {
                 message: format!("dt ({dt}) and t_stop ({t_stop}) must be positive"),
             });
         }
-        let steps = (t_stop / dt).ceil() as usize;
+        let mut steps = (t_stop / dt).ceil() as usize;
         if steps > 20_000_000 {
             return Err(SpiceError::InvalidAnalysis {
                 message: format!("{steps} steps requested; raise dt or lower t_stop"),
             });
+        }
+        // When dt does not divide t_stop the final step is shortened to
+        // land exactly on t_stop (integrating a full dt but stamping the
+        // sample at t_stop would corrupt the waveform tail). If ceil()
+        // manufactured a degenerate sliver out of rounding (t_stop/dt
+        // just past an integer), fold it into the previous step instead
+        // of taking a ~0-length step.
+        if steps > 1 && t_stop - (steps - 1) as f64 * dt <= dt * 1e-9 {
+            steps -= 1;
         }
 
         let net = self.net;
         let nn = net.num_nodes();
         let size = system_size(net);
         let linear = is_linear(net);
+        let mut ws = MnaWorkspace::new(net, self.kernel);
 
         // --- Initial state -------------------------------------------------
         let mut node_v = vec![0.0; nn];
@@ -162,48 +214,50 @@ impl<'a> Transient<'a> {
         };
         result.push_state(0.0, &node_v);
 
-        // For linear circuits the companion matrix is time-invariant:
-        // factor once, reuse every step (only the RHS changes).
-        let prefactored = if linear {
-            let policy = self.policy(dt, &node_v, &cap_i);
-            let (m, _) = assemble(net, 0.0, policy, &x);
-            Some(m.factor()?)
-        } else {
-            None
-        };
+        // For linear circuits the companion matrix depends only on the
+        // (method phase, step size) pair: factor on change, then only
+        // back-substitution runs per step. The final shortened step and
+        // the one-off BE bootstrap under trapezoidal each refactor for
+        // *their* step size — the companion of the nominal dt would be
+        // wrong for them.
+        let mut factored_for: Option<(bool, f64)> = None;
 
         let mut first_step = true;
+        let mut t_prev = 0.0f64;
         for k in 1..=steps {
-            let t = (k as f64 * dt).min(t_stop);
+            let t = if k == steps { t_stop } else { k as f64 * dt };
+            let dt_k = t - t_prev;
             // The trapezoidal rule needs consistent capacitor currents at
             // the previous point. In UIC mode they are unknown at t=0, so
-            // take the first step with backward Euler (standard practice).
+            // take the first step with backward Euler (standard practice);
+            // that BE step also seeds `cap_i` below.
             let use_be = matches!(self.method, Method::BackwardEuler) || (first_step && self.uic);
             let policy = if use_be {
                 ReactivePolicy::BackwardEuler {
-                    dt,
+                    dt: dt_k,
                     prev_v: &node_v,
                 }
             } else {
-                self.policy(dt, &node_v, &cap_i)
+                self.policy(dt_k, &node_v, &cap_i)
             };
 
-            let x_new = if let Some(f) = &prefactored {
-                // Linear fast path: assemble only the RHS.
-                let (m, rhs) = assemble(net, t, policy, &x);
-                // Matrix must be structurally identical; reuse factors if
-                // the method phase didn't change the companion values.
-                if use_be != matches!(self.method, Method::BackwardEuler) {
-                    // One-off BE bootstrap step under trapezoidal: factor ad hoc.
-                    m.factor()?.solve(&rhs)
-                } else {
-                    f.solve(&rhs)
+            let x_new = if linear {
+                // Linear fast path: replay the RHS assembly; refactor
+                // only when the companion values changed.
+                ws.assemble(net, t, policy, &x);
+                if factored_for != Some((use_be, dt_k)) {
+                    ws.factor(stats)?;
+                    factored_for = Some((use_be, dt_k));
                 }
+                let mut out = Vec::new();
+                ws.solve_into(&mut out);
+                out
             } else {
-                solve_nonlinear(net, t, policy, x.clone(), stats)?
+                solve_nonlinear_ws(net, t, policy, x.clone(), stats, &mut ws)?
             };
 
-            // Update capacitor currents (needed by trapezoidal memory).
+            // Update capacitor currents (needed by trapezoidal memory),
+            // using this step's actual size.
             let v_of = |node: NodeId, state: &[f64]| -> f64 {
                 if node.is_ground() {
                     0.0
@@ -215,16 +269,17 @@ impl<'a> Transient<'a> {
                 let v_new = v_of(a, &x_new) - v_of(b, &x_new);
                 let v_old = node_v[a.index()] - node_v[b.index()];
                 cap_i[ci] = if use_be {
-                    c * (v_new - v_old) / dt
+                    c * (v_new - v_old) / dt_k
                 } else {
                     // Trapezoidal: i_new = 2C/dt (v_new - v_old) - i_old.
-                    2.0 * c * (v_new - v_old) / dt - cap_i[ci]
+                    2.0 * c * (v_new - v_old) / dt_k - cap_i[ci]
                 };
             }
 
             node_v[1..nn].copy_from_slice(&x_new[..nn - 1]);
             x = x_new;
             result.push_state(t, &node_v);
+            t_prev = t;
             first_step = false;
         }
 
@@ -233,12 +288,17 @@ impl<'a> Transient<'a> {
 
     /// Runs the analysis with **adaptive** step control until `t_stop`.
     ///
-    /// Uses step-doubling local-error estimation: each accepted point is
-    /// computed with two half steps, compared against one full step, and
-    /// the step size adapts to keep the estimated local error below
-    /// `tol_v` (volts). Source-waveform breakpoints (pulse edges, PWL
-    /// corners) are never stepped over, so sharp word-line edges are
-    /// resolved regardless of the current step size.
+    /// Local truncation error is estimated by step doubling: each
+    /// candidate step is computed once with the full step and once with
+    /// two half steps, and the difference bounds the LTE. A standard
+    /// order-2 controller (`dt · 0.9 (tol/err)^{1/3}`, growth and
+    /// shrink clamped) picks the next step; rejected steps are retried
+    /// shorter. Both half-step solutions are stored — **dense output**
+    /// on the half-step grid — so `measure.rs` threshold crossings
+    /// interpolate over intervals the error control actually bounded.
+    /// Source-waveform breakpoints (pulse edges, PWL corners) are never
+    /// stepped over, so sharp word-line edges are resolved regardless
+    /// of the current step size.
     ///
     /// # Errors
     ///
@@ -260,10 +320,12 @@ impl<'a> Transient<'a> {
         let mut stats = NewtonStats::default();
         let result = self.run_adaptive_inner(dt_initial, t_stop, tol_v, &mut stats);
         stats.emit();
-        if let Ok(r) = &result {
+        if result.is_ok() {
+            // Accepted integration steps (each stores two points: the
+            // midpoint and the step end).
             mpvar_trace::counter_add(
                 mpvar_trace::names::SPICE_TRANSIENT_STEPS,
-                r.len().saturating_sub(1) as u64,
+                stats.step_accepts,
             );
         }
         result
@@ -291,6 +353,7 @@ impl<'a> Transient<'a> {
 
         let caps = collect_caps(net);
         let mut state = self.initial_state(&caps)?;
+        let mut ws = MnaWorkspace::new(net, self.kernel);
 
         let mut result = TransientResult {
             times: Vec::new(),
@@ -315,18 +378,36 @@ impl<'a> Transient<'a> {
             }
 
             // One full step...
-            let full = self.advance_once(&caps, &state, t + dt_eff, dt_eff, stats)?;
+            let full = self.advance_once(&caps, &state, t + dt_eff, dt_eff, stats, &mut ws)?;
             // ...versus two half steps.
-            let half1 = self.advance_once(&caps, &state, t + dt_eff / 2.0, dt_eff / 2.0, stats)?;
-            let half2 = self.advance_once(&caps, &half1, t + dt_eff, dt_eff / 2.0, stats)?;
+            let half1 = self.advance_once(
+                &caps,
+                &state,
+                t + dt_eff / 2.0,
+                dt_eff / 2.0,
+                stats,
+                &mut ws,
+            )?;
+            let half2 =
+                self.advance_once(&caps, &half1, t + dt_eff, dt_eff / 2.0, stats, &mut ws)?;
 
             let mut err = 0.0f64;
             for (a, b) in full.node_v.iter().zip(&half2.node_v) {
                 err = err.max((a - b).abs());
             }
 
+            // Order-2 LTE controller: the optimal step scales with
+            // (tol/err)^(1/3); the safety factor and clamps are the
+            // standard ones for embedded-error stepping.
+            let scale = if err > 0.0 {
+                LTE_SAFETY * (tol_v / err).powf(1.0 / 3.0)
+            } else {
+                LTE_GROW_MAX
+            };
+
             if err > tol_v && dt_eff > dt_min {
-                dt = (dt_eff / 2.0).max(dt_min);
+                stats.step_rejects += 1;
+                dt = (dt_eff * scale.clamp(LTE_SHRINK_MIN, 1.0)).max(dt_min);
                 continue;
             }
             if dt_eff <= dt_min && err > 10.0 * tol_v {
@@ -335,14 +416,15 @@ impl<'a> Transient<'a> {
                 });
             }
 
+            stats.step_accepts += 1;
+            // Dense output: keep the midpoint sample too, so crossing
+            // interpolation sees the half-step grid the error estimate
+            // was computed on.
+            result.push_state(t + dt_eff / 2.0, &half1.node_v);
             t += dt_eff;
             state = half2;
             result.push_state(t, &state.node_v);
-            if err < tol_v / 8.0 {
-                dt = (dt_eff * 1.6).min(dt_max);
-            } else {
-                dt = dt_eff;
-            }
+            dt = (dt_eff * scale.clamp(LTE_SHRINK_MIN, LTE_GROW_MAX)).min(dt_max);
         }
         Ok(result)
     }
@@ -382,6 +464,7 @@ impl<'a> Transient<'a> {
         t: f64,
         dt: f64,
         stats: &mut NewtonStats,
+        ws: &mut MnaWorkspace,
     ) -> Result<StepState, SpiceError> {
         let net = self.net;
         let nn = net.num_nodes();
@@ -400,7 +483,7 @@ impl<'a> Transient<'a> {
                 prev_ic: &state.cap_i,
             }
         };
-        let x_new = solve_nonlinear(net, t, policy, state.x.clone(), stats)?;
+        let x_new = solve_nonlinear_ws(net, t, policy, state.x.clone(), stats, ws)?;
 
         let v_of = |node: NodeId, xs: &[f64]| -> f64 {
             if node.is_ground() {

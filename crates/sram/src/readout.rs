@@ -46,6 +46,11 @@ pub struct ReadConfig {
     pub window_scale: f64,
     /// Window doublings attempted before giving up.
     pub max_retries: usize,
+    /// When set, the transient runs with LTE-adaptive stepping at this
+    /// voltage tolerance instead of the fixed `steps` grid (the fixed
+    /// `window / steps` becomes the initial step). `None` (the default)
+    /// keeps the paper-calibrated fixed-step behaviour bit-identical.
+    pub lte_tol_v: Option<f64>,
 }
 
 impl Default for ReadConfig {
@@ -58,6 +63,7 @@ impl Default for ReadConfig {
             steps: 2000,
             window_scale: 25.0,
             max_retries: 3,
+            lte_tol_v: None,
         }
     }
 }
@@ -237,7 +243,10 @@ pub fn simulate_read(
 
     for _attempt in 0..=config.max_retries {
         let dt = window / config.steps as f64;
-        let result = tran.run(dt, window)?;
+        let result = match config.lte_tol_v {
+            Some(tol) => tran.run_adaptive(dt, window, tol)?,
+            None => tran.run(dt, window)?,
+        };
         let t_wl = cross_threshold(&result, wl, config.vdd_v / 2.0, CrossDirection::Rising, 0.0)
             .map_err(|e| SramError::Spice(e.to_string()))?;
         match cross_differential(
@@ -399,6 +408,24 @@ mod tests {
             ),
             Err(SramError::InvalidStructure { .. })
         ));
+    }
+
+    #[test]
+    fn adaptive_stepping_matches_fixed_grid() {
+        // The LTE-adaptive opt-in must reproduce the fixed-step td to
+        // within the sense-measurement tolerance the controller bounds.
+        let (tech, cell) = setup();
+        let d = Draw::nominal(PatterningOption::Euv);
+        let fixed = simulate_read(&tech, &cell, &ReadConfig::default(), 16, &d)
+            .unwrap()
+            .td_s;
+        let cfg = ReadConfig {
+            lte_tol_v: Some(1e-4),
+            ..ReadConfig::default()
+        };
+        let adaptive = simulate_read(&tech, &cell, &cfg, 16, &d).unwrap().td_s;
+        let rel = (adaptive / fixed - 1.0).abs();
+        assert!(rel < 0.02, "fixed {fixed:.4e} adaptive {adaptive:.4e}");
     }
 
     #[test]

@@ -105,6 +105,19 @@ pub mod names {
     pub const SPICE_NR_FAILURES: &str = "spice.nr_failures";
     /// Counter: accepted transient integration steps.
     pub const SPICE_TRANSIENT_STEPS: &str = "spice.transient_steps";
+    /// Counter: symbolic LU analyses (first factor of a structure, or a
+    /// pivot-drift rebuild).
+    pub const SPICE_LU_SYMBOLIC_BUILDS: &str = "spice.lu_symbolic_builds";
+    /// Counter: factorizations that reused an existing symbolic
+    /// analysis (the compiled kernel's whole point).
+    pub const SPICE_LU_SYMBOLIC_REUSES: &str = "spice.lu_symbolic_reuses";
+    /// Counter: numeric-only refactorizations into preallocated
+    /// workspaces.
+    pub const SPICE_LU_REFACTORS: &str = "spice.lu_refactors";
+    /// Counter: adaptive-transient steps accepted by the LTE controller.
+    pub const SPICE_STEP_ACCEPTS: &str = "spice.step_accepts";
+    /// Counter: adaptive-transient steps rejected and retried shorter.
+    pub const SPICE_STEP_REJECTS: &str = "spice.step_rejects";
 
     /// Counter: corner combinations enumerated by worst-case searches.
     pub const CORNERS_ENUMERATED: &str = "corner.enumerated";

@@ -158,6 +158,170 @@ fn spice_deck_roundtrip_preserves_transient_behaviour() {
 }
 
 #[test]
+fn final_step_is_shortened_when_dt_does_not_divide_t_stop() {
+    // Regression for the last-step over-integration bug: with
+    // dt = 0.3ns and t_stop = 1.0ns the final step covers only 0.1ns,
+    // but the old loop integrated a full 0.3ns companion and stamped
+    // the result at t_stop. For a tau = 1ns discharge that lands the
+    // 1.2ns voltage on the 1.0ns sample — a ~16% error. The fixed
+    // loop's remaining error is the BE-bootstrap first step plus
+    // trapezoidal truncation at this deliberately coarse dt (~3.4%).
+    let mut net = Netlist::new();
+    let a = net.node("a");
+    net.add_resistor("R", a, Netlist::GROUND, 10e3).expect("R");
+    net.add_capacitor("C", a, Netlist::GROUND, 100e-15)
+        .expect("C");
+    let mut tran = Transient::new(&net).expect("tran builds");
+    tran.set_initial_voltage(a, 1.0);
+    let result = tran.run(0.3e-9, 1.0e-9).expect("runs");
+    let times = result.times();
+    let t_end = *times.last().expect("nonempty");
+    assert!(
+        (t_end - 1.0e-9).abs() < 1e-21,
+        "trace must end exactly at t_stop, got {t_end:e}"
+    );
+    let sim = result.sample(a, 1.0e-9).expect("in window");
+    let exact = (-1.0f64).exp();
+    let rel = (sim / exact - 1.0).abs();
+    assert!(rel < 0.05, "v(t_stop) = {sim:.6} vs exp(-1) = {exact:.6}");
+}
+
+#[test]
+fn non_divisor_dt_agrees_with_divisor_dt_at_shared_points() {
+    // A non-divisor step count must land on the same trajectory as a
+    // divisor one — only truncation-level differences remain once the
+    // final step is shortened correctly.
+    let (mut net, first, last) = ladder(6, 1e3, 20e-15);
+    net.add_vsource(
+        "VIN",
+        first,
+        Netlist::GROUND,
+        Waveform::pulse(0.0, 0.7, 0.0, 5e-12, 5e-12, 1.0, 0.0).expect("pulse"),
+    )
+    .expect("source");
+    let t_stop = 1.0e-9;
+    let tran = Transient::new(&net).expect("tran builds");
+    // 16 000 steps (divisor) vs t_stop / 1.28e-13 = 7812.5 steps.
+    let divisor = tran.run(t_stop / 16_000.0, t_stop).expect("runs");
+    let awkward = tran.run(1.28e-13, t_stop).expect("runs");
+    for k in 1..=10 {
+        let t = t_stop * k as f64 / 10.0;
+        let v_div = divisor.sample(last, t).expect("in window");
+        let v_awk = awkward.sample(last, t).expect("in window");
+        assert!(
+            (v_div - v_awk).abs() < 1e-4,
+            "t={t:e}: divisor {v_div} vs non-divisor {v_awk}"
+        );
+    }
+}
+
+/// SplitMix64: deterministic parameter randomization without pulling
+/// any RNG dependency into the oracle tests.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[lo, hi)` from the SplitMix64 stream.
+fn uniform(state: &mut u64, lo: f64, hi: f64) -> f64 {
+    let u = (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64;
+    lo + u * (hi - lo)
+}
+
+#[test]
+fn adaptive_matches_fine_fixed_step_on_randomized_rc_ladders() {
+    // Differential oracle: LTE-adaptive stepping against a fixed-step
+    // run at dt/64, over randomized ladder dimensions and element
+    // values. The adaptive controller bounds per-step error at 100uV;
+    // agreement within ~1mV catches both controller bugs and
+    // dense-output interpolation bugs.
+    let mut seed = 0x5EED_1234_ABCD_0001u64;
+    for trial in 0..6 {
+        let n = 3 + (splitmix64(&mut seed) % 6) as usize;
+        let r_seg = uniform(&mut seed, 500.0, 5e3);
+        let c_seg = uniform(&mut seed, 5e-15, 50e-15);
+        let (mut net, first, last) = ladder(n, r_seg, c_seg);
+        net.add_vsource(
+            "VIN",
+            first,
+            Netlist::GROUND,
+            Waveform::pulse(0.0, 0.7, 10e-12, 5e-12, 5e-12, 1.0, 0.0).expect("pulse"),
+        )
+        .expect("source");
+        let t_stop = 40.0 * n as f64 * r_seg * c_seg + 50e-12;
+        let dt = t_stop / 200.0;
+        let tran = Transient::new(&net).expect("tran builds");
+        let adaptive = tran.run_adaptive(dt, t_stop, 1e-4).expect("adaptive runs");
+        let reference = tran.run(dt / 64.0, t_stop).expect("fixed runs");
+        for k in 1..=8 {
+            let t = t_stop * k as f64 / 8.0;
+            let v_a = adaptive.sample(last, t).expect("in window");
+            let v_r = reference.sample(last, t).expect("in window");
+            assert!(
+                (v_a - v_r).abs() < 1.5e-3,
+                "trial {trial} t={t:e}: adaptive {v_a} vs dt/64 {v_r}"
+            );
+        }
+    }
+}
+
+#[test]
+fn adaptive_matches_fine_fixed_step_on_randomized_sram_discharge() {
+    // Same oracle on the nonlinear FET discharge path: randomized
+    // bit-line load and device widths around the N10 SRAM read circuit.
+    use mpvar::spice::MosfetModel;
+    use mpvar::tech::preset::n10;
+    let tech = n10();
+    let mut seed = 0x5EED_5678_ABCD_0002u64;
+    for trial in 0..4 {
+        let c_load = uniform(&mut seed, 1e-15, 4e-15);
+        let w_pass = uniform(&mut seed, 0.8, 1.6);
+        let w_pd = uniform(&mut seed, 1.0, 2.0);
+        let mut net = Netlist::new();
+        let bl = net.node("bl");
+        let q = net.node("q");
+        let wl = net.node("wl");
+        let vdd = net.node("vdd");
+        net.add_capacitor("Cbl", bl, Netlist::GROUND, c_load)
+            .expect("C");
+        net.add_vsource(
+            "VWL",
+            wl,
+            Netlist::GROUND,
+            Waveform::pulse(0.0, 0.7, 20e-12, 10e-12, 10e-12, 1.0, 0.0).expect("pulse"),
+        )
+        .expect("V");
+        net.add_vsource("VDD", vdd, Netlist::GROUND, Waveform::dc(0.7))
+            .expect("V");
+        let pass = MosfetModel::new(tech.nmos().scaled(w_pass).expect("scale"));
+        let pd = MosfetModel::new(tech.nmos().scaled(w_pd).expect("scale"));
+        net.add_mosfet("Mpass", bl, wl, q, pass).expect("M");
+        net.add_mosfet("Mpd", q, vdd, Netlist::GROUND, pd)
+            .expect("M");
+        net.add_capacitor("Cq", q, Netlist::GROUND, 0.1e-15)
+            .expect("C");
+        let mut tran = Transient::new(&net).expect("tran builds");
+        tran.set_initial_voltage(bl, 0.7);
+        let t_stop = 200e-12;
+        let dt = t_stop / 200.0;
+        let adaptive = tran.run_adaptive(dt, t_stop, 1e-4).expect("adaptive runs");
+        let reference = tran.run(dt / 64.0, t_stop).expect("fixed runs");
+        for k in 1..=8 {
+            let t = t_stop * k as f64 / 8.0;
+            let v_a = adaptive.sample(bl, t).expect("in window");
+            let v_r = reference.sample(bl, t).expect("in window");
+            assert!(
+                (v_a - v_r).abs() < 1.5e-3,
+                "trial {trial} t={t:e}: adaptive {v_a} vs dt/64 {v_r}"
+            );
+        }
+    }
+}
+
+#[test]
 fn sram_discharge_current_magnitude_is_physical() {
     // The discharge path (pass + pull-down at 0.7V) should sink single-
     // digit microamps; check via the initial slope of a known C load.
