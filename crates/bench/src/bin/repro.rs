@@ -12,7 +12,11 @@
 //! paper's full design of experiments. CSV artefacts land in `--out`
 //! (default `results/`). The extra `bench-parallel` target measures
 //! Monte-Carlo throughput per thread count and writes the
-//! `BENCH_parallel.json` snapshot tracked across PRs.
+//! `BENCH_parallel.json` snapshot tracked across PRs;
+//! `bench-batch-smoke` times the batched SoA trial solver against the
+//! per-trial scalar path on a reduced SPICE-backed workload and fails
+//! unless the batched path holds a 2x floor (CI runs it traced and
+//! then validates the `spice.batch_*` counters from the trace).
 //!
 //! Every evaluation runs through a [`Study`] session and every layer of
 //! the pipeline is instrumented with `mpvar-trace` spans and metrics:
@@ -45,7 +49,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use mpvar_bench::check::{check_context, run_check_in, CheckOptions};
-use mpvar_bench::{parallel_bench_snapshot, EXPERIMENT_IDS};
+use mpvar_bench::{parallel_bench_snapshot, spice_batch_bench, EXPERIMENT_IDS};
 use mpvar_core::experiments::ExperimentContext;
 use mpvar_study::Study;
 use mpvar_trace::sink::{render_metrics, render_tree, TraceSink};
@@ -132,7 +136,7 @@ impl Telemetry {
 fn usage() -> String {
     format!(
         "usage: repro [--quick] [--out DIR] [--trace FILE] [--metrics] [--timings] \
-         <experiment | all | bench-parallel>\n\
+         <experiment | all | bench-parallel | bench-batch-smoke>\n\
          \x20      repro check [--fast] [--golden DIR] [--oracle-cases N] [--trace FILE] \
          [--metrics] [--timings]\n\
          \x20      repro validate-trace [--require-counter NAME]... FILE\n\
@@ -366,6 +370,44 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    if target == "bench-batch-smoke" {
+        // CI floor for the batched SoA trial solver: the reduced
+        // workload must hold at least 2x over the per-trial scalar
+        // path (the snapshot tracks the full workload against 3x).
+        // Telemetry is allowed here — it loads both paths equally and
+        // lets CI validate the spice.batch_* counters from the trace.
+        let telemetry = Telemetry::install(trace, metrics, timings);
+        let bench = match spice_batch_bench(&ctx, 64) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("batch bench failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "batch smoke: n = {}, {} trials, width {}: scalar {:.1} trials/s, \
+             batched {:.1} trials/s, speedup {:.2}x",
+            bench.n_cells,
+            bench.trials,
+            bench.batch_width,
+            bench.scalar_tps(),
+            bench.batched_tps(),
+            bench.speedup()
+        );
+        if let Err(e) = telemetry.finish() {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        if bench.speedup() < 2.0 {
+            eprintln!(
+                "batched trial solver below the 2x smoke floor ({:.2}x)",
+                bench.speedup()
+            );
+            return ExitCode::FAILURE;
+        }
         return ExitCode::SUCCESS;
     }
 

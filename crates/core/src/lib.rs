@@ -55,7 +55,8 @@ pub use error::CoreError;
 pub use experiments::{ExperimentContext, ExperimentContextBuilder};
 pub use formula::AnalyticalModel;
 pub use montecarlo::{
-    tdp_distribution, tdp_distribution_with, McConfig, McConfigBuilder, TdpDistribution,
+    tdp_distribution, tdp_distribution_spice, tdp_distribution_with, McConfig, McConfigBuilder,
+    SpiceMcOptions, TdpDistribution,
 };
 pub use mpvar_exec::ExecConfig;
 pub use nominal::{NominalCache, NominalWindow};
@@ -71,7 +72,8 @@ pub mod prelude {
     pub use crate::experiments::{ExperimentContext, ExperimentContextBuilder};
     pub use crate::formula::AnalyticalModel;
     pub use crate::montecarlo::{
-        tdp_distribution, tdp_distribution_with, McConfig, McConfigBuilder, TdpDistribution,
+        tdp_distribution, tdp_distribution_spice, tdp_distribution_with, McConfig, McConfigBuilder,
+        SpiceMcOptions, TdpDistribution,
     };
     pub use crate::nominal::{NominalCache, NominalWindow};
     pub use crate::sensitivity::{sensitivity_profile, SensitivityProfile};

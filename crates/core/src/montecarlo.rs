@@ -19,8 +19,11 @@
 
 use mpvar_exec::ExecConfig;
 use mpvar_extract::{extract_track, RelativeVariation};
-use mpvar_litho::{apply_draw, sample_draw};
-use mpvar_sram::BitcellGeometry;
+use mpvar_litho::{apply_draw, sample_draw, Draw};
+use mpvar_sram::{
+    simulate_read, simulate_read_batch_in, BitcellGeometry, ReadBatchScratch, ReadConfig,
+    ReadOutcome, SramError,
+};
 use mpvar_stats::{Histogram, RngStream, Summary};
 use mpvar_tech::{PatterningOption, TechDb, VariationBudget};
 use mpvar_trace::names;
@@ -280,8 +283,10 @@ pub fn tdp_distribution_with(
             let deficit = (config.trials - samples.len()) as u64;
             let wave = deficit.max(threads as u64).min(limit - next);
             let _wave_span = mpvar_trace::span!(names::SPAN_MC_WAVE, start = next, len = wave);
-            let outcomes = mpvar_exec::try_par_map_range(wave as usize, threads, |i| {
-                Ok::<TrialOutcome, std::convert::Infallible>(eval(next + i as u64))
+            let outcomes = mpvar_exec::try_par_chunk_map(wave as usize, threads, |r| {
+                Ok::<Vec<TrialOutcome>, std::convert::Infallible>(
+                    r.map(|i| eval(next + i as u64)).collect(),
+                )
             })
             .unwrap_or_else(|e| match e {});
             next += wave;
@@ -319,6 +324,208 @@ pub fn tdp_distribution_with(
     Ok(TdpDistribution {
         option,
         n,
+        samples_percent: samples,
+        summary,
+        shorted_draws: shorted,
+    })
+}
+
+/// Options for the SPICE-backed Monte-Carlo distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpiceMcOptions {
+    /// Read-testbench configuration used for every trial and for the
+    /// nominal reference read.
+    pub read: ReadConfig,
+    /// Trials per batched solver call inside each worker chunk. `0`
+    /// runs the per-trial scalar solver; every width produces the same
+    /// bits, because the batched kernel is lane-exact and evicts
+    /// divergent trials to the scalar path.
+    pub batch_width: usize,
+}
+
+impl Default for SpiceMcOptions {
+    /// Default read testbench with 8-wide solver batches.
+    fn default() -> Self {
+        Self {
+            read: ReadConfig::default(),
+            batch_width: 16,
+        }
+    }
+}
+
+/// Classifies one SPICE read result as a trial outcome: a `tdp` sample,
+/// a shorted-draw exclusion, or a hard error.
+fn read_to_outcome(r: Result<ReadOutcome, SramError>, td_nom_s: f64) -> TrialOutcome {
+    match r {
+        Ok(o) => Ok(Some((o.td_s / td_nom_s - 1.0) * 100.0)),
+        // A shorted print is a yield loss — excluded and counted, the
+        // same screening the formula path applies at `apply_draw`.
+        Err(SramError::Litho(_)) => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Samples the `tdp` distribution of `option` at column depth `n_cells`
+/// with **full SPICE read simulations** per trial (the methodology
+/// behind Fig. 5) instead of the analytical formula: each trial prints
+/// one sampled draw, builds the §II.C read testbench, and measures `td`
+/// against the nominal read.
+///
+/// Worker threads receive contiguous chunks of trial indices
+/// ([`mpvar_exec::try_par_chunk_map`]) and push them through the
+/// batched trial solver in [`SpiceMcOptions::batch_width`]-wide lanes,
+/// reusing one solver workspace per chunk so steady-state waves
+/// allocate nothing in the solve loop. Trial `k` always consumes RNG
+/// substream `k`, so results are **bit-identical for a given seed at
+/// any thread count and any batch width**.
+///
+/// # Errors
+///
+/// Propagated tech/litho/SPICE failures (shorted draws are yield
+/// losses — excluded and counted, not errors), or
+/// [`CoreError::NoFeasibleCorner`] when the budget shorts essentially
+/// every draw.
+pub fn tdp_distribution_spice(
+    tech: &TechDb,
+    cell: &BitcellGeometry,
+    option: PatterningOption,
+    budget: &VariationBudget,
+    n_cells: usize,
+    config: &McConfig,
+    opts: &SpiceMcOptions,
+) -> Result<TdpDistribution, CoreError> {
+    if config.trials == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "trials",
+            value: 0.0,
+            constraint: "must be at least 1",
+        });
+    }
+
+    let _dist_span = mpvar_trace::span!(
+        names::SPAN_MC_DISTRIBUTION,
+        option = option.to_string(),
+        n = n_cells,
+        trials = config.trials,
+    );
+    let traced = mpvar_trace::enabled();
+    let started = traced.then(std::time::Instant::now);
+
+    // Nominal reference read: the denominator of every trial's penalty.
+    let td_nom_s = simulate_read(tech, cell, &opts.read, n_cells, &Draw::nominal(option))?.td_s;
+
+    let base = RngStream::from_seed(config.seed);
+    let limit = 20 * config.trials as u64 + 1000;
+
+    // One worker chunk: sample draws by substream index, run them in
+    // `batch_width`-wide sub-batches through one reusable workspace.
+    let eval_chunk = |range: std::ops::Range<usize>, next: u64| -> Vec<TrialOutcome> {
+        let width = opts.batch_width;
+        let mut outcomes: Vec<TrialOutcome> = Vec::with_capacity(range.len());
+        if width == 0 {
+            for i in range {
+                let mut rng = base.substream(next + i as u64);
+                outcomes.push(match sample_draw(option, budget, &mut rng) {
+                    Ok(d) => read_to_outcome(
+                        simulate_read(tech, cell, &opts.read, n_cells, &d),
+                        td_nom_s,
+                    ),
+                    Err(e) => Err(e.into()),
+                });
+            }
+            return outcomes;
+        }
+        let mut scratch = ReadBatchScratch::new();
+        let mut draws: Vec<Draw> = Vec::with_capacity(width);
+        let mut lane_slots: Vec<usize> = Vec::with_capacity(width);
+        let mut idx = range.start;
+        while idx < range.end {
+            let stop = (idx + width).min(range.end);
+            draws.clear();
+            lane_slots.clear();
+            for i in idx..stop {
+                let mut rng = base.substream(next + i as u64);
+                match sample_draw(option, budget, &mut rng) {
+                    Ok(d) => {
+                        lane_slots.push(outcomes.len());
+                        draws.push(d);
+                        // Placeholder; overwritten with the lane result.
+                        outcomes.push(Ok(None));
+                    }
+                    Err(e) => outcomes.push(Err(e.into())),
+                }
+            }
+            match simulate_read_batch_in(tech, cell, &opts.read, n_cells, &draws, &mut scratch) {
+                Ok(lane_results) => {
+                    for (&slot, r) in lane_slots.iter().zip(lane_results) {
+                        outcomes[slot] = read_to_outcome(r, td_nom_s);
+                    }
+                }
+                Err(e) => {
+                    // Structural failure — impossible for the n_cells the
+                    // nominal read above already simulated, but if it
+                    // surfaces, park it on the sub-batch's first lane so
+                    // the in-order merge reports it before any later
+                    // outcome.
+                    if let Some(&slot) = lane_slots.first() {
+                        outcomes[slot] = Err(e.into());
+                    }
+                }
+            }
+            idx = stop;
+        }
+        outcomes
+    };
+
+    let threads = config.exec.effective_threads();
+    let mut samples = Vec::with_capacity(config.trials);
+    let mut shorted = 0usize;
+    let mut next = 0u64;
+    'outer: while samples.len() < config.trials {
+        if next >= limit {
+            return Err(CoreError::NoFeasibleCorner {
+                option: option.to_string(),
+            });
+        }
+        let deficit = (config.trials - samples.len()) as u64;
+        let wave = deficit.max(threads as u64).min(limit - next);
+        let _wave_span = mpvar_trace::span!(names::SPAN_MC_WAVE, start = next, len = wave);
+        let outcomes = mpvar_exec::try_par_chunk_map(wave as usize, threads, |r| {
+            Ok::<Vec<TrialOutcome>, std::convert::Infallible>(eval_chunk(r, next))
+        })
+        .unwrap_or_else(|e| match e {});
+        next += wave;
+        for outcome in outcomes {
+            match outcome {
+                Ok(Some(s)) => {
+                    samples.push(s);
+                    if samples.len() == config.trials {
+                        break 'outer;
+                    }
+                }
+                Ok(None) => shorted += 1,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    if traced {
+        mpvar_trace::counter_add(names::MC_TRIALS, samples.len() as u64);
+        mpvar_trace::counter_add(names::MC_SHORTED, shorted as u64);
+        if let Some(started) = started {
+            let secs = started.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                mpvar_trace::gauge_set(names::MC_TRIALS_PER_SEC, samples.len() as f64 / secs);
+            }
+        }
+        let bounds: Vec<f64> = (-10..=10).map(|i| f64::from(i) * 5.0).collect();
+        mpvar_trace::histogram_record(names::MC_TDP_PERCENT, &bounds, &samples);
+    }
+
+    let summary = samples.iter().copied().collect();
+    Ok(TdpDistribution {
+        option,
+        n: n_cells,
         samples_percent: samples,
         summary,
         shorted_draws: shorted,
@@ -417,6 +624,44 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn spice_distribution_identical_across_widths_and_threads() {
+        let (tech, cell) = setup();
+        let budget = VariationBudget::paper_default(PatterningOption::Le3, 8.0).unwrap();
+        let run = |width: usize, threads: usize| {
+            tdp_distribution_spice(
+                &tech,
+                &cell,
+                PatterningOption::Le3,
+                &budget,
+                8,
+                &McConfig::builder()
+                    .trials(10)
+                    .seed(11)
+                    .threads(threads)
+                    .build(),
+                &SpiceMcOptions {
+                    batch_width: width,
+                    ..SpiceMcOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let scalar = run(0, 1);
+        assert_eq!(scalar.samples_percent().len(), 10);
+        // SPICE tdp values are percent-scale, like the formula path's.
+        assert!(scalar.summary().std_dev() > 0.01);
+        for (width, threads) in [(4, 1), (10, 2), (3, 2)] {
+            let batched = run(width, threads);
+            assert_eq!(
+                scalar.samples_percent(),
+                batched.samples_percent(),
+                "width {width}, {threads} threads"
+            );
+            assert_eq!(scalar.shorted_draws(), batched.shorted_draws());
+        }
     }
 
     #[test]

@@ -273,6 +273,105 @@ where
     Ok(out)
 }
 
+/// Maps a fallible *chunk* function over the index range `0..n` on
+/// `threads` workers: `f` receives each worker's whole contiguous range
+/// (the [`chunk_ranges`] partition) and returns one result per index.
+///
+/// This is the batched-solver dispatch primitive: handing a worker its
+/// entire chunk at once lets it run the indices through shared
+/// per-chunk state (a reusable solver workspace, sub-batched SIMD
+/// lanes) instead of paying per-index setup. Because the partition
+/// depends only on `(n, threads)` and results are concatenated in chunk
+/// order, output placement is identical to [`try_par_map_range`] — what
+/// `f` computes per index is the caller's determinism obligation.
+///
+/// # Panics
+///
+/// Panics if a chunk's returned vector does not have exactly one
+/// element per index of its range.
+///
+/// # Errors
+///
+/// The error of the earliest (lowest-range) failed chunk.
+pub fn try_par_chunk_map<U, F, E>(n: usize, threads: usize, f: F) -> Result<Vec<U>, E>
+where
+    U: Send,
+    E: Send,
+    F: Fn(Range<usize>) -> Result<Vec<U>, E> + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    let traced = mpvar_trace::enabled();
+    let map_span = mpvar_trace::span!(names::SPAN_EXEC_PAR_MAP, n = n, threads = threads);
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if threads <= 1 {
+        let out = f(0..n)?;
+        assert_eq!(out.len(), n, "chunk map must return one result per index");
+        return Ok(out);
+    }
+
+    type ChunkOutcome<U, E> = (Result<Vec<U>, E>, u64);
+
+    let ranges = chunk_ranges(n, threads);
+    let parent = map_span.id();
+    let results: Vec<ChunkOutcome<U, E>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .enumerate()
+            .map(|(c, range)| {
+                let range = range.clone();
+                let f = &f;
+                scope.spawn(move || {
+                    let _chunk_span = if traced {
+                        SpanGuard::enter_with_parent(
+                            parent,
+                            names::SPAN_EXEC_CHUNK,
+                            vec![
+                                ("chunk", c.into()),
+                                ("start", range.start.into()),
+                                ("len", range.len().into()),
+                            ],
+                        )
+                    } else {
+                        SpanGuard::disabled()
+                    };
+                    let started = traced.then(std::time::Instant::now);
+                    let len = range.len();
+                    let result = f(range);
+                    if let Ok(buf) = &result {
+                        assert_eq!(buf.len(), len, "chunk map must return one result per index");
+                    }
+                    let dur_ns = started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    (result, dur_ns)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mpvar-exec worker panicked"))
+            .collect()
+    });
+
+    if traced {
+        mpvar_trace::counter_add(names::EXEC_CHUNKS, results.len() as u64);
+        let slowest = results.iter().map(|(_, d)| *d).max().unwrap_or(0) as f64;
+        let mean =
+            results.iter().map(|(_, d)| *d).sum::<u64>() as f64 / results.len().max(1) as f64;
+        if mean > 0.0 {
+            mpvar_trace::gauge_set(names::EXEC_IMBALANCE, slowest / mean);
+        }
+    }
+
+    // Chunks are in index order, so the first failed chunk is the
+    // earliest failure.
+    let mut out = Vec::with_capacity(n);
+    for (result, _) in results {
+        out.extend(result?);
+    }
+    Ok(out)
+}
+
 /// Parallel argmax over `items` by a partial score: returns the index
 /// of the highest score among items where `score` returns `Some`, with
 /// ties broken toward the *lowest index* (exactly what a sequential
@@ -360,6 +459,45 @@ mod tests {
             .unwrap_err();
             assert_eq!(err, 13, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn chunk_map_matches_per_index_map_any_thread_count() {
+        let expect: Vec<usize> = (0..103).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 4, 7] {
+            let got = try_par_chunk_map(103, threads, |r| {
+                Ok::<_, ()>(r.map(|i| i * 3 + 1).collect())
+            })
+            .unwrap();
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+        assert_eq!(
+            try_par_chunk_map::<u8, _, ()>(0, 4, |_| unreachable!()).unwrap(),
+            Vec::<u8>::new()
+        );
+    }
+
+    #[test]
+    fn chunk_map_earliest_chunk_error_wins() {
+        for threads in [1, 2, 4] {
+            let err = try_par_chunk_map::<usize, _, usize>(100, threads, |r| {
+                if r.contains(&10) {
+                    Err(10)
+                } else if r.contains(&90) {
+                    Err(90)
+                } else {
+                    Ok(r.collect())
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, 10, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one result per index")]
+    fn chunk_map_rejects_short_chunks() {
+        let _ = try_par_chunk_map::<usize, _, ()>(10, 1, |_| Ok(vec![1]));
     }
 
     #[test]

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ac;
+pub mod batch;
 pub mod complex;
 pub mod dcsweep;
 pub mod error;
@@ -60,10 +61,17 @@ pub mod value;
 pub mod waveform;
 
 pub use ac::{AcAnalysis, AcResult};
+pub use batch::{
+    run_transient_batch, BatchLaneOutcome, BatchTransientResult, BatchTransientSpec,
+    BatchedMnaWorkspace, LaneFalloutReason,
+};
 pub use complex::Complex;
 pub use dcsweep::{dc_sweep, DcSweepResult};
 pub use error::SpiceError;
-pub use measure::{cross_differential, cross_threshold, CrossDirection};
+pub use measure::{
+    cross_differential, cross_differential_series, cross_threshold, cross_threshold_series,
+    CrossDirection,
+};
 pub use mna::OperatingPoint;
 pub use mosfet::{MosfetModel, SmallSignal};
 pub use netlist::{Element, Netlist, NodeId};
@@ -73,8 +81,15 @@ pub use waveform::Waveform;
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
+    pub use crate::batch::{
+        run_transient_batch, BatchLaneOutcome, BatchTransientResult, BatchTransientSpec,
+        BatchedMnaWorkspace, LaneFalloutReason,
+    };
     pub use crate::error::SpiceError;
-    pub use crate::measure::{cross_differential, cross_threshold, CrossDirection};
+    pub use crate::measure::{
+        cross_differential, cross_differential_series, cross_threshold, cross_threshold_series,
+        CrossDirection,
+    };
     pub use crate::mna::OperatingPoint;
     pub use crate::mosfet::MosfetModel;
     pub use crate::netlist::{Element, Netlist, NodeId};

@@ -55,6 +55,44 @@ fn crossing_time(
     None
 }
 
+/// Time at which a raw sample series first crosses `threshold` in
+/// `direction`, at or after `t_start` — the slice-level primitive behind
+/// [`cross_threshold`], for callers (the batched trial solver) that hold
+/// probe waveforms outside a [`TransientResult`].
+///
+/// Returns `None` when the series never crosses; the crossing arithmetic
+/// is bit-identical to [`cross_threshold`] on the same samples.
+pub fn cross_threshold_series(
+    times: &[f64],
+    values: &[f64],
+    threshold: f64,
+    direction: CrossDirection,
+    t_start: f64,
+) -> Option<f64> {
+    crossing_time(times, values, threshold, direction, t_start)
+}
+
+/// Time at which the differential `a - b` of two raw sample series first
+/// crosses `threshold` in `direction`, at or after `t_start`.
+///
+/// The differential is staged into `diff` (cleared and refilled), so a
+/// caller measuring many trials can reuse one buffer and allocate
+/// nothing in steady state. Bit-identical to [`cross_differential`] on
+/// the same samples.
+pub fn cross_differential_series(
+    times: &[f64],
+    a: &[f64],
+    b: &[f64],
+    threshold: f64,
+    direction: CrossDirection,
+    t_start: f64,
+    diff: &mut Vec<f64>,
+) -> Option<f64> {
+    diff.clear();
+    diff.extend(a.iter().zip(b).map(|(x, y)| x - y));
+    crossing_time(times, diff, threshold, direction, t_start)
+}
+
 /// Time at which `node` first crosses `threshold` in `direction`, at or
 /// after `t_start`, with linear interpolation between samples.
 ///
@@ -123,20 +161,22 @@ pub fn cross_differential(
     direction: CrossDirection,
     t_start: f64,
 ) -> Result<f64, SpiceError> {
-    let diff: Vec<f64> = result
-        .waveform(a)
-        .iter()
-        .zip(result.waveform(b))
-        .map(|(x, y)| x - y)
-        .collect();
-    crossing_time(result.times(), &diff, threshold, direction, t_start).ok_or_else(|| {
-        SpiceError::MeasurementNotFound {
-            message: format!(
-                "differential `{}` - `{}` never crossed {threshold} after t = {t_start}",
-                result.node_name(a),
-                result.node_name(b)
-            ),
-        }
+    let mut diff = Vec::new();
+    cross_differential_series(
+        result.times(),
+        result.waveform(a),
+        result.waveform(b),
+        threshold,
+        direction,
+        t_start,
+        &mut diff,
+    )
+    .ok_or_else(|| SpiceError::MeasurementNotFound {
+        message: format!(
+            "differential `{}` - `{}` never crossed {threshold} after t = {t_start}",
+            result.node_name(a),
+            result.node_name(b)
+        ),
     })
 }
 

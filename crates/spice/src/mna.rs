@@ -18,13 +18,13 @@ use crate::transient::SolverKernel;
 pub const GMIN: f64 = 1e-12;
 
 /// Absolute Newton convergence tolerance on voltage updates, V.
-const VTOL: f64 = 1e-9;
+pub(crate) const VTOL: f64 = 1e-9;
 
 /// Maximum voltage change applied per Newton iteration, V (damping).
-const VSTEP_MAX: f64 = 0.3;
+pub(crate) const VSTEP_MAX: f64 = 0.3;
 
 /// Maximum Newton iterations before reporting non-convergence.
-const MAX_ITERS: usize = 200;
+pub(crate) const MAX_ITERS: usize = 200;
 
 /// Newton-solver statistics accumulated locally by one analysis and
 /// emitted to the trace layer in a single batch ([`NewtonStats::emit`])
@@ -464,9 +464,10 @@ impl MatrixSink for SparseMatrix {
 /// Discovery-pass sink: records the structural coordinate sequence and
 /// the values of one assembly, from which the frozen [`CsrMatrix`] and
 /// the replayable slot program are compiled.
-struct StampRecorder {
-    coords: Vec<(usize, usize)>,
-    vals: Vec<f64>,
+#[derive(Debug, Default)]
+pub(crate) struct StampRecorder {
+    pub(crate) coords: Vec<(usize, usize)>,
+    pub(crate) vals: Vec<f64>,
 }
 
 impl MatrixSink for StampRecorder {

@@ -707,6 +707,211 @@ impl SymbolicLu {
     }
 }
 
+impl SymbolicLu {
+    /// The pivot permutation: `perm()[k]` = original row eliminated at
+    /// step `k`. Used by the batched solver to verify that every lane's
+    /// own analysis agrees with the batch's shared one.
+    pub(crate) fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Batched numeric refactorization: the structure-of-arrays
+    /// counterpart of [`SymbolicLu::refactor`]. `vals` holds `lanes`
+    /// matrices sharing `pattern`, laid out `[slot][lane]`
+    /// (`vals[slot * lanes + lane]`), and the factors land in `ws` with
+    /// the same interleaving. Per lane, the floating-point operation
+    /// sequence is *exactly* the scalar `refactor`'s — the skipped
+    /// `m == 0` update becomes a per-lane select — so each lane's
+    /// factors are bit-identical to a scalar refactor of that lane.
+    ///
+    /// Instead of failing on the first drifted pivot, every lane runs to
+    /// completion and `fail_row[lane]` records the first step whose
+    /// pivot fell below that lane's relative threshold (`None` = clean).
+    /// Failed lanes keep computing garbage harmlessly — lanes never mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern`, `vals`, `ws`, or `fail_row` disagree with
+    /// this analysis' dimensions or the lane count.
+    pub(crate) fn refactor_batch(
+        &self,
+        pattern: &CsrMatrix,
+        vals: &[f64],
+        ws: &mut LuBatchWorkspace,
+        fail_row: &mut [Option<usize>],
+    ) {
+        // Monomorphize the hot widths: with `L` const the lane count
+        // folds into every subslice length below, so the per-slot loops
+        // compile to straight-line SIMD with no bounds checks.
+        match ws.lanes {
+            8 => self.refactor_batch_lanes::<8>(pattern, vals, ws, fail_row),
+            4 => self.refactor_batch_lanes::<4>(pattern, vals, ws, fail_row),
+            2 => self.refactor_batch_lanes::<2>(pattern, vals, ws, fail_row),
+            _ => self.refactor_batch_lanes::<0>(pattern, vals, ws, fail_row),
+        }
+    }
+
+    fn refactor_batch_lanes<const L: usize>(
+        &self,
+        pattern: &CsrMatrix,
+        vals: &[f64],
+        ws: &mut LuBatchWorkspace,
+        fail_row: &mut [Option<usize>],
+    ) {
+        let lanes = if L > 0 { L } else { ws.lanes };
+        assert_eq!(pattern.n, self.n, "dimension mismatch");
+        assert_eq!(vals.len(), pattern.nnz() * lanes, "vals layout mismatch");
+        assert_eq!(ws.inv_diag.len(), self.n * lanes, "workspace mismatch");
+        assert_eq!(fail_row.len(), lanes, "fail_row lane mismatch");
+
+        // Per-lane relative pivot tolerance, mirroring the scalar fold
+        // over the value array in slot order.
+        ws.tol.clear();
+        ws.tol.resize(lanes, 0.0);
+        for slot in 0..pattern.nnz() {
+            let v = &vals[slot * lanes..slot * lanes + lanes];
+            for (m, x) in ws.tol.iter_mut().zip(v) {
+                *m = m.max(x.abs());
+            }
+        }
+        for t in ws.tol.iter_mut() {
+            *t = (*t * PIVOT_RTOL).max(f64::MIN_POSITIVE);
+        }
+
+        // Every inner loop below runs on `lanes`-long subslices via
+        // iterator zips: no bounds checks survive, so the compiler
+        // vectorizes the lane dimension.
+        for k in 0..self.n {
+            // Scatter row perm[k] of every lane's A into the dense rows.
+            let r = self.perm[k];
+            for p in pattern.row_ptr[r]..pattern.row_ptr[r + 1] {
+                let c = pattern.cols[p];
+                let src = &vals[p * lanes..p * lanes + lanes];
+                ws.work[c * lanes..c * lanes + lanes].copy_from_slice(src);
+            }
+            // Eliminate with every earlier pivot row in the L pattern.
+            for idx in self.l_ptr[k]..self.l_ptr[k + 1] {
+                let j = self.l_cols[idx];
+                {
+                    let wrow = &mut ws.work[j * lanes..j * lanes + lanes];
+                    let drow = &ws.inv_diag[j * lanes..j * lanes + lanes];
+                    let mrow = &mut ws.l_vals[idx * lanes..idx * lanes + lanes];
+                    for ((m, w), d) in mrow.iter_mut().zip(wrow.iter_mut()).zip(drow) {
+                        *m = *w * *d;
+                        *w = 0.0;
+                    }
+                }
+                for t in self.u_ptr[j] + 1..self.u_ptr[j + 1] {
+                    let c = self.u_cols[t];
+                    let u = &ws.u_vals[t * lanes..t * lanes + lanes];
+                    let m = &ws.l_vals[idx * lanes..idx * lanes + lanes];
+                    let w = &mut ws.work[c * lanes..c * lanes + lanes];
+                    for ((w, &m), &u) in w.iter_mut().zip(m).zip(u) {
+                        // Scalar skips the update when m == 0; the select
+                        // preserves those bit-exact semantics (0 * u may
+                        // be -0.0 or NaN) while letting lanes vectorize.
+                        let wi = *w;
+                        *w = if m != 0.0 { wi - m * u } else { wi };
+                    }
+                }
+            }
+            // Gather the U row, clearing the work rows as we go.
+            for t in self.u_ptr[k]..self.u_ptr[k + 1] {
+                let c = self.u_cols[t];
+                let src = &mut ws.work[c * lanes..c * lanes + lanes];
+                let dst = &mut ws.u_vals[t * lanes..t * lanes + lanes];
+                for (d, s) in dst.iter_mut().zip(src.iter_mut()) {
+                    *d = *s;
+                    *s = 0.0;
+                }
+            }
+            let dpos = self.u_ptr[k] * lanes;
+            let urow = &ws.u_vals[dpos..dpos + lanes];
+            let inv = &mut ws.inv_diag[k * lanes..k * lanes + lanes];
+            for (i, &d) in inv.iter_mut().zip(urow) {
+                *i = 1.0 / d;
+            }
+            for (l, (&d, &tol)) in urow.iter().zip(&ws.tol).enumerate() {
+                if d.abs() <= tol && fail_row[l].is_none() {
+                    fail_row[l] = Some(k);
+                }
+            }
+        }
+    }
+
+    /// Batched counterpart of [`SymbolicLu::solve_into`]: solves every
+    /// lane's system with the factors last computed by
+    /// [`SymbolicLu::refactor_batch`]. Both `rhs` and `out` are
+    /// `[row][lane]` interleaved, matching the assembled values layout:
+    /// the permutation gather is a contiguous row copy and — because
+    /// `x[k]` already *is* the solution for variable `k` (columns stay
+    /// in natural order; only rows are permuted, on the gather) — the
+    /// output is a single contiguous copy, no transpose.
+    /// Per-lane operation order is exactly the scalar `solve_into`'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs`/`out` are not `lanes * dim()` long.
+    pub(crate) fn solve_batch(&self, ws: &mut LuBatchWorkspace, rhs: &[f64], out: &mut [f64]) {
+        match ws.lanes {
+            8 => self.solve_batch_lanes::<8>(ws, rhs, out),
+            4 => self.solve_batch_lanes::<4>(ws, rhs, out),
+            2 => self.solve_batch_lanes::<2>(ws, rhs, out),
+            _ => self.solve_batch_lanes::<0>(ws, rhs, out),
+        }
+    }
+
+    fn solve_batch_lanes<const L: usize>(
+        &self,
+        ws: &mut LuBatchWorkspace,
+        rhs: &[f64],
+        out: &mut [f64],
+    ) {
+        let lanes = if L > 0 { L } else { ws.lanes };
+        let n = self.n;
+        assert_eq!(rhs.len(), n * lanes, "rhs layout mismatch");
+        assert_eq!(out.len(), n * lanes, "out layout mismatch");
+        for (k, &r) in self.perm.iter().enumerate() {
+            ws.x[k * lanes..k * lanes + lanes].copy_from_slice(&rhs[r * lanes..r * lanes + lanes]);
+        }
+        // Forward: L is unit-lower, rows in elimination order; splitting
+        // at `k * lanes` proves to the compiler that row k and its
+        // earlier dependencies `j < k` never alias, so the lane loops
+        // vectorize without bounds checks.
+        for k in 0..n {
+            let (lo, hi) = ws.x.split_at_mut(k * lanes);
+            let xk = &mut hi[..lanes];
+            for idx in self.l_ptr[k]..self.l_ptr[k + 1] {
+                let j = self.l_cols[idx];
+                let xj = &lo[j * lanes..j * lanes + lanes];
+                let lv = &ws.l_vals[idx * lanes..idx * lanes + lanes];
+                for ((x, &a), &b) in xk.iter_mut().zip(lv).zip(xj) {
+                    *x -= a * b;
+                }
+            }
+        }
+        // Backward: U rows store the diagonal first; off-diagonal
+        // columns satisfy `c > k`, so split just past row k.
+        for k in (0..n).rev() {
+            let (lo, hi) = ws.x.split_at_mut((k + 1) * lanes);
+            let xk = &mut lo[k * lanes..];
+            for t in self.u_ptr[k] + 1..self.u_ptr[k + 1] {
+                let off = (self.u_cols[t] - k - 1) * lanes;
+                let xc = &hi[off..off + lanes];
+                let uv = &ws.u_vals[t * lanes..t * lanes + lanes];
+                for ((x, &a), &b) in xk.iter_mut().zip(uv).zip(xc) {
+                    *x -= a * b;
+                }
+            }
+            let inv = &ws.inv_diag[k * lanes..k * lanes + lanes];
+            for (x, &i) in xk.iter_mut().zip(inv) {
+                *x *= i;
+            }
+        }
+        out.copy_from_slice(&ws.x);
+    }
+}
+
 /// Preallocated numeric buffers for [`SymbolicLu::refactor`] /
 /// [`SymbolicLu::solve`]: the `L`/`U` value arrays, inverted pivots, and
 /// the dense scatter row. One workspace per thread — workspaces are
@@ -718,6 +923,49 @@ pub struct LuWorkspace {
     u_vals: Vec<f64>,
     inv_diag: Vec<f64>,
     work: Vec<f64>,
+}
+
+/// Structure-of-arrays numeric buffers for [`SymbolicLu::refactor_batch`]
+/// / [`SymbolicLu::solve_batch`]: every scalar buffer widened by the lane
+/// count, `[slot][lane]` interleaved. [`LuBatchWorkspace::prepare`]
+/// resizes in place, so one workspace amortizes across every trial batch
+/// a worker processes — steady-state batches allocate nothing here.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LuBatchWorkspace {
+    lanes: usize,
+    l_vals: Vec<f64>,
+    u_vals: Vec<f64>,
+    inv_diag: Vec<f64>,
+    work: Vec<f64>,
+    tol: Vec<f64>,
+    x: Vec<f64>,
+}
+
+impl LuBatchWorkspace {
+    /// Sizes the buffers for `sym` at `lanes` lanes, reusing capacity.
+    pub(crate) fn prepare(&mut self, sym: &SymbolicLu, lanes: usize) {
+        self.lanes = lanes;
+        self.l_vals.clear();
+        self.l_vals.resize(sym.l_cols.len() * lanes, 0.0);
+        self.u_vals.clear();
+        self.u_vals.resize(sym.u_cols.len() * lanes, 0.0);
+        self.inv_diag.clear();
+        self.inv_diag.resize(sym.n * lanes, 0.0);
+        self.work.clear();
+        self.work.resize(sym.n * lanes, 0.0);
+        self.x.clear();
+        self.x.resize(sym.n * lanes, 0.0);
+    }
+
+    /// Capacity bytes currently held (for the workspace-stability gauge).
+    pub(crate) fn bytes(&self) -> usize {
+        8 * (self.l_vals.capacity()
+            + self.u_vals.capacity()
+            + self.inv_diag.capacity()
+            + self.work.capacity()
+            + self.tol.capacity()
+            + self.x.capacity())
+    }
 }
 
 /// A dense reference matrix with naive partial-pivoted elimination.
@@ -1154,6 +1402,136 @@ mod tests {
         let compiled = sym.solve(&ws, &b);
         for (a, bb) in compiled.iter().zip(&legacy) {
             assert!((a - bb).abs() < 1e-9, "{a} vs {bb}");
+        }
+    }
+
+    #[test]
+    fn batched_refactor_solve_bit_identical_to_scalar() {
+        // A fill-heavy asymmetric system: each lane scales the values
+        // differently, so lanes exercise genuinely distinct arithmetic.
+        let n = 24;
+        let lanes = 5;
+        let mut m = SparseMatrix::new(n);
+        for i in 0..n {
+            m.add(i, i, 4.0 + (i % 5) as f64);
+            if i > 0 {
+                m.add(0, i, 0.5 + 0.02 * i as f64);
+                m.add(i, 0, 0.4 - 0.01 * i as f64);
+                m.add(i, i - 1, -1.25);
+            }
+        }
+        let csr = CsrMatrix::from_sparse(&m);
+        let sym = SymbolicLu::analyze(&csr).unwrap();
+        let nnz = csr.nnz();
+
+        // Per-lane value sets sharing the pattern, plus per-lane RHS.
+        let lane_scale = |l: usize| 1.0 + 0.37 * l as f64;
+        let mut soa = vec![0.0f64; nnz * lanes];
+        for (slot, v) in csr.vals.iter().enumerate() {
+            for l in 0..lanes {
+                soa[slot * lanes + l] = v * lane_scale(l);
+            }
+        }
+        // Row-major `[row][lane]` RHS for the batch; lane-major copy for
+        // the scalar reference solves.
+        let mut rhs = vec![0.0f64; n * lanes];
+        let mut rhs_lanes = vec![0.0f64; n * lanes];
+        for l in 0..lanes {
+            for i in 0..n {
+                let v = ((i * (l + 2)) as f64).sin();
+                rhs[i * lanes + l] = v;
+                rhs_lanes[l * n + i] = v;
+            }
+        }
+
+        // Scalar reference: refactor+solve each lane independently.
+        let mut expected = Vec::new();
+        for l in 0..lanes {
+            let mut lane_csr = csr.clone();
+            for (slot, v) in lane_csr.values_mut().iter_mut().enumerate() {
+                *v = soa[slot * lanes + l];
+            }
+            let mut ws = sym.workspace();
+            sym.refactor(&lane_csr, &mut ws).unwrap();
+            let mut x = Vec::new();
+            sym.solve_into(&ws, &rhs_lanes[l * n..(l + 1) * n], &mut x);
+            expected.push(x);
+        }
+
+        // Batched path.
+        let mut bws = LuBatchWorkspace::default();
+        bws.prepare(&sym, lanes);
+        let mut fail = vec![None; lanes];
+        sym.refactor_batch(&csr, &soa, &mut bws, &mut fail);
+        assert!(fail.iter().all(Option::is_none), "{fail:?}");
+        let mut out = vec![0.0f64; n * lanes];
+        sym.solve_batch(&mut bws, &rhs, &mut out);
+
+        for l in 0..lanes {
+            for i in 0..n {
+                assert_eq!(
+                    out[i * lanes + l].to_bits(),
+                    expected[l][i].to_bits(),
+                    "lane {l} entry {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_refactor_flags_singular_lane_without_poisoning_others() {
+        let n = 6;
+        let lanes = 3;
+        let mut m = SparseMatrix::new(n);
+        for i in 0..n {
+            m.add(i, i, 2.0);
+            if i > 0 {
+                m.add(i, i - 1, -1.0);
+                m.add(i - 1, i, -1.0);
+            }
+        }
+        let csr = CsrMatrix::from_sparse(&m);
+        let sym = SymbolicLu::analyze(&csr).unwrap();
+        let nnz = csr.nnz();
+
+        // Lane 1 is exactly singular: a tridiagonal with every row
+        // summing to zero after elimination (all rows [-1, 2, -1] and a
+        // degenerate last pivot). Easiest reliable construction: scale
+        // lane 1's values to zero so every pivot sits below tolerance.
+        let mut soa = vec![0.0f64; nnz * lanes];
+        for (slot, v) in csr.vals.iter().enumerate() {
+            soa[slot * lanes] = *v;
+            soa[slot * lanes + 1] = 0.0;
+            soa[slot * lanes + 2] = v * 2.0;
+        }
+        let mut bws = LuBatchWorkspace::default();
+        bws.prepare(&sym, lanes);
+        let mut fail = vec![None; lanes];
+        sym.refactor_batch(&csr, &soa, &mut bws, &mut fail);
+        assert_eq!(fail[0], None);
+        assert_eq!(fail[1], Some(0), "all-zero lane fails at the first pivot");
+        assert_eq!(fail[2], None);
+
+        // Healthy lanes still solve bit-identically to scalar.
+        let rhs_lane: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let mut rhs = vec![0.0f64; n * lanes];
+        for (i, &v) in rhs_lane.iter().enumerate() {
+            rhs[i * lanes..(i + 1) * lanes].fill(v);
+        }
+        let mut out = vec![0.0f64; n * lanes];
+        sym.solve_batch(&mut bws, &rhs, &mut out);
+        for &l in &[0usize, 2] {
+            let mut lane_csr = csr.clone();
+            for (slot, v) in lane_csr.values_mut().iter_mut().enumerate() {
+                *v = soa[slot * lanes + l];
+            }
+            let mut ws = sym.workspace();
+            sym.refactor(&lane_csr, &mut ws).unwrap();
+            let mut x = Vec::new();
+            sym.solve_into(&ws, &rhs_lane, &mut x);
+            for i in 0..n {
+                assert_eq!(out[i * lanes + l].to_bits(), x[i].to_bits(), "lane {l}");
+            }
         }
     }
 

@@ -2,7 +2,7 @@
 //! fixed or LTE-controlled adaptive stepping.
 //!
 //! Each step solves the nonlinear companion system with Newton iteration
-//! on a per-analysis [`MnaWorkspace`]: the stamp program and symbolic LU
+//! on a per-analysis `MnaWorkspace` (crate-internal): the stamp program and symbolic LU
 //! analysis are compiled on the first solve and reused by every later
 //! iteration and step (numeric-only refactors). For linear circuits with
 //! a fixed step the companion matrix is constant, so it is factored once

@@ -56,7 +56,10 @@ pub use array::SramArray;
 pub use cell::{BitcellGeometry, DeviceSizing};
 pub use error::SramError;
 pub use params::FormulaParams;
-pub use readout::{simulate_read, ReadConfig, ReadOutcome};
+pub use readout::{
+    simulate_read, simulate_read_batch, simulate_read_batch_in, ReadBatchScratch, ReadConfig,
+    ReadOutcome,
+};
 pub use snm::{half_cell_vtc, static_noise_margin, SnmMode, SnmResult};
 
 /// Convenient glob-import surface for downstream crates.
@@ -65,6 +68,9 @@ pub mod prelude {
     pub use crate::cell::{BitcellGeometry, DeviceSizing};
     pub use crate::error::SramError;
     pub use crate::params::FormulaParams;
-    pub use crate::readout::{simulate_read, ReadConfig, ReadOutcome};
+    pub use crate::readout::{
+        simulate_read, simulate_read_batch, simulate_read_batch_in, ReadBatchScratch, ReadConfig,
+        ReadOutcome,
+    };
     pub use crate::snm::{half_cell_vtc, static_noise_margin, SnmMode, SnmResult};
 }

@@ -17,10 +17,12 @@
 //!   rises after `wl_delay`, and `td` is the time from the WL mid-edge to
 //!   `V(blb) − V(bl) ≥ 70mV` at the near (sense-amp) end.
 
-use mpvar_extract::{emit_rc_deck, RcDeckSpec};
+use mpvar_extract::{emit_rc_deck, RcDeck, RcDeckSpec};
 use mpvar_litho::{apply_draw, Draw};
 use mpvar_spice::{
-    cross_differential, cross_threshold, CrossDirection, MosfetModel, Netlist, Transient, Waveform,
+    cross_differential, cross_differential_series, cross_threshold, cross_threshold_series,
+    run_transient_batch, BatchLaneOutcome, BatchTransientSpec, BatchedMnaWorkspace, CrossDirection,
+    Method, MosfetModel, Netlist, NodeId, Transient, Waveform,
 };
 use mpvar_tech::TechDb;
 
@@ -101,6 +103,74 @@ pub fn simulate_read(
         });
     }
     let _span = mpvar_trace::span!(mpvar_trace::names::SPAN_SRAM_READ, n_cells = n_cells);
+    let tb = build_read_testbench(tech, cell, config, n_cells, draw)?;
+
+    let mut tran = Transient::new(tb.deck.netlist())?;
+    for &(node, v) in &tb.initial {
+        tran.set_initial_voltage(node, v);
+    }
+
+    let mut window = tb.window0_s;
+    for _attempt in 0..=config.max_retries {
+        let dt = window / config.steps as f64;
+        let result = match config.lte_tol_v {
+            Some(tol) => tran.run_adaptive(dt, window, tol)?,
+            None => tran.run(dt, window)?,
+        };
+        let t_wl = cross_threshold(
+            &result,
+            tb.wl,
+            config.vdd_v / 2.0,
+            CrossDirection::Rising,
+            0.0,
+        )
+        .map_err(|e| SramError::Spice(e.to_string()))?;
+        match cross_differential(
+            &result,
+            tb.blb_near,
+            tb.bl_near,
+            config.sense_dv_v,
+            CrossDirection::Rising,
+            t_wl,
+        ) {
+            Ok(t_sense) => {
+                return Ok(ReadOutcome {
+                    td_s: t_sense - t_wl,
+                    t_wl_s: t_wl,
+                    window_s: window,
+                });
+            }
+            Err(_) => {
+                window *= 2.0;
+            }
+        }
+    }
+    Err(SramError::SenseNeverTripped { window_s: window })
+}
+
+/// One built read testbench: the extracted deck with the accessed cell
+/// and precharge devices attached, plus the node handles, UIC initial
+/// conditions, and first simulation window the measurement needs.
+struct ReadTestbench {
+    deck: RcDeck,
+    wl: NodeId,
+    bl_near: NodeId,
+    blb_near: NodeId,
+    initial: Vec<(NodeId, f64)>,
+    window0_s: f64,
+}
+
+/// Builds the §II.C read testbench for one printed draw. Shared
+/// verbatim by the scalar and batched paths, so both simulate exactly
+/// the same circuit — element order included, since MNA stamp order is
+/// accumulation-order-sensitive at the f64 level.
+fn build_read_testbench(
+    tech: &TechDb,
+    cell: &BitcellGeometry,
+    config: &ReadConfig,
+    n_cells: usize,
+    draw: &Draw,
+) -> Result<ReadTestbench, SramError> {
     let m1 = tech.metal(1).ok_or_else(|| SramError::IncompleteTech {
         missing: "metal1 spec".to_string(),
     })?;
@@ -223,53 +293,234 @@ pub fn simulate_read(
     net.add_capacitor("Cpre_blb", blb_near, Netlist::GROUND, cpre)?;
 
     // ---- initial conditions: precharged bit lines, settled cell ----------
-    let mut tran = Transient::new(deck.netlist())?;
+    let mut initial = Vec::new();
     for net_name in ["BL", "BLB"] {
         for k in 0..=n_cells {
             let tap = deck_tap(&deck, net_name, k)?;
-            tran.set_initial_voltage(tap, config.vdd_v);
+            initial.push((tap, config.vdd_v));
         }
     }
-    tran.set_initial_voltage(vdd, config.vdd_v);
-    tran.set_initial_voltage(q, 0.0);
-    tran.set_initial_voltage(qb, config.vdd_v);
+    initial.push((vdd, config.vdd_v));
+    initial.push((q, 0.0));
+    initial.push((qb, config.vdd_v));
 
-    // ---- window estimation and the retry loop ----------------------------
+    // ---- first-window estimate (trial-invariant by construction) ---------
     let fp = FormulaParams::derive(tech, cell, config.vdd_v)?;
     let n = n_cells as f64;
     let est =
         0.105 * (n * fp.rbl_ohm + fp.rfe_ohm) * (n * (fp.cbl_f + fp.cfe_f) + fp.cpre_f(n_cells));
-    let mut window = config.wl_delay_s + config.wl_rise_s + config.window_scale * est;
+    let window0_s = config.wl_delay_s + config.wl_rise_s + config.window_scale * est;
 
-    for _attempt in 0..=config.max_retries {
-        let dt = window / config.steps as f64;
-        let result = match config.lte_tol_v {
-            Some(tol) => tran.run_adaptive(dt, window, tol)?,
-            None => tran.run(dt, window)?,
-        };
-        let t_wl = cross_threshold(&result, wl, config.vdd_v / 2.0, CrossDirection::Rising, 0.0)
-            .map_err(|e| SramError::Spice(e.to_string()))?;
-        match cross_differential(
-            &result,
-            blb_near,
-            bl_near,
-            config.sense_dv_v,
-            CrossDirection::Rising,
-            t_wl,
-        ) {
-            Ok(t_sense) => {
-                return Ok(ReadOutcome {
-                    td_s: t_sense - t_wl,
-                    t_wl_s: t_wl,
-                    window_s: window,
-                });
+    Ok(ReadTestbench {
+        deck,
+        wl,
+        bl_near,
+        blb_near,
+        initial,
+        window0_s,
+    })
+}
+
+/// Reusable solver and measurement buffers for
+/// [`simulate_read_batch_in`]. Hold one per worker thread: consecutive
+/// batches over the same column structure then allocate nothing in the
+/// solve loop (the gauge behind `spice.batch_workspace_bytes` stays
+/// flat across Monte-Carlo waves).
+#[derive(Debug, Default)]
+pub struct ReadBatchScratch {
+    ws: BatchedMnaWorkspace,
+    diff: Vec<f64>,
+}
+
+impl ReadBatchScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Capacity bytes currently held across all buffers.
+    pub fn bytes(&self) -> usize {
+        self.ws.bytes() + 8 * self.diff.capacity()
+    }
+}
+
+/// Simulates one read per draw through the batched trial solver: one
+/// shared symbolic analysis and stamp program, with the draws as
+/// vector-friendly value lanes ([`mpvar_spice::run_transient_batch`]).
+///
+/// Per-draw results are **bit-identical** to calling [`simulate_read`]
+/// on each draw individually: lanes the batch cannot carry — shorted
+/// prints, structural divergence, pivot drift, Newton non-convergence,
+/// or a read that needs the window-doubling retry loop — are resolved
+/// through the scalar path instead, which reproduces the scalar result
+/// (including its error) by definition.
+///
+/// # Errors
+///
+/// The outer `Err` is structural (a zero-cell column). Per-draw
+/// failures (shorted geometry, [`SramError::SenseNeverTripped`]) come
+/// back inside the per-lane results, in draw order.
+pub fn simulate_read_batch(
+    tech: &TechDb,
+    cell: &BitcellGeometry,
+    config: &ReadConfig,
+    n_cells: usize,
+    draws: &[Draw],
+) -> Result<Vec<Result<ReadOutcome, SramError>>, SramError> {
+    let mut scratch = ReadBatchScratch::new();
+    simulate_read_batch_in(tech, cell, config, n_cells, draws, &mut scratch)
+}
+
+/// [`simulate_read_batch`] with caller-owned scratch buffers, for
+/// Monte-Carlo workers that run many batches back to back.
+pub fn simulate_read_batch_in(
+    tech: &TechDb,
+    cell: &BitcellGeometry,
+    config: &ReadConfig,
+    n_cells: usize,
+    draws: &[Draw],
+    scratch: &mut ReadBatchScratch,
+) -> Result<Vec<Result<ReadOutcome, SramError>>, SramError> {
+    if n_cells == 0 {
+        return Err(SramError::InvalidStructure {
+            message: "column needs at least one cell".to_string(),
+        });
+    }
+    if draws.is_empty() {
+        return Ok(Vec::new());
+    }
+    // LTE-adaptive stepping has no batched counterpart: its step grid is
+    // value-dependent and so per-lane. Run the scalar path per draw.
+    if config.lte_tol_v.is_some() {
+        return Ok(draws
+            .iter()
+            .map(|d| simulate_read(tech, cell, config, n_cells, d))
+            .collect());
+    }
+    let _span = mpvar_trace::span!(
+        mpvar_trace::names::SPAN_SRAM_READ,
+        n_cells = n_cells,
+        lanes = draws.len()
+    );
+
+    // Build one testbench per draw; shorted prints and other per-draw
+    // build failures stay in their lane without occupying a solver slot.
+    let mut out: Vec<Option<Result<ReadOutcome, SramError>>> = Vec::with_capacity(draws.len());
+    let mut benches: Vec<Option<ReadTestbench>> = Vec::with_capacity(draws.len());
+    for draw in draws {
+        match build_read_testbench(tech, cell, config, n_cells, draw) {
+            Ok(tb) => {
+                benches.push(Some(tb));
+                out.push(None);
             }
-            Err(_) => {
-                window *= 2.0;
+            Err(e) => {
+                benches.push(None);
+                out.push(Some(Err(e)));
             }
         }
     }
-    Err(SramError::SenseNeverTripped { window_s: window })
+
+    let solver_lanes: Vec<usize> = (0..draws.len()).filter(|&i| benches[i].is_some()).collect();
+    if let Some(first) = benches.iter().flatten().next() {
+        // Structurally identical builds intern identical node ids, so one
+        // lane's handles address every lane; a lane that disagrees falls
+        // out of the batch as a structure mismatch and re-runs scalar.
+        let probes = [first.wl, first.blb_near, first.bl_near];
+        let window = first.window0_s;
+        let nets: Vec<&Netlist> = solver_lanes
+            .iter()
+            .map(|&i| benches[i].as_ref().expect("lane built").deck.netlist())
+            .collect();
+        let spec = BatchTransientSpec {
+            method: Method::Trapezoidal,
+            dt: window / config.steps as f64,
+            t_stop: window,
+            initial: &first.initial,
+            probes: &probes,
+        };
+        match run_transient_batch(&nets, &spec, &mut scratch.ws) {
+            Ok(batch) => {
+                for (slot, &i) in solver_lanes.iter().enumerate() {
+                    out[i] = Some(measure_batch_lane(
+                        tech,
+                        cell,
+                        config,
+                        n_cells,
+                        &draws[i],
+                        &batch.times,
+                        &batch.lanes[slot],
+                        window,
+                        &mut scratch.diff,
+                    ));
+                }
+            }
+            Err(_) => {
+                // Spec-level failure (step-count overflow and the like):
+                // the scalar path hits the same condition per lane and
+                // owns the error text.
+                for &i in &solver_lanes {
+                    out[i] = Some(simulate_read(tech, cell, config, n_cells, &draws[i]));
+                }
+            }
+        }
+    }
+
+    Ok(out
+        .into_iter()
+        .map(|o| o.expect("every lane resolved"))
+        .collect())
+}
+
+/// Extracts `td` from one completed batch lane, or resolves the lane
+/// through the scalar path when the batch could not finish it: a
+/// fall-out, a word line that never rose, or a differential that needs
+/// the window-doubling retry loop (re-running a longer window inside the
+/// batch would re-pivot with different companion conductances, so the
+/// scalar path — which reuses its first symbolic analysis across
+/// retries — is the bit-exact reference for retried reads).
+#[allow(clippy::too_many_arguments)]
+fn measure_batch_lane(
+    tech: &TechDb,
+    cell: &BitcellGeometry,
+    config: &ReadConfig,
+    n_cells: usize,
+    draw: &Draw,
+    times: &[f64],
+    lane: &BatchLaneOutcome,
+    window: f64,
+    diff: &mut Vec<f64>,
+) -> Result<ReadOutcome, SramError> {
+    let probes = match lane {
+        BatchLaneOutcome::Completed { probes } => probes,
+        BatchLaneOutcome::FellOut { .. } => {
+            return simulate_read(tech, cell, config, n_cells, draw);
+        }
+    };
+    let Some(t_wl) = cross_threshold_series(
+        times,
+        &probes[0],
+        config.vdd_v / 2.0,
+        CrossDirection::Rising,
+        0.0,
+    ) else {
+        return simulate_read(tech, cell, config, n_cells, draw);
+    };
+    match cross_differential_series(
+        times,
+        &probes[1],
+        &probes[2],
+        config.sense_dv_v,
+        CrossDirection::Rising,
+        t_wl,
+        diff,
+    ) {
+        Some(t_sense) => Ok(ReadOutcome {
+            td_s: t_sense - t_wl,
+            t_wl_s: t_wl,
+            window_s: window,
+        }),
+        None => simulate_read(tech, cell, config, n_cells, draw),
+    }
 }
 
 fn deck_tap(
@@ -426,6 +677,77 @@ mod tests {
         let adaptive = simulate_read(&tech, &cell, &cfg, 16, &d).unwrap().td_s;
         let rel = (adaptive / fixed - 1.0).abs();
         assert!(rel < 0.02, "fixed {fixed:.4e} adaptive {adaptive:.4e}");
+    }
+
+    #[test]
+    fn batched_reads_bit_identical_to_scalar() {
+        let (tech, cell) = setup();
+        let cfg = ReadConfig::default();
+        let draws = vec![
+            Draw::nominal(PatterningOption::Euv),
+            Draw::Euv(EuvDraw { cd_nm: 2.0 }),
+            Draw::Le3(Le3Draw {
+                cd_nm: [3.0, -2.0, 1.0],
+                overlay_nm: [5.0, 0.0, -5.0],
+            }),
+            // Shorted print: must come back as the scalar path's litho
+            // error, in its lane, without disturbing the solver lanes.
+            Draw::Euv(EuvDraw { cd_nm: 30.0 }),
+            Draw::Euv(EuvDraw { cd_nm: -1.5 }),
+        ];
+        let mut scratch = ReadBatchScratch::new();
+        let batched = simulate_read_batch_in(&tech, &cell, &cfg, 12, &draws, &mut scratch).unwrap();
+        assert_eq!(batched.len(), draws.len());
+        let bytes = scratch.bytes();
+        assert!(bytes > 0);
+        let mut shorted = 0;
+        for (d, b) in draws.iter().zip(&batched) {
+            let scalar = simulate_read(&tech, &cell, &cfg, 12, d);
+            match (b, scalar) {
+                (Ok(bo), Ok(so)) => {
+                    assert_eq!(bo.td_s.to_bits(), so.td_s.to_bits(), "td");
+                    assert_eq!(bo.t_wl_s.to_bits(), so.t_wl_s.to_bits(), "t_wl");
+                    assert_eq!(bo.window_s.to_bits(), so.window_s.to_bits(), "window");
+                }
+                (Err(be), Err(se)) => {
+                    assert_eq!(be.to_string(), se.to_string());
+                    shorted += 1;
+                }
+                (b, s) => panic!("batch {b:?} disagrees with scalar {s:?}"),
+            }
+        }
+        assert_eq!(shorted, 1, "exactly the shorted lane errors");
+
+        // A second batch over the same structure reuses every buffer.
+        let again = simulate_read_batch_in(&tech, &cell, &cfg, 12, &draws, &mut scratch).unwrap();
+        assert_eq!(scratch.bytes(), bytes, "scratch grew on reuse");
+        match (&batched[0], &again[0]) {
+            (Ok(a), Ok(b)) => assert_eq!(a.td_s.to_bits(), b.td_s.to_bits()),
+            other => panic!("repeat diverged: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batched_read_respects_adaptive_fallback_and_empty_batch() {
+        let (tech, cell) = setup();
+        let d = [Draw::nominal(PatterningOption::Euv)];
+        let cfg = ReadConfig {
+            lte_tol_v: Some(1e-4),
+            ..ReadConfig::default()
+        };
+        let adaptive_scalar = simulate_read(&tech, &cell, &cfg, 12, &d[0]).unwrap();
+        let adaptive_batch = simulate_read_batch(&tech, &cell, &cfg, 12, &d).unwrap();
+        match &adaptive_batch[0] {
+            Ok(o) => assert_eq!(o.td_s.to_bits(), adaptive_scalar.td_s.to_bits()),
+            Err(e) => panic!("adaptive lane failed: {e}"),
+        }
+        assert!(simulate_read_batch(&tech, &cell, &cfg, 12, &[])
+            .unwrap()
+            .is_empty());
+        assert!(matches!(
+            simulate_read_batch(&tech, &cell, &ReadConfig::default(), 0, &d),
+            Err(SramError::InvalidStructure { .. })
+        ));
     }
 
     #[test]

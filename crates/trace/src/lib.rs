@@ -83,6 +83,8 @@ pub mod names {
     pub const SPAN_SPICE_TRANSIENT: &str = "spice_transient";
     /// Span: one SRAM read testbench simulation.
     pub const SPAN_SRAM_READ: &str = "sram_read";
+    /// Span: one batched multi-trial transient analysis.
+    pub const SPAN_SPICE_BATCH: &str = "spice_batch_transient";
     /// Span: one `Study::materialize` request.
     pub const SPAN_STUDY_MATERIALIZE: &str = "study_materialize";
     /// Span: one artifact-graph node evaluation (or cache fetch).
@@ -118,6 +120,20 @@ pub mod names {
     pub const SPICE_STEP_ACCEPTS: &str = "spice.step_accepts";
     /// Counter: adaptive-transient steps rejected and retried shorter.
     pub const SPICE_STEP_REJECTS: &str = "spice.step_rejects";
+    /// Counter: batched Newton solves (one per timestep of a batched
+    /// transient, whatever the lane count).
+    pub const SPICE_BATCH_SOLVES: &str = "spice.batch_solves";
+    /// Counter: trial lanes carried through batched transients.
+    pub const SPICE_BATCH_LANE_TRIALS: &str = "spice.batch_lane_trials";
+    /// Counter: lanes evicted from a batch to the scalar fall-out path
+    /// (symbolic disagreement, pivot drift, Newton non-convergence).
+    pub const SPICE_BATCH_FALLOUTS: &str = "spice.batch_fallouts";
+    /// Counter: batched numeric refactorizations (all lanes at once).
+    pub const SPICE_BATCH_REFACTORS: &str = "spice.batch_refactors";
+    /// Gauge: capacity bytes held by the batched solver workspace after
+    /// the last batched run — steady-state waves must hold this flat
+    /// (no allocation inside the solve loop).
+    pub const SPICE_BATCH_WORKSPACE_BYTES: &str = "spice.batch_workspace_bytes";
 
     /// Counter: corner combinations enumerated by worst-case searches.
     pub const CORNERS_ENUMERATED: &str = "corner.enumerated";
