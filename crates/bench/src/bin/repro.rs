@@ -16,7 +16,12 @@
 //! `bench-batch-smoke` times the batched SoA trial solver against the
 //! per-trial scalar path on a reduced SPICE-backed workload and fails
 //! unless the batched path holds a 2x floor (CI runs it traced and
-//! then validates the `spice.batch_*` counters from the trace).
+//! then validates the `spice.batch_*` counters from the trace);
+//! `bench-yield-smoke` runs the adaptive importance-sampling yield
+//! engine on the planted `P_fail = 1e-6` problem and fails unless the
+//! run converges with a truth-covering CI, holds the 50x
+//! brute-force-equivalent floor, and is bit-identical across worker
+//! counts (CI runs it traced and requires the `yield.rounds` counter).
 //!
 //! Every evaluation runs through a [`Study`] session and every layer of
 //! the pipeline is instrumented with `mpvar-trace` spans and metrics:
@@ -49,7 +54,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use mpvar_bench::check::{check_context, run_check_in, CheckOptions};
-use mpvar_bench::{parallel_bench_snapshot, spice_batch_bench, EXPERIMENT_IDS};
+use mpvar_bench::{
+    parallel_bench_snapshot, spice_batch_bench, yield_bench, yield_threads_identical,
+    EXPERIMENT_IDS,
+};
 use mpvar_core::experiments::ExperimentContext;
 use mpvar_study::Study;
 use mpvar_trace::sink::{render_metrics, render_tree, TraceSink};
@@ -136,7 +144,7 @@ impl Telemetry {
 fn usage() -> String {
     format!(
         "usage: repro [--quick] [--out DIR] [--trace FILE] [--metrics] [--timings] \
-         <experiment | all | bench-parallel | bench-batch-smoke>\n\
+         <experiment | all | bench-parallel | bench-batch-smoke | bench-yield-smoke>\n\
          \x20      repro check [--fast] [--golden DIR] [--oracle-cases N] [--trace FILE] \
          [--metrics] [--timings]\n\
          \x20      repro validate-trace [--require-counter NAME]... FILE\n\
@@ -409,6 +417,67 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         return ExitCode::SUCCESS;
+    }
+
+    if target == "bench-yield-smoke" {
+        // CI floor for the rare-event yield engine: the planted 1e-6
+        // problem must converge with a truth-covering CI at >= 50x the
+        // brute-force-equivalent trial count, bit-identically across
+        // worker counts. Telemetry is allowed (and CI-required): the
+        // traced run must record the yield.rounds counter.
+        let telemetry = Telemetry::install(trace, metrics, timings);
+        let yb = match yield_bench() {
+            Ok(y) => y,
+            Err(e) => {
+                eprintln!("yield bench failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let identical = match yield_threads_identical() {
+            Ok(i) => i,
+            Err(e) => {
+                eprintln!("yield thread-identity probe failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "yield smoke: planted P_fail = {:.0e}: p = {:.3e} (rel_hw {:.3}, converged {}), \
+             {} trials vs {:.0} brute-equivalent ({:.0}x), CI covers truth: {}, \
+             thread-identical: {identical}",
+            yb.p_true,
+            yb.p_fail,
+            yb.rel_half_width,
+            yb.converged,
+            yb.trials,
+            yb.brute_equivalent_trials,
+            yb.speedup(),
+            yb.ci_covers_truth
+        );
+        if let Err(e) = telemetry.finish() {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        let mut ok = true;
+        if !yb.converged || !yb.ci_covers_truth {
+            eprintln!("yield smoke: run must converge with a truth-covering CI");
+            ok = false;
+        }
+        if yb.speedup() < 50.0 {
+            eprintln!(
+                "yield smoke: speedup {:.1}x below the 50x floor",
+                yb.speedup()
+            );
+            ok = false;
+        }
+        if !identical {
+            eprintln!("yield smoke: runs diverged across worker counts");
+            ok = false;
+        }
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
 
     let telemetry = Telemetry::install(trace, metrics, timings);

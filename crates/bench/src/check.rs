@@ -28,6 +28,7 @@ use mpvar_core::experiments::{
     AblationBlWidth, AblationDelayModels, AblationSadpAnticorrelation, ExperimentContext,
     ExtensionLe2, ExtensionLer, ExtensionScaling, Fig4, Fig5, Table1, Table2, Table3, Table4,
 };
+use mpvar_core::rareevent::YieldTable;
 use mpvar_core::{CoreError, ExecConfig};
 use mpvar_study::{SensitivityMatrix, Study};
 use mpvar_testkit::compare::{compare_tables, Policy, TableSpec};
@@ -247,6 +248,24 @@ pub fn table_specs(fast: bool) -> Vec<TableSpec> {
             ],
             true,
         ),
+        // The yield experiment fixes its own seed and budgets (see
+        // `YieldSettings`), so the artefact is profile-independent and
+        // gates exactly in BOTH profiles — including the fast one.
+        TableSpec::new(
+            "yield_6sigma",
+            &["option", "estimator", "margin"],
+            &[
+                ("p_fail", strict()),
+                ("ci_lo", strict()),
+                ("ci_hi", strict()),
+                ("rel_hw", Policy::Text),
+                ("trials", strict()),
+                ("converged", Policy::Text),
+                ("mean_w", strict()),
+                ("gauss_fit", strict()),
+            ],
+            true,
+        ),
     ]
 }
 
@@ -325,6 +344,7 @@ pub fn run_check_in(opts: &CheckOptions, study: &Study) -> Result<CheckReport, C
     let e2 = study.get::<ExtensionLer>()?;
     let e3 = study.get::<ExtensionScaling>()?;
     let sensitivity = study.get::<SensitivityMatrix>()?;
+    let yt = study.get::<YieldTable>()?;
 
     // Golden gate: fresh CSV vs committed artefact, value-wise.
     let fresh: Vec<(&str, String)> = vec![
@@ -340,6 +360,7 @@ pub fn run_check_in(opts: &CheckOptions, study: &Study) -> Result<CheckReport, C
         ("extension-ler", e2.report().to_csv()),
         ("extension-sensitivity", sensitivity.to_csv()),
         ("extension-scaling", e3.report().to_csv()),
+        ("yield_6sigma", yt.report().to_csv()),
     ];
     for spec in table_specs(opts.fast) {
         let csv = fresh
@@ -364,6 +385,7 @@ pub fn run_check_in(opts: &CheckOptions, study: &Study) -> Result<CheckReport, C
     report.extend(invariants::le2_invariants(&e1));
     report.extend(invariants::ler_invariants(&e2));
     report.extend(invariants::scaling_invariants(&e3));
+    report.extend(invariants::yield_invariants(&yt));
 
     // Differential delay oracles on randomized arrays.
     let oracle_cfg = OracleConfig {

@@ -226,9 +226,102 @@ pub fn spice_batch_bench(
     })
 }
 
+/// Deterministic metrics of the adaptive importance-sampling yield
+/// engine on the analytic planted problem — the snapshot's `yield`
+/// section. No wall clock involved: trial counts and estimates are a
+/// pure function of the seed, so the recorded speedup is exactly
+/// reproducible.
+#[derive(Debug, Clone, Copy)]
+pub struct YieldBench {
+    /// Planted true failure probability.
+    pub p_true: f64,
+    /// Trials the adaptive controller consumed to converge.
+    pub trials: u64,
+    /// The converged estimate.
+    pub p_fail: f64,
+    /// Relative CI half-width at stop.
+    pub rel_half_width: f64,
+    /// Whether the stopping rule (not the budget) ended the run.
+    pub converged: bool,
+    /// Whether the 95% CI covers the planted truth.
+    pub ci_covers_truth: bool,
+    /// Brute-force trials needed for the same CI half-width.
+    pub brute_equivalent_trials: f64,
+}
+
+impl YieldBench {
+    /// Brute-force-equivalent speedup (trial-count ratio). The
+    /// acceptance floor at `p_true = 1e-6` is 50x.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.brute_equivalent_trials / self.trials as f64
+    }
+}
+
+/// Runs the scaled-sigma controller on the planted `P_fail = 1e-6`
+/// problem (the same configuration the `mpvar-yield` acceptance test
+/// pins: one dimension, scale 3, seed 42, target relative half-width
+/// 0.3) and derives its brute-force-equivalent speedup.
+///
+/// # Errors
+///
+/// Propagates yield-engine failures.
+pub fn yield_bench() -> Result<YieldBench, CoreError> {
+    use mpvar_yield::{
+        brute_force_trials_for, run_yield, PlantedThreshold, Proposal, YieldConfig, ZDomain,
+    };
+
+    let p_true = 1e-6;
+    let target_rel_half_width = 0.3;
+    let problem = PlantedThreshold::for_failure_probability(1, p_true)
+        .map_err(mpvar_yield::YieldError::from)?;
+    let domain = ZDomain::unbounded(1).map_err(mpvar_yield::YieldError::from)?;
+    let cfg = YieldConfig::new(domain, Proposal::ScaledSigma { scale: 3.0 })
+        .seed(42)
+        .target_rel_half_width(target_rel_half_width);
+    let run = run_yield(&problem, &cfg)?;
+    let est = run.estimate(0.95)?;
+    // Denominator: brute trials for the *target* precision — the same
+    // basis the engine's own acceptance test pins the 50x floor on.
+    let brute = brute_force_trials_for(p_true, target_rel_half_width, 0.95)
+        .map_err(mpvar_yield::YieldError::from)?;
+    Ok(YieldBench {
+        p_true,
+        trials: run.consumed(),
+        p_fail: est.p_fail,
+        rel_half_width: est.rel_half_width(),
+        converged: run.converged(),
+        ci_covers_truth: est.contains(p_true),
+        brute_equivalent_trials: brute,
+    })
+}
+
+/// Bit-identity probe of the yield engine across worker counts: the
+/// planted problem run at 1, 4, and 8 threads must produce identical
+/// rounds and estimates. Returns `true` when every run agrees with the
+/// single-threaded reference — the determinism half of the CI yield
+/// smoke.
+///
+/// # Errors
+///
+/// Propagates yield-engine failures.
+pub fn yield_threads_identical() -> Result<bool, CoreError> {
+    use mpvar_yield::{run_yield, PlantedThreshold, Proposal, YieldConfig, ZDomain};
+
+    let problem = PlantedThreshold::for_failure_probability(3, 1e-5)
+        .map_err(mpvar_yield::YieldError::from)?;
+    let domain = ZDomain::unbounded(3).map_err(mpvar_yield::YieldError::from)?;
+    let cfg = YieldConfig::new(domain, Proposal::ScaledSigma { scale: 3.0 }).seed(42);
+    let mut runs = Vec::new();
+    for threads in [1usize, 4, 8] {
+        runs.push(run_yield(&problem, &cfg.clone().threads(threads))?);
+    }
+    Ok(runs.windows(2).all(|w| w[0] == w[1]))
+}
+
 /// Identifiers of every reproducible artefact, in canonical report
 /// order (mirrors [`mpvar_study::ArtifactId::ALL`]).
-pub const EXPERIMENT_IDS: [&str; 13] = [
+pub const EXPERIMENT_IDS: [&str; 14] = [
     "table1",
     "fig4",
     "table2",
@@ -242,6 +335,7 @@ pub const EXPERIMENT_IDS: [&str; 13] = [
     "extension-ler",
     "extension-sensitivity",
     "extension-scaling",
+    "yield_6sigma",
 ];
 
 /// Runs one experiment (or `"all"`) and returns the artefacts.
@@ -295,6 +389,11 @@ pub fn run_all(ctx: &ExperimentContext) -> Result<Vec<Artifact>, CoreError> {
 /// speedup over the per-trial scalar path on the SPICE-backed Fig. 5
 /// Monte-Carlo workload (see [`spice_batch_bench`]); its acceptance
 /// floor is 3x, and CI smoke-tests a 2x floor on the reduced workload.
+/// A `yield` section records the adaptive importance-sampling
+/// controller's trials-to-converge on the planted `P_fail = 1e-6`
+/// problem and its brute-force-equivalent speedup (floor 50x); unlike
+/// the wall-clock sections it is exactly reproducible (see
+/// [`yield_bench`]).
 ///
 /// # Errors
 ///
@@ -397,6 +496,10 @@ pub fn parallel_bench_snapshot(ctx: &ExperimentContext) -> Result<String, CoreEr
     // headline is not diluted by one ragged final batch.
     let batch = spice_batch_bench(ctx, 64)?;
 
+    // Adaptive IS yield engine on the planted 1e-6 problem: trial
+    // counts, not wall clock, so the section is exactly reproducible.
+    let yb = yield_bench()?;
+
     let t1 = entries
         .iter()
         .find(|&&(t, _, _)| t == 1)
@@ -438,6 +541,20 @@ pub fn parallel_bench_snapshot(ctx: &ExperimentContext) -> Result<String, CoreEr
         batch.batched_tps(),
         batch.speedup()
     );
+    let _ = writeln!(
+        json,
+        "  \"yield\": {{ \"workload\": \"planted P_fail = 1e-6, scaled-sigma IS, \
+         target rel half-width 0.3\", \"trials_to_converge\": {}, \"p_fail\": {:.6e}, \
+         \"rel_half_width\": {:.4}, \"converged\": {}, \"ci_covers_truth\": {}, \
+         \"brute_equivalent_trials\": {:.0}, \"speedup\": {:.1} }},",
+        yb.trials,
+        yb.p_fail,
+        yb.rel_half_width,
+        yb.converged,
+        yb.ci_covers_truth,
+        yb.brute_equivalent_trials,
+        yb.speedup()
+    );
     let _ = writeln!(json, "  \"entries\": [");
     for (i, &(threads, seconds, tps)) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
@@ -467,6 +584,18 @@ mod tests {
         for (name, id) in EXPERIMENT_IDS.iter().zip(ArtifactId::ALL) {
             assert_eq!(*name, id.name());
         }
+    }
+
+    #[test]
+    fn yield_bench_meets_the_speedup_floor() {
+        let yb = yield_bench().unwrap();
+        assert!(yb.converged, "planted 1e-6 run must converge");
+        assert!(yb.ci_covers_truth, "CI must cover the planted truth");
+        assert!(
+            yb.speedup() >= 50.0,
+            "speedup {:.1} below 50x",
+            yb.speedup()
+        );
     }
 
     #[test]

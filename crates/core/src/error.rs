@@ -32,6 +32,8 @@ pub enum CoreError {
     Stats(String),
     /// Propagated tech failure.
     Tech(String),
+    /// Propagated rare-event yield-engine failure.
+    Yield(String),
 }
 
 impl fmt::Display for CoreError {
@@ -50,6 +52,7 @@ impl fmt::Display for CoreError {
             CoreError::Extract(m) => write!(f, "extraction error: {m}"),
             CoreError::Stats(m) => write!(f, "statistics error: {m}"),
             CoreError::Tech(m) => write!(f, "tech error: {m}"),
+            CoreError::Yield(m) => write!(f, "yield error: {m}"),
         }
     }
 }
@@ -83,6 +86,12 @@ impl From<mpvar_stats::StatsError> for CoreError {
 impl From<mpvar_tech::TechError> for CoreError {
     fn from(e: mpvar_tech::TechError) -> Self {
         CoreError::Tech(e.to_string())
+    }
+}
+
+impl From<mpvar_yield::YieldError> for CoreError {
+    fn from(e: mpvar_yield::YieldError) -> Self {
+        CoreError::Yield(e.to_string())
     }
 }
 

@@ -46,6 +46,10 @@ pub struct ExperimentContext {
     pub le3_overlay_sweep_nm: Vec<f64>,
     /// The reference LE3 overlay budget (worst case of §II.B), nm.
     pub le3_overlay_nm: f64,
+    /// Rare-event yield-engine settings (seeds and budgets independent
+    /// of [`ExperimentContext::mc`], so the yield artifact is
+    /// profile-invariant).
+    pub yield_settings: crate::rareevent::YieldSettings,
     /// Thread-count knob for parallel cell dispatch; results are
     /// bit-identical for any setting.
     pub exec: ExecConfig,
@@ -70,6 +74,7 @@ impl ExperimentContext {
                 mc: McConfig::default(),
                 le3_overlay_sweep_nm: vec![3.0, 5.0, 7.0, 8.0],
                 le3_overlay_nm: 8.0,
+                yield_settings: crate::rareevent::YieldSettings::default(),
                 exec: ExecConfig::default(),
             },
         })
@@ -234,6 +239,13 @@ impl ExperimentContextBuilder {
     #[must_use]
     pub fn le3_overlay_nm(mut self, overlay_nm: f64) -> Self {
         self.ctx.le3_overlay_nm = overlay_nm;
+        self
+    }
+
+    /// Overrides the rare-event yield-engine settings.
+    #[must_use]
+    pub fn yield_settings(mut self, settings: crate::rareevent::YieldSettings) -> Self {
+        self.ctx.yield_settings = settings;
         self
     }
 

@@ -15,6 +15,9 @@
 //!   the better approximation of the bit line;
 //! * [`montecarlo`] — §III.B: the Monte-Carlo `tdp` distribution from
 //!   sampled process variation (Fig. 5, Table IV);
+//! * [`rareevent`] — the 6σ extension: adaptive importance-sampled
+//!   read-failure probabilities per option and timing margin, far past
+//!   the reach of the plain Monte-Carlo;
 //! * [`experiments`] — typed runners regenerating every table and
 //!   figure, consumed by the `repro` binary and the benches.
 //!
@@ -45,6 +48,7 @@ pub mod experiments;
 pub mod formula;
 pub mod montecarlo;
 pub mod nominal;
+pub mod rareevent;
 pub mod report;
 pub mod sensitivity;
 pub mod timing_yield;
@@ -60,6 +64,9 @@ pub use montecarlo::{
 };
 pub use mpvar_exec::ExecConfig;
 pub use nominal::{NominalCache, NominalWindow};
+pub use rareevent::{
+    yield_6sigma, FormulaYieldProblem, SpiceYieldProblem, YieldRow, YieldSettings, YieldTable, ZMap,
+};
 pub use sensitivity::{sensitivity_profile, SensitivityProfile};
 pub use timing_yield::{yield_curve, YieldCurve};
 pub use worst_case::{find_worst_case, find_worst_case_with, WorstCase};
@@ -76,6 +83,10 @@ pub mod prelude {
         SpiceMcOptions, TdpDistribution,
     };
     pub use crate::nominal::{NominalCache, NominalWindow};
+    pub use crate::rareevent::{
+        yield_6sigma, FormulaYieldProblem, SpiceYieldProblem, YieldRow, YieldSettings, YieldTable,
+        ZMap,
+    };
     pub use crate::sensitivity::{sensitivity_profile, SensitivityProfile};
     pub use crate::timing_yield::{yield_curve, YieldCurve};
     pub use crate::worst_case::{find_worst_case, find_worst_case_with, WorstCase};

@@ -191,6 +191,93 @@ pub fn tdp_distribution(
 /// decides which indices actually count.
 type TrialOutcome = Result<Option<f64>, CoreError>;
 
+/// In-order merge state for the round-based trial farm.
+struct Farm {
+    trials: usize,
+    threads: usize,
+    samples: Vec<f64>,
+    shorted: usize,
+    /// Earliest per-trial hard error, surfaced after the dispatch loop
+    /// (kept out of the chunk error channel so an error *after* the
+    /// final accepted sample is ignored, exactly like a sequential
+    /// loop that stops first).
+    error: Option<CoreError>,
+}
+
+/// Farms trial indices through [`mpvar_exec::dispatch_rounds`] until
+/// `trials` non-shorted samples accumulate: each round's size is the
+/// current deficit (at least one index per worker), outcomes merge in
+/// global index order, and indices past the final accepted sample are
+/// discarded — so samples, shorted counts, and surfaced errors are
+/// bit-identical to a sequential scan for any thread count.
+///
+/// `eval_chunk` receives **global** trial-index ranges; trial `k` must
+/// consume RNG substream `k`.
+fn farm_trials<F>(
+    option: PatterningOption,
+    trials: usize,
+    threads: usize,
+    eval_chunk: F,
+) -> Result<(Vec<f64>, usize), CoreError>
+where
+    F: Fn(std::ops::Range<usize>) -> Vec<TrialOutcome> + Sync,
+{
+    // Hard stop so a pathological budget cannot loop forever: trial
+    // indices beyond this bound mean the budget shorts essentially
+    // every draw.
+    let limit = 20usize.saturating_mul(trials).saturating_add(1000);
+    let mut farm = Farm {
+        trials,
+        threads,
+        samples: Vec::with_capacity(trials),
+        shorted: 0,
+        error: None,
+    };
+    mpvar_exec::dispatch_rounds(
+        &mut farm,
+        names::SPAN_MC_WAVE,
+        limit,
+        threads,
+        |farm, _round, _consumed| {
+            if farm.samples.len() >= farm.trials {
+                0
+            } else {
+                (farm.trials - farm.samples.len()).max(farm.threads)
+            }
+        },
+        |range| Ok::<Vec<TrialOutcome>, std::convert::Infallible>(eval_chunk(range)),
+        |farm, outcome| match outcome {
+            Ok(Some(s)) => {
+                farm.samples.push(s);
+                if farm.samples.len() == farm.trials {
+                    std::ops::ControlFlow::Break(())
+                } else {
+                    std::ops::ControlFlow::Continue(())
+                }
+            }
+            Ok(None) => {
+                farm.shorted += 1;
+                std::ops::ControlFlow::Continue(())
+            }
+            Err(e) => {
+                farm.error = Some(e);
+                std::ops::ControlFlow::Break(())
+            }
+        },
+    )
+    .unwrap_or_else(|e| match e {});
+    if let Some(e) = farm.error {
+        return Err(e);
+    }
+    if farm.samples.len() < farm.trials {
+        // The dispatcher exhausted `limit` indices first.
+        return Err(CoreError::NoFeasibleCorner {
+            option: option.to_string(),
+        });
+    }
+    Ok((farm.samples, farm.shorted))
+}
+
 /// [`tdp_distribution`] against a precomputed [`NominalWindow`] — the
 /// cache-aware entry point used by the experiment matrix so the nominal
 /// setup is derived once per option instead of once per cell.
@@ -227,10 +314,6 @@ pub fn tdp_distribution_with(
     let model = crate::formula::AnalyticalModel::new(params, 0.10)?;
 
     let base = RngStream::from_seed(config.seed);
-    // Hard stop so a pathological budget cannot loop forever: trial
-    // indices beyond this bound mean the budget shorts essentially
-    // every draw.
-    let limit = 20 * config.trials as u64 + 1000;
     // Trial k consumes substream k: Some(sample), None for a shorted
     // draw (yield loss, skipped), or a hard error.
     let eval = |k: u64| -> TrialOutcome {
@@ -246,64 +329,9 @@ pub fn tdp_distribution_with(
     };
 
     let threads = config.exec.effective_threads();
-    let mut samples = Vec::with_capacity(config.trials);
-    let mut shorted = 0usize;
-
-    if threads <= 1 {
-        // Sequential reference path: evaluate indices in order until
-        // `trials` samples accumulate.
-        let mut k = 0u64;
-        while samples.len() < config.trials {
-            if k >= limit {
-                return Err(CoreError::NoFeasibleCorner {
-                    option: option.to_string(),
-                });
-            }
-            match eval(k)? {
-                Some(s) => samples.push(s),
-                None => shorted += 1,
-            }
-            k += 1;
-        }
-    } else {
-        // Parallel path: evaluate waves of contiguous trial indices on
-        // the worker pool, then merge outcomes in index order. The
-        // merge takes samples until `trials` are collected and ignores
-        // every outcome past that point — exactly the indices the
-        // sequential loop would never have evaluated — so samples,
-        // shorted counts, and surfaced errors are all bit-identical to
-        // the sequential run for any thread count.
-        let mut next = 0u64;
-        'outer: while samples.len() < config.trials {
-            if next >= limit {
-                return Err(CoreError::NoFeasibleCorner {
-                    option: option.to_string(),
-                });
-            }
-            let deficit = (config.trials - samples.len()) as u64;
-            let wave = deficit.max(threads as u64).min(limit - next);
-            let _wave_span = mpvar_trace::span!(names::SPAN_MC_WAVE, start = next, len = wave);
-            let outcomes = mpvar_exec::try_par_chunk_map(wave as usize, threads, |r| {
-                Ok::<Vec<TrialOutcome>, std::convert::Infallible>(
-                    r.map(|i| eval(next + i as u64)).collect(),
-                )
-            })
-            .unwrap_or_else(|e| match e {});
-            next += wave;
-            for outcome in outcomes {
-                match outcome {
-                    Ok(Some(s)) => {
-                        samples.push(s);
-                        if samples.len() == config.trials {
-                            break 'outer;
-                        }
-                    }
-                    Ok(None) => shorted += 1,
-                    Err(e) => return Err(e),
-                }
-            }
-        }
-    }
+    let (samples, shorted) = farm_trials(option, config.trials, threads, |range| {
+        range.map(|k| eval(k as u64)).collect()
+    })?;
 
     if traced {
         mpvar_trace::counter_add(names::MC_TRIALS, samples.len() as u64);
@@ -415,16 +443,16 @@ pub fn tdp_distribution_spice(
     let td_nom_s = simulate_read(tech, cell, &opts.read, n_cells, &Draw::nominal(option))?.td_s;
 
     let base = RngStream::from_seed(config.seed);
-    let limit = 20 * config.trials as u64 + 1000;
 
-    // One worker chunk: sample draws by substream index, run them in
-    // `batch_width`-wide sub-batches through one reusable workspace.
-    let eval_chunk = |range: std::ops::Range<usize>, next: u64| -> Vec<TrialOutcome> {
+    // One worker chunk of global trial indices: sample draws by
+    // substream index, run them in `batch_width`-wide sub-batches
+    // through one reusable workspace.
+    let eval_chunk = |range: std::ops::Range<usize>| -> Vec<TrialOutcome> {
         let width = opts.batch_width;
         let mut outcomes: Vec<TrialOutcome> = Vec::with_capacity(range.len());
         if width == 0 {
             for i in range {
-                let mut rng = base.substream(next + i as u64);
+                let mut rng = base.substream(i as u64);
                 outcomes.push(match sample_draw(option, budget, &mut rng) {
                     Ok(d) => read_to_outcome(
                         simulate_read(tech, cell, &opts.read, n_cells, &d),
@@ -444,7 +472,7 @@ pub fn tdp_distribution_spice(
             draws.clear();
             lane_slots.clear();
             for i in idx..stop {
-                let mut rng = base.substream(next + i as u64);
+                let mut rng = base.substream(i as u64);
                 match sample_draw(option, budget, &mut rng) {
                     Ok(d) => {
                         lane_slots.push(outcomes.len());
@@ -478,36 +506,7 @@ pub fn tdp_distribution_spice(
     };
 
     let threads = config.exec.effective_threads();
-    let mut samples = Vec::with_capacity(config.trials);
-    let mut shorted = 0usize;
-    let mut next = 0u64;
-    'outer: while samples.len() < config.trials {
-        if next >= limit {
-            return Err(CoreError::NoFeasibleCorner {
-                option: option.to_string(),
-            });
-        }
-        let deficit = (config.trials - samples.len()) as u64;
-        let wave = deficit.max(threads as u64).min(limit - next);
-        let _wave_span = mpvar_trace::span!(names::SPAN_MC_WAVE, start = next, len = wave);
-        let outcomes = mpvar_exec::try_par_chunk_map(wave as usize, threads, |r| {
-            Ok::<Vec<TrialOutcome>, std::convert::Infallible>(eval_chunk(r, next))
-        })
-        .unwrap_or_else(|e| match e {});
-        next += wave;
-        for outcome in outcomes {
-            match outcome {
-                Ok(Some(s)) => {
-                    samples.push(s);
-                    if samples.len() == config.trials {
-                        break 'outer;
-                    }
-                }
-                Ok(None) => shorted += 1,
-                Err(e) => return Err(e),
-            }
-        }
-    }
+    let (samples, shorted) = farm_trials(option, config.trials, threads, eval_chunk)?;
 
     if traced {
         mpvar_trace::counter_add(names::MC_TRIALS, samples.len() as u64);

@@ -14,6 +14,10 @@
 //!   placed by index so the output never depends on scheduling;
 //! * [`try_par_map_range`] — the same over an index range, used to
 //!   farm RNG-substream indices in chunks;
+//! * [`dispatch_rounds`] — the round-based dispatch engine shared by
+//!   the Monte-Carlo farm and the adaptive yield controller: the
+//!   caller sizes each round from folded state, the driver farms it
+//!   out and folds outcomes back in global index order;
 //! * [`par_argmax_by`] — deterministic parallel argmax with the
 //!   lowest-index tie-break the corner search relies on;
 //! * [`chunk_ranges`] — the contiguous-chunk partition shared by every
@@ -372,6 +376,89 @@ where
     Ok(out)
 }
 
+/// How a [`dispatch_rounds`] loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundsOutcome {
+    /// The caller stopped the loop (size callback returned 0, or the
+    /// consumer broke) — convergence, or enough accepted samples.
+    Converged,
+    /// `limit` indices were consumed before the caller stopped.
+    Exhausted,
+}
+
+/// Drives a *round-based* parallel loop over a global index domain:
+/// repeatedly asks the caller how many more indices to run, dispatches
+/// that round through [`try_par_chunk_map`], and feeds the outcomes back
+/// to the caller **in global index order**.
+///
+/// This is the shared dispatch engine for the Monte-Carlo farm and the
+/// adaptive importance-sampling yield controller. Each iteration:
+///
+/// 1. `round_size(state, round, consumed)` decides the next round's
+///    size from accumulated state (a fixed-deficit wave, a geometric
+///    convergence schedule, …). Returning 0 ends the loop as
+///    [`RoundsOutcome::Converged`]. The driver clamps the size to the
+///    remaining budget; once `limit` indices have been consumed the
+///    loop ends as [`RoundsOutcome::Exhausted`].
+/// 2. The round `[consumed, consumed + size)` runs on `threads` workers;
+///    `eval_chunk` receives contiguous sub-ranges in **global** index
+///    coordinates (so index `k` can key RNG substream `k`).
+/// 3. `consume(state, outcome)` folds each outcome sequentially in
+///    index order; breaking ends the loop as `Converged`.
+///
+/// Because round boundaries depend only on what `round_size` computes
+/// from the folded state — never on scheduling — and outcomes are folded
+/// in index order, a pure `eval_chunk` makes the final state
+/// bit-identical for any thread count.
+///
+/// A `span_name` span wraps each round with `round`/`start`/`len`
+/// fields (e.g. `mc_wave`, `yield_round`).
+///
+/// # Errors
+///
+/// The error of the earliest failed chunk of the failing round.
+pub fn dispatch_rounds<St, U, E, S, F, C>(
+    state: &mut St,
+    span_name: &'static str,
+    limit: usize,
+    threads: usize,
+    mut round_size: S,
+    eval_chunk: F,
+    mut consume: C,
+) -> Result<RoundsOutcome, E>
+where
+    U: Send,
+    E: Send,
+    S: FnMut(&mut St, usize, usize) -> usize,
+    F: Fn(Range<usize>) -> Result<Vec<U>, E> + Sync,
+    C: FnMut(&mut St, U) -> std::ops::ControlFlow<()>,
+{
+    let mut consumed = 0usize;
+    let mut round = 0usize;
+    loop {
+        let want = round_size(state, round, consumed);
+        if want == 0 {
+            return Ok(RoundsOutcome::Converged);
+        }
+        if consumed >= limit {
+            return Ok(RoundsOutcome::Exhausted);
+        }
+        let size = want.min(limit - consumed);
+        let _round_span =
+            mpvar_trace::span!(span_name, round = round, start = consumed, len = size);
+        let base = consumed;
+        let outcomes =
+            try_par_chunk_map(size, threads, |r| eval_chunk(base + r.start..base + r.end))?;
+        consumed += size;
+        round += 1;
+        for outcome in outcomes {
+            if consume(state, outcome).is_break() {
+                return Ok(RoundsOutcome::Converged);
+            }
+        }
+    }
+}
+
 /// Parallel argmax over `items` by a partial score: returns the index
 /// of the highest score among items where `score` returns `Some`, with
 /// ties broken toward the *lowest index* (exactly what a sequential
@@ -498,6 +585,105 @@ mod tests {
     #[should_panic(expected = "one result per index")]
     fn chunk_map_rejects_short_chunks() {
         let _ = try_par_chunk_map::<usize, _, ()>(10, 1, |_| Ok(vec![1]));
+    }
+
+    #[test]
+    fn dispatch_rounds_state_identical_across_thread_counts() {
+        // Accumulate squares until the sum crosses a threshold; the
+        // folded state and outcome must not depend on the thread count.
+        let run = |threads: usize| {
+            let mut sums: Vec<u64> = Vec::new();
+            let outcome = dispatch_rounds(
+                &mut sums,
+                "test_round",
+                10_000,
+                threads,
+                |sums, _round, _consumed| if sums.len() >= 500 { 0 } else { 64 },
+                |r| Ok::<_, ()>(r.map(|i| (i * i) as u64).collect()),
+                |sums, v| {
+                    sums.push(v);
+                    std::ops::ControlFlow::Continue(())
+                },
+            )
+            .unwrap();
+            (outcome, sums)
+        };
+        let (outcome1, state1) = run(1);
+        assert_eq!(outcome1, RoundsOutcome::Converged);
+        assert_eq!(state1.len(), 512); // 8 rounds of 64
+        assert_eq!(state1[5], 25);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                run(threads),
+                (outcome1, state1.clone()),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn dispatch_rounds_consumer_break_and_exhaustion() {
+        // Break mid-round at exactly 10 accepted outcomes.
+        let mut seen = 0usize;
+        let outcome = dispatch_rounds(
+            &mut seen,
+            "test_round",
+            1_000,
+            2,
+            |_, _, _| 32,
+            |r| Ok::<_, ()>(r.collect()),
+            |seen, _| {
+                *seen += 1;
+                if *seen == 10 {
+                    std::ops::ControlFlow::Break(())
+                } else {
+                    std::ops::ControlFlow::Continue(())
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome, RoundsOutcome::Converged);
+        assert_eq!(seen, 10);
+
+        // Never-converging size callback exhausts the limit exactly.
+        let mut total = 0usize;
+        let outcome = dispatch_rounds(
+            &mut total,
+            "test_round",
+            100,
+            3,
+            |_, _, _| 64,
+            |r| Ok::<_, ()>(r.collect()),
+            |total, _| {
+                *total += 1;
+                std::ops::ControlFlow::Continue(())
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome, RoundsOutcome::Exhausted);
+        assert_eq!(total, 100, "rounds clamp to the remaining budget");
+    }
+
+    #[test]
+    fn dispatch_rounds_propagates_chunk_errors() {
+        let mut state = ();
+        let err = dispatch_rounds(
+            &mut state,
+            "test_round",
+            100,
+            2,
+            |_, _, _| 50,
+            |r| {
+                if r.contains(&60) {
+                    Err("round 2 failed")
+                } else {
+                    Ok(r.collect::<Vec<_>>())
+                }
+            },
+            |_, _: usize| std::ops::ControlFlow::Continue(()),
+        )
+        .unwrap_err();
+        assert_eq!(err, "round 2 failed");
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub use draw::{Draw, EuvDraw, Le2Draw, Le3Draw, SadpDraw};
 pub use error::LithoError;
 pub use ler::LerModel;
 pub use perturbed::{PerturbedStack, PerturbedTrack};
-pub use sampling::sample_draw;
+pub use sampling::{sample_draw, TRUNCATION_SIGMAS};
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
@@ -70,5 +70,5 @@ pub mod prelude {
     pub use crate::error::LithoError;
     pub use crate::ler::LerModel;
     pub use crate::perturbed::{PerturbedStack, PerturbedTrack};
-    pub use crate::sampling::sample_draw;
+    pub use crate::sampling::{sample_draw, TRUNCATION_SIGMAS};
 }

@@ -7,8 +7,9 @@
 
 use crate::descriptive::Summary;
 use crate::error::StatsError;
-use crate::percentile::quantile;
+use crate::percentile::quantile_sorted;
 use crate::rng::RngStream;
+use crate::scratch::StatsScratch;
 
 /// A bootstrap confidence interval for a statistic.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,6 +71,35 @@ pub fn bootstrap_ci<F>(
 where
     F: Fn(&[f64]) -> f64,
 {
+    bootstrap_ci_with(
+        data,
+        resamples,
+        confidence,
+        seed,
+        statistic,
+        &mut StatsScratch::new(),
+    )
+}
+
+/// [`bootstrap_ci`] with a caller-owned [`StatsScratch`]: bit-identical
+/// results, but the resample buffer, the per-resample statistic vector,
+/// and the final quantile sort all reuse scratch storage so repeated
+/// calls inside MC loops stop allocating.
+///
+/// # Errors
+///
+/// Same as [`bootstrap_ci`].
+pub fn bootstrap_ci_with<F>(
+    data: &[f64],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+    statistic: F,
+    scratch: &mut StatsScratch,
+) -> Result<BootstrapCi, StatsError>
+where
+    F: Fn(&[f64]) -> f64,
+{
     if data.len() < 8 {
         return Err(StatsError::InsufficientSamples {
             needed: 8,
@@ -86,19 +116,31 @@ where
     let estimate = statistic(data);
     let base = RngStream::from_seed(seed);
     let n = data.len();
-    let mut stats = Vec::with_capacity(resamples);
-    let mut buffer = vec![0.0; n];
+    let stats = &mut scratch.stats;
+    stats.clear();
+    stats.reserve(resamples);
+    let buffer = &mut scratch.resample;
+    buffer.clear();
+    buffer.resize(n, 0.0);
     for k in 0..resamples {
         let mut rng = base.substream(k as u64);
-        for slot in &mut buffer {
+        for slot in buffer.iter_mut() {
             let idx = (rng.next_f64() * n as f64) as usize;
             *slot = data[idx.min(n - 1)];
         }
-        stats.push(statistic(&buffer));
+        stats.push(statistic(buffer.as_slice()));
     }
+    if stats.iter().any(|x| x.is_nan()) {
+        return Err(StatsError::NonFinite {
+            name: "data",
+            value: f64::NAN,
+        });
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("nan screened above"));
     let alpha = 1.0 - confidence;
-    let lo = quantile(&stats, alpha / 2.0)?;
-    let hi = quantile(&stats, 1.0 - alpha / 2.0)?;
+    let lo = quantile_sorted(stats, alpha / 2.0)?;
+    let hi = quantile_sorted(stats, 1.0 - alpha / 2.0)?;
+    scratch.publish();
     Ok(BootstrapCi {
         estimate,
         lo,
@@ -124,6 +166,31 @@ pub fn bootstrap_sigma_ci(
         let s: Summary = xs.iter().copied().collect();
         s.std_dev()
     })
+}
+
+/// [`bootstrap_sigma_ci`] with a caller-owned [`StatsScratch`].
+///
+/// # Errors
+///
+/// Same as [`bootstrap_ci`].
+pub fn bootstrap_sigma_ci_with(
+    data: &[f64],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+    scratch: &mut StatsScratch,
+) -> Result<BootstrapCi, StatsError> {
+    bootstrap_ci_with(
+        data,
+        resamples,
+        confidence,
+        seed,
+        |xs| {
+            let s: Summary = xs.iter().copied().collect();
+            s.std_dev()
+        },
+        scratch,
+    )
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 
 use crate::error::StatsError;
 use crate::sampler::Gaussian;
+use crate::scratch::StatsScratch;
 
 /// Result of a one-sample KS test.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,6 +69,22 @@ fn kolmogorov_q(lambda: f64) -> f64 {
 /// # Ok::<(), mpvar_stats::StatsError>(())
 /// ```
 pub fn ks_test_gaussian(data: &[f64], mean: f64, sigma: f64) -> Result<KsTest, StatsError> {
+    ks_test_gaussian_with(data, mean, sigma, &mut StatsScratch::new())
+}
+
+/// [`ks_test_gaussian`] with a caller-owned [`StatsScratch`]:
+/// bit-identical results, but the sorted copy reuses the scratch buffer
+/// so repeated calls inside MC loops stop allocating.
+///
+/// # Errors
+///
+/// Same as [`ks_test_gaussian`].
+pub fn ks_test_gaussian_with(
+    data: &[f64],
+    mean: f64,
+    sigma: f64,
+    scratch: &mut StatsScratch,
+) -> Result<KsTest, StatsError> {
     if data.len() < 8 {
         return Err(StatsError::InsufficientSamples {
             needed: 8,
@@ -81,8 +98,7 @@ pub fn ks_test_gaussian(data: &[f64], mean: f64, sigma: f64) -> Result<KsTest, S
         });
     }
     let dist = Gaussian::new(mean, sigma)?;
-    let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("nan filtered above"));
+    let sorted = scratch.sorted_from(data);
     let n = sorted.len();
     let nf = n as f64;
 
@@ -97,6 +113,7 @@ pub fn ks_test_gaussian(data: &[f64], mean: f64, sigma: f64) -> Result<KsTest, S
     let sqrt_n = nf.sqrt();
     // Stephens' small-sample correction.
     let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    scratch.publish();
     Ok(KsTest {
         statistic: d,
         n,
@@ -113,9 +130,18 @@ pub fn ks_test_gaussian(data: &[f64], mean: f64, sigma: f64) -> Result<KsTest, S
 /// Same as [`ks_test_gaussian`], plus insufficient samples for a
 /// standard deviation.
 pub fn ks_test_fitted(data: &[f64]) -> Result<KsTest, StatsError> {
+    ks_test_fitted_with(data, &mut StatsScratch::new())
+}
+
+/// [`ks_test_fitted`] with a caller-owned [`StatsScratch`].
+///
+/// # Errors
+///
+/// Same as [`ks_test_fitted`].
+pub fn ks_test_fitted_with(data: &[f64], scratch: &mut StatsScratch) -> Result<KsTest, StatsError> {
     let summary: crate::descriptive::Summary = data.iter().copied().collect();
     let sigma = summary.try_variance()?.sqrt();
-    ks_test_gaussian(data, summary.mean(), sigma)
+    ks_test_gaussian_with(data, summary.mean(), sigma, scratch)
 }
 
 #[cfg(test)]

@@ -38,33 +38,43 @@ pub mod correlation;
 pub mod descriptive;
 pub mod error;
 pub mod histogram;
+pub mod importance;
 pub mod kstest;
 pub mod montecarlo;
 pub mod percentile;
 pub mod rng;
 pub mod sampler;
+pub mod scratch;
 
-pub use bootstrap::{bootstrap_ci, bootstrap_sigma_ci, BootstrapCi};
+pub use bootstrap::{bootstrap_ci, bootstrap_ci_with, bootstrap_sigma_ci, BootstrapCi};
 pub use correlation::{covariance, pearson};
 pub use descriptive::Summary;
 pub use error::StatsError;
 pub use histogram::Histogram;
+pub use importance::{FailureEstimate, Proposal, RoundAccumulator, ZDomain};
 pub use kstest::{ks_test_fitted, ks_test_gaussian, KsTest};
 pub use montecarlo::{MonteCarlo, TrialOutcome};
 pub use percentile::{median, quantile};
 pub use rng::RngStream;
-pub use sampler::{Gaussian, TruncatedGaussian, UniformRange};
+pub use sampler::{
+    erfc, inverse_normal_cdf, normal_tail, Gaussian, TruncatedGaussian, UniformRange,
+};
+pub use scratch::StatsScratch;
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
-    pub use crate::bootstrap::{bootstrap_ci, bootstrap_sigma_ci, BootstrapCi};
+    pub use crate::bootstrap::{bootstrap_ci, bootstrap_ci_with, bootstrap_sigma_ci, BootstrapCi};
     pub use crate::correlation::{covariance, pearson};
     pub use crate::descriptive::Summary;
     pub use crate::error::StatsError;
     pub use crate::histogram::Histogram;
+    pub use crate::importance::{FailureEstimate, Proposal, RoundAccumulator, ZDomain};
     pub use crate::kstest::{ks_test_fitted, ks_test_gaussian, KsTest};
     pub use crate::montecarlo::{MonteCarlo, TrialOutcome};
     pub use crate::percentile::{median, quantile};
     pub use crate::rng::RngStream;
-    pub use crate::sampler::{Gaussian, TruncatedGaussian, UniformRange};
+    pub use crate::sampler::{
+        erfc, inverse_normal_cdf, normal_tail, Gaussian, TruncatedGaussian, UniformRange,
+    };
+    pub use crate::scratch::StatsScratch;
 }

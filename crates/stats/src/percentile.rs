@@ -1,6 +1,7 @@
 //! Quantile and median estimation.
 
 use crate::error::StatsError;
+use crate::scratch::StatsScratch;
 
 /// Computes the `q`-quantile (`0 <= q <= 1`) of `data` with linear
 /// interpolation between order statistics (type-7 estimator, the default
@@ -42,6 +43,31 @@ pub fn quantile(data: &[f64], q: f64) -> Result<f64, StatsError> {
     let mut sorted = data.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("nan filtered above"));
     Ok(quantile_sorted_unchecked(&sorted, q))
+}
+
+/// [`quantile`] with a caller-owned [`StatsScratch`]: bit-identical
+/// results, but the sorted copy reuses the scratch buffer so repeated
+/// calls inside MC loops stop allocating.
+///
+/// # Errors
+///
+/// Same as [`quantile`].
+pub fn quantile_with(data: &[f64], q: f64, scratch: &mut StatsScratch) -> Result<f64, StatsError> {
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::QuantileOutOfRange { q });
+    }
+    if data.is_empty() {
+        return Err(StatsError::InsufficientSamples { needed: 1, got: 0 });
+    }
+    if data.iter().any(|x| x.is_nan()) {
+        return Err(StatsError::NonFinite {
+            name: "data",
+            value: f64::NAN,
+        });
+    }
+    let value = quantile_sorted_unchecked(scratch.sorted_from(data), q);
+    scratch.publish();
+    Ok(value)
 }
 
 /// Quantile of data already sorted ascending; skips the sort and NaN scan.

@@ -1,0 +1,187 @@
+//! Property-based tests of the importance-sampling weight arithmetic:
+//! log-weight accumulation never over/underflows for sigma scales in
+//! [1, 8], the effective-sample-size estimator stays in (0, N], and
+//! degenerate all-pass / all-fail / all-out-of-support rounds return
+//! well-defined confidence intervals instead of NaN.
+
+use proptest::prelude::*;
+
+use mpvar_stats::{normal_tail, FailureEstimate, Proposal, RngStream, RoundAccumulator, ZDomain};
+
+/// `ln P[|Z| ≤ 3.5]` — the per-dimension truncation mass of the litho
+/// z-space target, recomputed here so the analytic weight bounds are
+/// independent of the engine's internal helper.
+fn log_trunc_mass() -> f64 {
+    (1.0 - 2.0 * normal_tail(3.5)).ln()
+}
+
+/// Trials per generated case — enough to hit the truncation boundary
+/// and deep-tail draws at scale 8 without slowing the suite.
+const TRIALS: u64 = 256;
+
+fn draw_weights(proposal: &Proposal, domain: &ZDomain, seed: u64) -> Vec<f64> {
+    let base = RngStream::from_seed(seed);
+    let mut z = Vec::new();
+    (0..TRIALS)
+        .map(|k| {
+            let mut rng = base.substream(k);
+            let log_w = proposal
+                .draw(domain, &mut rng, &mut z)
+                .expect("scaled-sigma draws never exhaust a rejection budget");
+            // The one invariant that makes every downstream sum safe:
+            // the log-weight is never NaN and never +inf, so exp() can
+            // underflow to an honest 0 but can never overflow.
+            assert!(!log_w.is_nan(), "log-weight NaN at trial {k}");
+            assert!(log_w < f64::INFINITY, "log-weight +inf at trial {k}");
+            log_w.exp()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For every scale in [1, 8] the scaled-sigma log-weight respects
+    /// its analytic upper bound `dims·(ln s − ln Zt)`, so the summed
+    /// weights — and their squares — stay finite over a whole round.
+    #[test]
+    fn scaled_sigma_log_weight_never_overflows(
+        scale in 1.0f64..=8.0,
+        dims in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let domain = ZDomain::truncated(dims, 3.5).unwrap();
+        let proposal = Proposal::ScaledSigma { scale };
+        let bound = dims as f64 * (scale.ln() - log_trunc_mass()) + 1e-5;
+
+        let mut round = RoundAccumulator::new();
+        for w in draw_weights(&proposal, &domain, seed) {
+            prop_assert!(w.is_finite(), "weight overflowed: {w}");
+            if w > 0.0 {
+                prop_assert!(
+                    w.ln() <= bound,
+                    "log-weight {} above analytic bound {bound}",
+                    w.ln()
+                );
+            }
+            round.push(w, false);
+        }
+        let est = FailureEstimate::from_rounds(&[round], 0.95).unwrap();
+        prop_assert!(est.mean_weight.is_finite());
+        prop_assert!(est.ess.is_finite());
+    }
+
+    /// The defensive mixture bounds its weight by `1/α` (times the
+    /// truncation mass), whatever the shift vector is.
+    #[test]
+    fn shifted_mixture_weight_respects_alpha_bound(
+        alpha in 0.05f64..0.95,
+        shift0 in -6.0f64..6.0,
+        dims in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let domain = ZDomain::truncated(dims, 3.5).unwrap();
+        let proposal = Proposal::ShiftedMixture {
+            shift: vec![shift0; dims],
+            alpha,
+        };
+        let bound = -alpha.ln() - dims as f64 * log_trunc_mass() + 1e-5;
+        for w in draw_weights(&proposal, &domain, seed) {
+            prop_assert!(w.is_finite());
+            if w > 0.0 {
+                prop_assert!(w.ln() <= bound, "mixture weight above 1/α bound");
+            }
+        }
+    }
+
+    /// ESS sits in (0, N] whenever at least one draw lands in support,
+    /// and never exceeds the number of nonzero-weight trials
+    /// (Cauchy–Schwarz), across the whole legal scale range.
+    #[test]
+    fn effective_sample_size_stays_in_zero_n(
+        scale in 1.0f64..=8.0,
+        dims in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let domain = ZDomain::truncated(dims, 3.5).unwrap();
+        let proposal = Proposal::ScaledSigma { scale };
+        let mut round = RoundAccumulator::new();
+        let mut nonzero = 0u64;
+        for w in draw_weights(&proposal, &domain, seed) {
+            if w > 0.0 {
+                nonzero += 1;
+            }
+            round.push(w, false);
+        }
+        let est = FailureEstimate::from_rounds(&[round], 0.95).unwrap();
+        if nonzero == 0 {
+            prop_assert_eq!(est.ess, 0.0);
+        } else {
+            prop_assert!(est.ess > 0.0, "ESS must be positive: {}", est.ess);
+            prop_assert!(
+                est.ess <= nonzero as f64 + 1e-9,
+                "ESS {} above nonzero-weight count {nonzero}",
+                est.ess
+            );
+            prop_assert!(est.ess <= TRIALS as f64 + 1e-9);
+        }
+    }
+
+    /// Degenerate rounds — all-pass, all-fail at constant weight, and
+    /// all-out-of-support — fold to well-defined CIs: bounds in [0, 1],
+    /// ordered around the point estimate, and NaN-free at every
+    /// confidence level.
+    #[test]
+    fn degenerate_rounds_return_well_defined_cis(
+        weight in 1.0e-12f64..1.0e3,
+        trials in 1u64..512,
+        confidence in 0.5f64..0.999,
+    ) {
+        let well_formed = |est: &FailureEstimate| {
+            !est.p_fail.is_nan()
+                && !est.ci_lo.is_nan()
+                && !est.ci_hi.is_nan()
+                && !est.half_width.is_nan()
+                && (0.0..=1.0).contains(&est.ci_lo)
+                && (0.0..=1.0).contains(&est.ci_hi)
+                && est.ci_lo <= est.ci_hi
+                && !est.rel_half_width().is_nan()
+        };
+
+        // All-pass: zero failures must give p = 0 with a nonzero
+        // rule-of-three upper bound, not a collapsed [0, 0] interval.
+        let mut pass = RoundAccumulator::new();
+        for _ in 0..trials {
+            pass.push(weight, false);
+        }
+        let est = FailureEstimate::from_rounds(&[pass], confidence).unwrap();
+        prop_assert!(well_formed(&est));
+        prop_assert_eq!(est.p_fail, 0.0);
+        prop_assert!(est.ci_hi > 0.0, "all-pass upper bound collapsed");
+        prop_assert!(est.rel_half_width().is_infinite());
+
+        // All-fail at constant weight: zero sample variance must give
+        // the mirrored rule-of-three bound, never a NaN interval.
+        let mut fail = RoundAccumulator::new();
+        for _ in 0..trials {
+            fail.push(weight, true);
+        }
+        let est = FailureEstimate::from_rounds(&[fail], confidence).unwrap();
+        prop_assert!(well_formed(&est));
+        prop_assert!(est.p_fail > 0.0);
+        prop_assert!(est.ci_lo <= est.p_fail.min(1.0));
+        prop_assert!(est.p_fail.min(1.0) <= est.ci_hi);
+
+        // All-out-of-support: every weight 0 still counts trials and
+        // folds to a defined (p = 0, ESS = 0) estimate.
+        let mut zero = RoundAccumulator::new();
+        for _ in 0..trials {
+            zero.push(0.0, false);
+        }
+        let est = FailureEstimate::from_rounds(&[zero], confidence).unwrap();
+        prop_assert!(well_formed(&est));
+        prop_assert_eq!(est.p_fail, 0.0);
+        prop_assert_eq!(est.ess, 0.0);
+        prop_assert_eq!(est.zero_weight, trials);
+    }
+}

@@ -43,7 +43,7 @@ fn fnv1a(bytes: &[u8], mut state: u64) -> u64 {
 /// count and seed. `exec` knobs are excluded (see the module docs).
 pub fn context_fingerprint(ctx: &ExperimentContext) -> u64 {
     let knobs = format!(
-        "tech={:?};cell={:?};read={:?};sizes={:?};sweep={:?};ol={:?};trials={};seed={}",
+        "tech={:?};cell={:?};read={:?};sizes={:?};sweep={:?};ol={:?};trials={};seed={};yield={:?}",
         ctx.tech,
         ctx.cell,
         ctx.read_config,
@@ -52,6 +52,7 @@ pub fn context_fingerprint(ctx: &ExperimentContext) -> u64 {
         ctx.le3_overlay_nm,
         ctx.mc.trials,
         ctx.mc.seed,
+        ctx.yield_settings,
     );
     fnv1a(knobs.as_bytes(), FNV_OFFSET)
 }
@@ -134,6 +135,10 @@ mod tests {
         let mut overlay = ExperimentContext::quick().unwrap();
         overlay.le3_overlay_nm = 5.0;
         assert_ne!(context_fingerprint(&a), context_fingerprint(&overlay));
+
+        let mut ys = ExperimentContext::quick().unwrap();
+        ys.yield_settings.seed += 1;
+        assert_ne!(context_fingerprint(&a), context_fingerprint(&ys));
     }
 
     #[test]

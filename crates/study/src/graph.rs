@@ -45,11 +45,13 @@ pub enum ArtifactId {
     ExtensionSensitivity,
     /// Extension E3 — N10 versus N7 node scaling.
     ExtensionScaling,
+    /// Extension — rare-event yield: importance-sampled P_fail to 6σ.
+    Yield6Sigma,
 }
 
 impl ArtifactId {
     /// Every artifact, in canonical report order.
-    pub const ALL: [ArtifactId; 13] = [
+    pub const ALL: [ArtifactId; 14] = [
         ArtifactId::Table1,
         ArtifactId::Fig4,
         ArtifactId::Table2,
@@ -63,6 +65,7 @@ impl ArtifactId {
         ArtifactId::ExtensionLer,
         ArtifactId::ExtensionSensitivity,
         ArtifactId::ExtensionScaling,
+        ArtifactId::Yield6Sigma,
     ];
 
     /// The stable string id (e.g. `table1`, `extension-le2`) used by
@@ -82,11 +85,16 @@ impl ArtifactId {
             ArtifactId::ExtensionLer => "extension-ler",
             ArtifactId::ExtensionSensitivity => "extension-sensitivity",
             ArtifactId::ExtensionScaling => "extension-scaling",
+            ArtifactId::Yield6Sigma => "yield_6sigma",
         }
     }
 
-    /// Parses a CLI/golden string id.
+    /// Parses a CLI/golden string id (`yield` is accepted as an alias
+    /// for `yield_6sigma`).
     pub fn parse(s: &str) -> Option<ArtifactId> {
+        if s == "yield" {
+            return Some(ArtifactId::Yield6Sigma);
+        }
         ArtifactId::ALL.into_iter().find(|id| id.name() == s)
     }
 

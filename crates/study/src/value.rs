@@ -15,6 +15,7 @@ use mpvar_core::experiments::{
     AblationDelayModels, AblationSadpAnticorrelation, ExperimentContext, ExtensionLe2,
     ExtensionLer, ExtensionScaling, Fig4, Fig5, Table1, Table2, Table3, Table4,
 };
+use mpvar_core::rareevent::{yield_6sigma, YieldTable};
 use mpvar_core::sensitivity::{sensitivity_profile, SensitivityProfile};
 use mpvar_core::CoreError;
 use mpvar_tech::PatterningOption;
@@ -103,6 +104,8 @@ pub enum ArtifactValue {
     ExtensionSensitivity(SensitivityMatrix),
     /// Extension E3 result.
     ExtensionScaling(ExtensionScaling),
+    /// Rare-event yield table (importance-sampled P_fail to 6σ).
+    Yield6Sigma(YieldTable),
 }
 
 impl ArtifactValue {
@@ -122,6 +125,7 @@ impl ArtifactValue {
             ArtifactValue::ExtensionLer(_) => ArtifactId::ExtensionLer,
             ArtifactValue::ExtensionSensitivity(_) => ArtifactId::ExtensionSensitivity,
             ArtifactValue::ExtensionScaling(_) => ArtifactId::ExtensionScaling,
+            ArtifactValue::Yield6Sigma(_) => ArtifactId::Yield6Sigma,
         }
     }
 
@@ -149,6 +153,7 @@ impl ArtifactValue {
             ArtifactValue::ExtensionLer(v) => table_pair(&v.report()),
             ArtifactValue::ExtensionSensitivity(v) => (v.report_text(), v.to_csv()),
             ArtifactValue::ExtensionScaling(v) => table_pair(&v.report()),
+            ArtifactValue::Yield6Sigma(v) => table_pair(&v.report()),
         };
         Artifact {
             id: self.id().name().to_string(),
@@ -203,6 +208,7 @@ artifact_data!(ExtensionLe2, ExtensionLe2);
 artifact_data!(ExtensionLer, ExtensionLer);
 artifact_data!(SensitivityMatrix, ExtensionSensitivity);
 artifact_data!(ExtensionScaling, ExtensionScaling);
+artifact_data!(YieldTable, Yield6Sigma);
 
 /// A strongly-typed handle to a cached artifact value.
 ///
@@ -286,5 +292,6 @@ pub(crate) fn produce(
             ArtifactValue::ExtensionSensitivity(SensitivityMatrix { n, profiles })
         }
         ArtifactId::ExtensionScaling => ArtifactValue::ExtensionScaling(extension_scaling(ctx)?),
+        ArtifactId::Yield6Sigma => ArtifactValue::Yield6Sigma(yield_6sigma(ctx)?),
     })
 }

@@ -16,6 +16,7 @@ use mpvar_core::experiments::{
     AblationSadpAnticorrelation, ExtensionLe2, ExtensionLer, ExtensionScaling, Fig4, Fig5, Table1,
     Table2, Table3, Table4,
 };
+use mpvar_core::rareevent::YieldTable;
 use mpvar_stats::ks_test_fitted;
 use mpvar_tech::PatterningOption;
 
@@ -438,6 +439,131 @@ pub fn ler_invariants(e2: &ExtensionLer) -> Vec<CheckItem> {
     )]
 }
 
+/// Rare-event yield claims: the brute-force and importance-sampled
+/// estimators agree (overlapping CIs in the ~1e-4 band) on the
+/// agreement margin, the deep-margin P_fail ordering SADP ≤ LE3 and
+/// EUV ≤ LE3 survives down to ~1e-9, the weight-normalization oracle
+/// `Σw/N` stays near 1 for every importance-sampled run, and every CI
+/// is well-formed.
+pub fn yield_invariants(yt: &YieldTable) -> Vec<CheckItem> {
+    let mut items = Vec::new();
+
+    // IS/brute agreement on the real circuit at the shallow margin.
+    match yt.agreement_pair(yt.settings.agreement_option) {
+        Some((brute, is)) => {
+            let overlap = brute.ci_lo <= is.ci_hi && is.ci_lo <= brute.ci_hi;
+            let in_band = (1e-5..=1e-2).contains(&brute.p_fail);
+            items.push(if overlap && in_band {
+                CheckItem::pass(
+                    "yield.is-brute-agreement",
+                    format!(
+                        "at {:.1}%: brute {:.3e} [{:.3e}, {:.3e}] overlaps IS {:.3e} [{:.3e}, {:.3e}]",
+                        brute.margin_percent,
+                        brute.p_fail,
+                        brute.ci_lo,
+                        brute.ci_hi,
+                        is.p_fail,
+                        is.ci_lo,
+                        is.ci_hi
+                    ),
+                )
+            } else {
+                CheckItem::fail(
+                    "yield.is-brute-agreement",
+                    format!(
+                        "brute [{:.3e}, {:.3e}] vs IS [{:.3e}, {:.3e}] (overlap: {overlap}, \
+                         brute p {:.3e} in 1e-4 band: {in_band})",
+                        brute.ci_lo, brute.ci_hi, is.ci_lo, is.ci_hi, brute.p_fail
+                    ),
+                )
+            });
+        }
+        None => items.push(CheckItem::fail(
+            "yield.is-brute-agreement",
+            "agreement pair missing from the yield table",
+        )),
+    }
+
+    // Deep-margin cross-option ordering: the single-exposure options
+    // never fail more often than LE3 at the same absolute margin.
+    let mut ordering = Vec::new();
+    for &margin in &yt.settings.common_margins_percent {
+        let at = |option: PatterningOption| {
+            yt.rows_of(option)
+                .find(|r| r.estimator == "scaled-sigma" && r.margin_percent == margin)
+        };
+        match (
+            at(PatterningOption::Le3),
+            at(PatterningOption::Sadp),
+            at(PatterningOption::Euv),
+        ) {
+            (Some(le3), Some(sadp), Some(euv)) => {
+                if sadp.p_fail > le3.p_fail || euv.p_fail > le3.p_fail {
+                    ordering.push(format!(
+                        "at {margin:.1}%: LE3 {:.3e} vs SADP {:.3e} / EUV {:.3e}",
+                        le3.p_fail, sadp.p_fail, euv.p_fail
+                    ));
+                }
+            }
+            _ => ordering.push(format!("at {margin:.1}%: option row missing")),
+        }
+    }
+    items.push(CheckItem::from_violations(
+        "yield.deep-ordering-sadp-le3",
+        "P_fail(SADP) and P_fail(EUV) at or below P_fail(LE3) at every deep margin",
+        &ordering,
+    ));
+
+    // Weight-normalization oracle: E_q[w] = 1, so Σw/N near 1 is a
+    // per-run certificate that the IS weights are computed correctly.
+    let mut oracle = Vec::new();
+    for r in &yt.rows {
+        if (r.mean_weight - 1.0).abs() > 0.1 {
+            oracle.push(format!(
+                "{} {} at {:.1}%: mean weight {:.4}",
+                r.option.paper_label(),
+                r.estimator,
+                r.margin_percent,
+                r.mean_weight
+            ));
+        }
+    }
+    items.push(CheckItem::from_violations(
+        "yield.weight-oracle-near-one",
+        "weight-normalization oracle within ±10% of 1 for every run",
+        &oracle,
+    ));
+
+    // CI well-formedness of every row.
+    let mut sane = Vec::new();
+    for r in &yt.rows {
+        let ordered = r.ci_lo <= r.p_fail && r.p_fail <= r.ci_hi;
+        let bounded = (0.0..=1.0).contains(&r.ci_lo) && (0.0..=1.0).contains(&r.ci_hi);
+        let finite = r.p_fail.is_finite() && r.ci_lo.is_finite() && r.ci_hi.is_finite();
+        let tight = !r.converged || r.rel_half_width <= yt.settings.target_rel_half_width + 1e-12;
+        if !(ordered && bounded && finite && tight && r.trials > 0) {
+            sane.push(format!(
+                "{} {} at {:.1}%: p {:.3e} in [{:.3e}, {:.3e}], trials {}, converged {}, rel_hw {}",
+                r.option.paper_label(),
+                r.estimator,
+                r.margin_percent,
+                r.p_fail,
+                r.ci_lo,
+                r.ci_hi,
+                r.trials,
+                r.converged,
+                r.rel_half_width
+            ));
+        }
+    }
+    items.push(CheckItem::from_violations(
+        "yield.ci-well-formed",
+        "every row's CI brackets its estimate, lies in [0,1], and converged runs meet the target",
+        &sane,
+    ));
+    items
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -484,6 +610,58 @@ mod tests {
         for item in table4_invariants(&t4, c.le3_overlay_sweep_nm.len()) {
             assert!(item.passed, "{}: {}", item.name, item.detail);
         }
+    }
+
+    #[test]
+    fn yield_claims_pass_and_trip_on_synthetic_tables() {
+        use mpvar_core::rareevent::{YieldRow, YieldSettings};
+
+        let settings = YieldSettings::default();
+        let row = |option, estimator, margin_percent: f64, p_fail: f64| YieldRow {
+            option,
+            estimator,
+            margin_percent,
+            p_fail,
+            ci_lo: p_fail * 0.8,
+            ci_hi: p_fail * 1.2,
+            rel_half_width: if p_fail > 0.0 { 0.2 } else { f64::INFINITY },
+            trials: 4096,
+            converged: p_fail > 0.0,
+            mean_weight: 1.0,
+            gaussian_fit_p: p_fail,
+        };
+        let deep = settings.common_margins_percent[0];
+        let shallow = settings.agreement_margin_percent;
+        let table = YieldTable {
+            n: 64,
+            settings: settings.clone(),
+            rows: vec![
+                row(PatterningOption::Le3, "scaled-sigma", deep, 5e-9),
+                row(PatterningOption::Sadp, "scaled-sigma", deep, 0.0),
+                row(PatterningOption::Euv, "scaled-sigma", deep, 0.0),
+                row(PatterningOption::Le3, "brute-force", shallow, 1.6e-4),
+                row(PatterningOption::Le3, "scaled-sigma", shallow, 1.8e-4),
+            ],
+        };
+        for item in yield_invariants(&table) {
+            assert!(item.passed, "{}: {}", item.name, item.detail);
+        }
+
+        // Flip the deep ordering: SADP above LE3 must trip the claim.
+        let mut broken = table.clone();
+        broken.rows[1].p_fail = 1e-7;
+        let items = yield_invariants(&broken);
+        assert!(items
+            .iter()
+            .any(|i| i.name == "yield.deep-ordering-sadp-le3" && !i.passed));
+
+        // A drifting weight oracle must trip its claim.
+        let mut drifted = table;
+        drifted.rows[0].mean_weight = 1.25;
+        let items = yield_invariants(&drifted);
+        assert!(items
+            .iter()
+            .any(|i| i.name == "yield.weight-oracle-near-one" && !i.passed));
     }
 
     #[test]

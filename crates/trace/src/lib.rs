@@ -148,6 +148,26 @@ pub mod names {
     /// text + CSV size; a proxy, since the cache stores typed values).
     pub const MEMO_BYTES: &str = "study.memo_bytes";
 
+    /// Span: one adaptive importance-sampling yield run.
+    pub const SPAN_YIELD_RUN: &str = "yield_run";
+    /// Span: one convergence-driven round of a yield run.
+    pub const SPAN_YIELD_ROUND: &str = "yield_round";
+    /// Counter: convergence-driven rounds dispatched by yield runs.
+    pub const YIELD_ROUNDS: &str = "yield.rounds";
+    /// Counter: importance-sampling trials consumed by yield runs.
+    pub const YIELD_TRIALS: &str = "yield.trials";
+    /// Counter: proposal draws that landed outside the truncated target
+    /// support (weight exactly zero, so the simulation was skipped).
+    pub const YIELD_ZERO_WEIGHT: &str = "yield.zero_weight_trials";
+    /// Gauge: effective sample size of the last completed yield run.
+    pub const YIELD_ESS: &str = "yield.ess";
+
+    /// Gauge: capacity bytes held by the reusable statistics sort
+    /// scratch (quantile/KS/bootstrap paths) — steady-state MC loops
+    /// must hold this flat, mirroring the batched-solver workspace
+    /// discipline.
+    pub const STATS_SCRATCH_BYTES: &str = "stats.scratch_bytes";
+
     /// Counter: worker chunks dispatched by the exec pool.
     pub const EXEC_CHUNKS: &str = "exec.chunks";
     /// Gauge: worker imbalance of the last parallel map

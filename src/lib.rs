@@ -16,6 +16,9 @@
 //! * [`sram`] — 6T cell, array builder, read testbench;
 //! * [`core`] — worst-case analysis, analytical td/tdp formula,
 //!   Monte-Carlo tdp distributions: the paper's contribution;
+//! * [`yield_engine`] — rare-event yield estimation: importance-sampled
+//!   failure probabilities with an adaptive, resumable controller
+//!   (re-export of `mpvar-yield`; `yield` is a reserved word);
 //! * [`study`] — the artifact-graph engine: memoized, instrumented
 //!   experiment evaluation behind the [`study::Study`] session;
 //! * [`trace`] — structured spans, metrics, and machine-readable run
@@ -55,6 +58,7 @@ pub use mpvar_stats as stats;
 pub use mpvar_study as study;
 pub use mpvar_tech as tech;
 pub use mpvar_trace as trace;
+pub use mpvar_yield as yield_engine;
 
 /// The everyday surface of the workspace: experiment contexts and
 /// configuration builders, the `Study` artifact-graph engine, the
@@ -63,8 +67,9 @@ pub mod prelude {
     pub use mpvar_core::experiments::{ExperimentContext, ExperimentContextBuilder};
     pub use mpvar_core::montecarlo::{McConfig, McConfigBuilder};
     pub use mpvar_core::{
-        find_worst_case, sensitivity_profile, tdp_distribution, yield_curve, AnalyticalModel,
-        CoreError, ExecConfig, TdpDistribution, WorstCase,
+        find_worst_case, sensitivity_profile, tdp_distribution, yield_6sigma, yield_curve,
+        AnalyticalModel, CoreError, ExecConfig, TdpDistribution, WorstCase, YieldSettings,
+        YieldTable,
     };
     pub use mpvar_litho::Draw;
     pub use mpvar_sram::{simulate_read, BitcellGeometry, FormulaParams, ReadConfig};

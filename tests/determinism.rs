@@ -138,6 +138,112 @@ fn thread_count_never_changes_results() {
     }
 }
 
+/// A context whose yield settings are shrunk to integration-test
+/// budgets: one σ-margin per option, small fit/trial caps, small
+/// rounds. Bit-identity claims are budget-independent, so the shrunken
+/// runs exercise exactly the dispatch paths the full experiment uses.
+fn yield_ctx(threads: usize) -> experiments::ExperimentContext {
+    let mut ctx = experiments::ExperimentContext::builder()
+        .expect("context builds")
+        .quick_preset()
+        .threads(threads)
+        .build();
+    ctx.yield_settings.sigma_margins = vec![2.0];
+    ctx.yield_settings.common_margins_percent = vec![];
+    ctx.yield_settings.fit_trials = 2_000;
+    ctx.yield_settings.base_round = 512;
+    ctx.yield_settings.max_trials = 2_048;
+    ctx.yield_settings.brute_max_trials = 2_048;
+    ctx
+}
+
+#[test]
+fn yield_runs_bit_identical_across_thread_counts() {
+    // The round-based importance-sampling dispatch makes the same
+    // substream-per-trial promise as the plain MC engine: threads =
+    // 1/4/8 give byte-identical yield tables, down to the weight sums.
+    use mpvar::core::rareevent::yield_6sigma;
+
+    let serial = yield_6sigma(&yield_ctx(1)).expect("yield runs serial");
+    for threads in [4usize, 8] {
+        let parallel = yield_6sigma(&yield_ctx(threads)).expect("yield runs parallel");
+        assert_eq!(
+            serial.rows.len(),
+            parallel.rows.len(),
+            "@ {threads} threads"
+        );
+        for (s, p) in serial.rows.iter().zip(&parallel.rows) {
+            assert_eq!(
+                s.p_fail.to_bits(),
+                p.p_fail.to_bits(),
+                "{} {} p_fail @ {threads} threads",
+                s.option,
+                s.estimator
+            );
+            assert_eq!(
+                s.mean_weight.to_bits(),
+                p.mean_weight.to_bits(),
+                "{} {} mean_w @ {threads} threads",
+                s.option,
+                s.estimator
+            );
+        }
+        assert_eq!(serial, parallel, "@ {threads} threads");
+    }
+}
+
+#[test]
+fn yield_resume_and_merge_match_the_uninterrupted_run() {
+    // Budget stops land *between* rounds, so a truncated run is a
+    // round-prefix of the full one: resuming it — even on a different
+    // thread count — and merging the continuation back must reproduce
+    // the uninterrupted run bit for bit, on the real circuit problem.
+    use mpvar::core::rareevent::resume_option_yield;
+    use mpvar::yield_engine::YieldRun;
+
+    let margin = 12.0; // shallow: failures occur, convergence does not
+    let max_trials = 2_048;
+
+    let full = resume_option_yield(
+        &yield_ctx(1),
+        PatterningOption::Le3,
+        margin,
+        max_trials,
+        &YieldRun::empty(),
+    )
+    .expect("full run");
+
+    // max_trials = base_round + 1 stops after round 1: a strict prefix.
+    let half = resume_option_yield(
+        &yield_ctx(4),
+        PatterningOption::Le3,
+        margin,
+        513,
+        &YieldRun::empty(),
+    )
+    .expect("half run");
+    assert!(!half.converged(), "half run must be budget-stopped");
+    assert!(half.consumed() < full.consumed(), "half is a strict prefix");
+
+    let resumed = resume_option_yield(
+        &yield_ctx(8),
+        PatterningOption::Le3,
+        margin,
+        max_trials,
+        &half,
+    )
+    .expect("resumed run");
+    assert_eq!(full, resumed, "resume diverged from the uninterrupted run");
+
+    // The merge identity: prefix ⊕ continuation == full.
+    let tail = YieldRun::from_parts(
+        resumed.rounds()[half.rounds().len()..].to_vec(),
+        resumed.converged(),
+    );
+    let merged = half.merge(&tail).expect("prefix did not converge");
+    assert_eq!(full, merged, "merge of the two half-runs diverged");
+}
+
 #[test]
 fn experiment_context_runs_are_repeatable() {
     let ctx = {
