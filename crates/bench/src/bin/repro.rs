@@ -4,6 +4,10 @@
 //! repro [--quick] [--out DIR] [--trace FILE] [--metrics] [--timings] <experiment | all>
 //! repro check [--fast] [--golden DIR] [--oracle-cases N] [--trace FILE] [--metrics] [--timings]
 //! repro validate-trace FILE
+//! repro serve [--addr HOST:PORT] [--store DIR]
+//! repro client [--addr HOST:PORT] [--quick] <artifact>...
+//! repro validate-serve FILE
+//! repro serve-smoke [--store DIR]
 //! ```
 //!
 //! Experiments: table1 fig4 table2 table3 fig5 table4 ablation-delay
@@ -41,6 +45,16 @@
 //!   CI solver smoke uses it to prove the compiled kernel actually
 //!   reused its symbolic analysis (`spice.lu_symbolic_reuses`).
 //!
+//! The serving quartet fronts the same study graph over a socket
+//! (`mpvar-serve/v1`, newline-delimited JSON): `serve` runs the job
+//! server against a persistent on-disk artifact store (warm restarts
+//! replay cached analyses without touching a solver), `client` submits
+//! one request and streams its progress, `validate-serve FILE` checks
+//! a protocol transcript against the schema, and `serve-smoke` is the
+//! CI gate — it proves request dedupe (3 identical concurrent
+//! requests + 1 distinct = exactly 2 materializations, counter-
+//! asserted) and the zero-solver warm restart.
+//!
 //! `check` re-runs the matrix and verdicts it: committed goldens are
 //! compared value-wise under per-column tolerances, the paper's shape
 //! claims are asserted as named invariants, and the three delay paths
@@ -49,9 +63,11 @@
 //! the reduced profile (heights {16, 64}, 5 000 trials, statistical
 //! bands on Monte-Carlo columns).
 
-use std::path::PathBuf;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use mpvar_bench::check::{check_context, run_check_in, CheckOptions};
 use mpvar_bench::{
@@ -59,7 +75,12 @@ use mpvar_bench::{
     EXPERIMENT_IDS,
 };
 use mpvar_core::experiments::ExperimentContext;
-use mpvar_study::Study;
+use mpvar_serve::protocol::{AnalysisRequest, ContextSpec, Preset};
+use mpvar_serve::{
+    validate_serve_jsonl, Client, ClientMessage, Dispatcher, ProgressRouter, RenderedArtifact,
+    Server, ServerMessage,
+};
+use mpvar_study::{ArtifactId, DiskStore, Study};
 use mpvar_trace::sink::{render_metrics, render_tree, TraceSink};
 use mpvar_trace::{
     names, validate_jsonl, Collector, CollectorGuard, JsonlSink, RecordingSink, SpanRecord,
@@ -148,9 +169,174 @@ fn usage() -> String {
          \x20      repro check [--fast] [--golden DIR] [--oracle-cases N] [--trace FILE] \
          [--metrics] [--timings]\n\
          \x20      repro validate-trace [--require-counter NAME]... FILE\n\
+         \x20      repro serve [--addr HOST:PORT] [--store DIR]\n\
+         \x20      repro client [--addr HOST:PORT] [--quick] <artifact>... | --shutdown\n\
+         \x20      repro validate-serve FILE\n\
+         \x20      repro serve-smoke [--store DIR]\n\
          experiments: {}",
         EXPERIMENT_IDS.join(" ")
     )
+}
+
+/// The CI serving gate, in two phases against one on-disk store.
+///
+/// Phase 1 (cold): three identical concurrent requests plus one
+/// distinct must cost exactly two materializations — two of the
+/// identical ones dedupe onto the first one's in-flight wave
+/// (deterministically: they are sent only after the wave's first
+/// progress event proves it is still running) — asserted from the
+/// server's own `serve.*` counters.
+///
+/// Phase 2 (warm): a fresh server over the same store answers the
+/// same request bit-identically without opening a single solver span,
+/// proved by a recording trace sink and the store's disk-hit counter.
+fn serve_smoke(root: &Path) -> Result<(), String> {
+    let spec = ContextSpec {
+        preset: Preset::Quick,
+        sizes: Some(vec![8]),
+        trials: Some(120),
+        seed: Some(11),
+        threads: Some(2),
+    };
+    let request = |id: &str, artifacts: Vec<ArtifactId>, progress: bool| AnalysisRequest {
+        id: id.to_string(),
+        artifacts,
+        context: spec.clone(),
+        progress,
+    };
+    let start = |root: &Path| -> Result<(Server, Arc<RecordingSink>, CollectorGuard), String> {
+        let sink = Arc::new(RecordingSink::new());
+        let router = Arc::new(ProgressRouter::new());
+        let store = Arc::new(DiskStore::open(root).map_err(|e| format!("cannot open store: {e}"))?);
+        let dispatcher = Arc::new(Dispatcher::new(store, Arc::clone(&router)));
+        let sinks: Vec<Arc<dyn TraceSink>> = vec![router, Arc::clone(&sink) as Arc<dyn TraceSink>];
+        let guard = Collector::new(sinks).install();
+        let server = Server::start("127.0.0.1:0", dispatcher)
+            .map_err(|e| format!("cannot bind server: {e}"))?;
+        Ok((server, sink, guard))
+    };
+
+    // ----------------------------------------------------------- cold
+    let (server, cold_sink, cold_guard) = start(root)?;
+    let mut client = Client::connect(server.addr()).map_err(|e| format!("cannot connect: {e}"))?;
+    client
+        .send(&ClientMessage::Request(request(
+            "r1",
+            vec![ArtifactId::Table3],
+            true,
+        )))
+        .map_err(|e| format!("send r1: {e}"))?;
+
+    // Gate: once table1 finishes inside r1's wave, fig4 and table3 are
+    // still to come, so the next requests provably arrive in flight.
+    loop {
+        match client.recv().map_err(|e| format!("recv: {e}"))? {
+            ServerMessage::Ack { .. } => {}
+            ServerMessage::Progress { artifact, .. } => {
+                eprintln!("[smoke] r1 progress: {artifact}");
+                if artifact == "table1" {
+                    break;
+                }
+            }
+            other => return Err(format!("unexpected message before gate: {other:?}")),
+        }
+    }
+    for id in ["r2", "r3"] {
+        client
+            .send(&ClientMessage::Request(request(
+                id,
+                vec![ArtifactId::Table3],
+                false,
+            )))
+            .map_err(|e| format!("send {id}: {e}"))?;
+    }
+    client
+        .send(&ClientMessage::Request(request(
+            "r4",
+            vec![ArtifactId::Fig5],
+            false,
+        )))
+        .map_err(|e| format!("send r4: {e}"))?;
+
+    let mut results: BTreeMap<String, Vec<RenderedArtifact>> = BTreeMap::new();
+    while results.len() < 4 {
+        match client.recv().map_err(|e| format!("recv: {e}"))? {
+            ServerMessage::Result { id, artifacts } => {
+                eprintln!("[smoke] {id} answered");
+                results.insert(id, artifacts);
+            }
+            ServerMessage::Ack { .. } | ServerMessage::Progress { .. } => {}
+            other => return Err(format!("unexpected message: {other:?}")),
+        }
+    }
+    if results["r1"] != results["r2"] || results["r1"] != results["r3"] {
+        return Err("deduped requests answered differently".into());
+    }
+    let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+    let expect = |name: &str, want: u64| -> Result<(), String> {
+        match stats.get(name) {
+            Some(&got) if got == want => {
+                eprintln!("[smoke] {name} = {got}");
+                Ok(())
+            }
+            got => Err(format!("{name}: want {want}, got {got:?}")),
+        }
+    };
+    expect(names::SERVE_REQUESTS, 4)?;
+    expect(names::SERVE_DEDUPED, 2)?;
+    expect(names::SERVE_MATERIALIZATIONS, 2)?;
+    client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    if !server.join(Duration::from_secs(300)) {
+        return Err("cold server waves did not drain".into());
+    }
+    drop(cold_guard);
+    if !cold_sink
+        .spans()
+        .iter()
+        .any(|s| s.name == names::SPAN_SPICE_TRANSIENT)
+    {
+        return Err("cold run never reached the solver — smoke is not probing anything".into());
+    }
+
+    // ----------------------------------------------------------- warm
+    let (server, warm_sink, warm_guard) = start(root)?;
+    let mut client =
+        Client::connect(server.addr()).map_err(|e| format!("cannot connect warm: {e}"))?;
+    let warm = client
+        .request(request("w1", vec![ArtifactId::Table3], true), |_| {})
+        .map_err(|e| format!("warm request: {e}"))?;
+    if warm != results["r1"] {
+        return Err("warm replay differs from the cold answer".into());
+    }
+    let disk = server.dispatcher().store().stats();
+    if disk.disk_hits < 3 {
+        return Err(format!(
+            "expected >= 3 disk hits on warm replay, got {disk:?}"
+        ));
+    }
+    client
+        .shutdown()
+        .map_err(|e| format!("shutdown warm: {e}"))?;
+    if !server.join(Duration::from_secs(300)) {
+        return Err("warm server waves did not drain".into());
+    }
+    drop(warm_guard);
+    for span in [
+        names::SPAN_SPICE_TRANSIENT,
+        names::SPAN_SPICE_BATCH,
+        names::SPAN_MC_WAVE,
+        names::SPAN_MC_DISTRIBUTION,
+        names::SPAN_CORNER_SEARCH,
+    ] {
+        if warm_sink.spans().iter().any(|s| s.name == span) {
+            return Err(format!("warm replay opened solver span `{span}`"));
+        }
+    }
+    eprintln!(
+        "[smoke] warm replay: bit-identical, {} disk hits, zero solver spans",
+        disk.disk_hits
+    );
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -165,6 +351,10 @@ fn main() -> ExitCode {
     let mut target: Option<String> = None;
     let mut trace_to_validate: Option<PathBuf> = None;
     let mut required_counters: Vec<String> = Vec::new();
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut store_dir: Option<PathBuf> = None;
+    let mut client_artifacts: Vec<String> = Vec::new();
+    let mut shutdown_server = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -201,6 +391,21 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--shutdown" => shutdown_server = true,
+            "--addr" => match args.next() {
+                Some(a) if !a.is_empty() => addr = a,
+                _ => {
+                    eprintln!("--addr needs HOST:PORT\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--store" => match args.next() {
+                Some(dir) => store_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--store needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--oracle-cases" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n > 0 => oracle_cases = n,
                 _ => {
@@ -213,11 +418,16 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             other
-                if target.as_deref() == Some("validate-trace")
-                    && trace_to_validate.is_none()
+                if matches!(
+                    target.as_deref(),
+                    Some("validate-trace") | Some("validate-serve")
+                ) && trace_to_validate.is_none()
                     && !other.starts_with('-') =>
             {
                 trace_to_validate = Some(PathBuf::from(other));
+            }
+            other if target.as_deref() == Some("client") && !other.starts_with('-') => {
+                client_artifacts.push(other.to_string());
             }
             other if target.is_none() && !other.starts_with('-') => {
                 target = Some(other.to_string());
@@ -281,6 +491,187 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("{}: invalid trace: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if target == "validate-serve" {
+        let Some(path) = trace_to_validate else {
+            eprintln!("validate-serve needs a JSONL transcript\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(raw) => raw,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_serve_jsonl(&raw) {
+            Ok(log) => {
+                println!(
+                    "{}: valid mpvar-serve/v1 transcript — {} messages \
+                     ({} requests, {} results, {} progress, {} errors)",
+                    path.display(),
+                    log.messages.len(),
+                    log.requests(),
+                    log.results(),
+                    log.progress_events(),
+                    log.errors()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{}: invalid transcript: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if target == "serve" {
+        let root = store_dir.unwrap_or_else(|| PathBuf::from("artifact-store"));
+        let store = match DiskStore::open(&root) {
+            Ok(s) => Arc::new(s),
+            Err(e) => {
+                eprintln!("cannot open artifact store {}: {e}", root.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let router = Arc::new(ProgressRouter::new());
+        let dispatcher = Arc::new(Dispatcher::new(store, Arc::clone(&router)));
+        // Progress lines to stderr for the operator; the router feeds
+        // the per-request progress streams.
+        let sinks: Vec<Arc<dyn TraceSink>> = vec![Arc::new(ProgressLines), router];
+        let session = Collector::new(sinks).install();
+        let server = match Server::start(addr.as_str(), dispatcher) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "mpvar-serve listening on {} (store: {}); send a shutdown message to stop",
+            server.addr(),
+            root.display()
+        );
+        let drained = server.join(Duration::from_secs(3600));
+        drop(session);
+        return if drained {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("shutdown timed out waiting for running waves");
+            ExitCode::FAILURE
+        };
+    }
+
+    if target == "client" {
+        if shutdown_server {
+            return match Client::connect(addr.as_str()).and_then(Client::shutdown) {
+                Ok(()) => {
+                    eprintln!("sent shutdown to {addr}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cannot shut down {addr}: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        if client_artifacts.is_empty() {
+            eprintln!("client needs at least one artifact name\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+        let mut artifacts = Vec::with_capacity(client_artifacts.len());
+        for name in &client_artifacts {
+            match ArtifactId::try_parse(name) {
+                Ok(id) => artifacts.push(id),
+                Err(_) => {
+                    eprintln!("unknown artifact `{name}`\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let mut client = match Client::connect(addr.as_str()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot connect to {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let request = AnalysisRequest {
+            id: format!("cli-{}", std::process::id()),
+            artifacts,
+            context: ContextSpec {
+                preset: if quick { Preset::Quick } else { Preset::Paper },
+                ..ContextSpec::default()
+            },
+            progress: true,
+        };
+        let answer = client.request(request, |event| match event {
+            ServerMessage::Ack { fingerprint, .. } => {
+                eprintln!("[serve] accepted (fingerprint {fingerprint})");
+            }
+            ServerMessage::Progress {
+                artifact,
+                outcome,
+                dur_ns,
+                ..
+            } => {
+                if outcome == "cache_hit" {
+                    eprintln!("[serve] {artifact}: cache hit");
+                } else {
+                    eprintln!(
+                        "[serve] {artifact}: computed in {:.3} s",
+                        *dur_ns as f64 / 1e9
+                    );
+                }
+            }
+            _ => {}
+        });
+        let artifacts = match answer {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("request failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::create_dir_all(&out_dir) {
+            eprintln!("cannot create output directory {}: {e}", out_dir.display());
+            return ExitCode::FAILURE;
+        }
+        for artifact in &artifacts {
+            println!("{}", artifact.text);
+            if !artifact.csv.is_empty() {
+                let path = out_dir.join(format!("{}.csv", artifact.id));
+                if let Err(e) = std::fs::write(&path, &artifact.csv) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if target == "serve-smoke" {
+        let default_root = store_dir.is_none();
+        let root = store_dir.unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("mpvar-serve-smoke-{}", std::process::id()))
+        });
+        let _ = std::fs::remove_dir_all(&root);
+        let verdict = serve_smoke(&root);
+        if default_root {
+            let _ = std::fs::remove_dir_all(&root);
+        }
+        return match verdict {
+            Ok(()) => {
+                println!("serve smoke: OK");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("serve smoke failed: {e}");
                 ExitCode::FAILURE
             }
         };

@@ -128,6 +128,28 @@ pub struct TdpDistribution {
 }
 
 impl TdpDistribution {
+    /// Reassembles a distribution from its stored parts — the inverse
+    /// of reading every accessor, used by the `mpvar-study` artifact
+    /// codec to round-trip persisted results bit-exactly. Values are
+    /// taken verbatim (in particular `summary` is NOT re-derived from
+    /// the samples, preserving the original accumulation order), so
+    /// feed this only parts that came from a real distribution.
+    pub fn from_parts(
+        option: PatterningOption,
+        n: usize,
+        samples_percent: Vec<f64>,
+        summary: Summary,
+        shorted_draws: usize,
+    ) -> TdpDistribution {
+        TdpDistribution {
+            option,
+            n,
+            samples_percent,
+            summary,
+            shorted_draws,
+        }
+    }
+
     /// The patterning option sampled.
     pub fn option(&self) -> PatterningOption {
         self.option

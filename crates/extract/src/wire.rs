@@ -19,6 +19,30 @@ pub struct WireParasitics {
 }
 
 impl WireParasitics {
+    /// Reassembles an extraction result from its stored scalar parts —
+    /// the inverse of reading every accessor, used by the `mpvar-study`
+    /// artifact codec to round-trip persisted results bit-exactly.
+    /// Values are taken verbatim; no re-derivation or validation
+    /// happens, so this must only be fed values that came from a real
+    /// extraction.
+    pub fn from_parts(
+        net: String,
+        length_nm: f64,
+        resistance_ohm: f64,
+        c_ground_f: f64,
+        c_couple_below_f: f64,
+        c_couple_above_f: f64,
+    ) -> WireParasitics {
+        WireParasitics {
+            net,
+            length_nm,
+            resistance_ohm,
+            c_ground_f,
+            c_couple_below_f,
+            c_couple_above_f,
+        }
+    }
+
     /// Net label of the extracted track.
     pub fn net(&self) -> &str {
         &self.net

@@ -44,6 +44,32 @@ impl Summary {
         }
     }
 
+    /// The raw accumulator state `(n, mean, m2, m3, m4, min, max)` —
+    /// the exact running-moment internals, exposed so persistence
+    /// layers can store a summary bit-exactly instead of re-pushing
+    /// samples (whose accumulation order would have to be replayed).
+    pub fn raw_moments(&self) -> (u64, f64, f64, f64, f64, f64, f64) {
+        (
+            self.n, self.mean, self.m2, self.m3, self.m4, self.min, self.max,
+        )
+    }
+
+    /// Rebuilds a summary from [`Summary::raw_moments`] output. Values
+    /// are taken verbatim (no validation), so feed this only state that
+    /// came from a real summary.
+    pub fn from_raw_moments(parts: (u64, f64, f64, f64, f64, f64, f64)) -> Summary {
+        let (n, mean, m2, m3, m4, min, max) = parts;
+        Summary {
+            n,
+            mean,
+            m2,
+            m3,
+            m4,
+            min,
+            max,
+        }
+    }
+
     /// Adds one observation.
     pub fn push(&mut self, x: f64) {
         let n1 = self.n as f64;

@@ -13,12 +13,12 @@
 //! count, so a value computed at 1 thread is the value at 8 threads.
 //! (The cache-equivalence tests in this crate pin that assumption.)
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use mpvar_core::experiments::ExperimentContext;
 
 use crate::graph::ArtifactId;
+use crate::store::{ArtifactStore, MemoryStore, StoreStats};
 use crate::value::ArtifactValue;
 
 /// A stable 64-bit content key.
@@ -28,12 +28,18 @@ pub struct CacheKey(pub u64);
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-fn fnv1a(bytes: &[u8], mut state: u64) -> u64 {
+fn fnv1a_step(bytes: &[u8], mut state: u64) -> u64 {
     for &b in bytes {
         state ^= u64::from(b);
         state = state.wrapping_mul(FNV_PRIME);
     }
     state
+}
+
+/// FNV-1a over a byte slice, from the standard offset basis. Shared
+/// with the disk store's envelope checksum.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_step(bytes, FNV_OFFSET)
 }
 
 /// Stable fingerprint of every result-affecting context knob.
@@ -54,29 +60,34 @@ pub fn context_fingerprint(ctx: &ExperimentContext) -> u64 {
         ctx.mc.seed,
         ctx.yield_settings,
     );
-    fnv1a(knobs.as_bytes(), FNV_OFFSET)
+    fnv1a(knobs.as_bytes())
 }
 
 /// The content key of one graph node under one context fingerprint.
 pub fn node_key(ctx_fingerprint: u64, id: ArtifactId, dep_keys: &[CacheKey]) -> CacheKey {
-    let mut state = fnv1a(&ctx_fingerprint.to_le_bytes(), FNV_OFFSET);
-    state = fnv1a(id.name().as_bytes(), state);
+    let mut state = fnv1a(&ctx_fingerprint.to_le_bytes());
+    state = fnv1a_step(id.name().as_bytes(), state);
     for dep in dep_keys {
-        state = fnv1a(&dep.0.to_le_bytes(), state);
+        state = fnv1a_step(&dep.0.to_le_bytes(), state);
     }
     CacheKey(state)
 }
 
-/// A shareable content-keyed artifact store.
+/// The pre-redesign in-memory artifact cache, now a thin shim over
+/// [`MemoryStore`].
 ///
-/// Wrap it in an [`Arc`] and hand it to several [`crate::Study`]
-/// sessions to reuse results across contexts that agree on their
-/// fingerprints (e.g. a `repro` run followed by a `check` pass).
+/// Existing callsites (`Study::with_cache(ctx, Arc<StudyCache>)`,
+/// `Arc::clone(study.cache())`) keep compiling: the shim implements
+/// [`ArtifactStore`], and `Arc<StudyCache>` unsize-coerces to
+/// `Arc<dyn ArtifactStore>` wherever the new API expects a store.
+#[deprecated(note = "use `MemoryStore` (or `DiskStore`) with `Study::with_store`; \
+            `StudyCache` is now a shim over `MemoryStore`")]
 #[derive(Debug, Default)]
 pub struct StudyCache {
-    entries: Mutex<HashMap<u64, Arc<ArtifactValue>>>,
+    inner: MemoryStore,
 }
 
+#[allow(deprecated)]
 impl StudyCache {
     /// An empty cache.
     pub fn new() -> Self {
@@ -85,36 +96,47 @@ impl StudyCache {
 
     /// Looks up a value by key.
     pub fn get(&self, key: CacheKey) -> Option<Arc<ArtifactValue>> {
-        self.entries
-            .lock()
-            .expect("study cache lock poisoned")
-            .get(&key.0)
-            .cloned()
+        self.inner.get(key)
     }
 
     /// Stores a value under `key`, returning the canonical entry (the
     /// first value stored wins, so concurrent producers converge on one
     /// allocation).
     pub fn insert(&self, key: CacheKey, value: Arc<ArtifactValue>) -> Arc<ArtifactValue> {
-        self.entries
-            .lock()
-            .expect("study cache lock poisoned")
-            .entry(key.0)
-            .or_insert(value)
-            .clone()
+        self.inner.put(key, value)
     }
 
     /// Number of memoized artifacts.
     pub fn len(&self) -> usize {
-        self.entries
-            .lock()
-            .expect("study cache lock poisoned")
-            .len()
+        self.inner.len()
     }
 
     /// `true` when nothing has been memoized yet.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.inner.is_empty()
+    }
+}
+
+#[allow(deprecated)]
+impl ArtifactStore for StudyCache {
+    fn get(&self, key: CacheKey) -> Option<Arc<ArtifactValue>> {
+        self.inner.get(key)
+    }
+
+    fn put(&self, key: CacheKey, value: Arc<ArtifactValue>) -> Arc<ArtifactValue> {
+        self.inner.put(key, value)
+    }
+
+    fn contains(&self, key: CacheKey) -> bool {
+        self.inner.contains(key)
+    }
+
+    fn evict(&self, key: CacheKey) -> bool {
+        self.inner.evict(key)
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
     }
 }
 

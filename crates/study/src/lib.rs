@@ -11,11 +11,13 @@
 //! * evaluates independent nodes **in parallel** on `mpvar-exec`,
 //!   splitting the thread budget so nested parallelism never
 //!   oversubscribes,
-//! * **memoizes** every result in a content-keyed cache
-//!   ([`StudyCache`]; key = stable hash of the context knobs and the
-//!   node's dependency closure), so Table I computed for Fig. 4 is
-//!   reused by Table III and by `repro check` without re-running the
-//!   corner search, and
+//! * **memoizes** every result in a content-keyed [`ArtifactStore`]
+//!   (key = stable hash of the context knobs and the node's dependency
+//!   closure) — in-memory ([`MemoryStore`]) or persisted on disk with
+//!   a checksummed, crash-safe binary envelope ([`DiskStore`]) — so
+//!   Table I computed for Fig. 4 is reused by Table III and by
+//!   `repro check` without re-running the corner search, even across
+//!   process restarts, and
 //! * surfaces **observability**: with an `mpvar_trace::Collector`
 //!   installed, every `materialize` call opens a `study_materialize`
 //!   span, every node evaluation a `study_node` span (zero-duration for
@@ -44,16 +46,24 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod codec;
+pub mod disk;
 mod error;
 pub mod graph;
 pub mod observer;
 pub mod session;
+pub mod store;
 pub mod value;
 
-pub use cache::{context_fingerprint, node_key, CacheKey, StudyCache};
+#[allow(deprecated)]
+pub use cache::StudyCache;
+pub use cache::{context_fingerprint, node_key, CacheKey};
+pub use codec::{decode_value, encode_value, CodecError, CODEC_VERSION};
+pub use disk::{DiskStore, WriteFault};
 pub use graph::{plan, ArtifactId};
 #[allow(deprecated)]
 pub use observer::StudyObserver;
 pub use observer::{NodeOutcome, RecordingObserver};
 pub use session::{NodeStats, Study};
+pub use store::{ArtifactStore, MemoryStore, StoreStats};
 pub use value::{Artifact, ArtifactData, ArtifactValue, SensitivityMatrix, TypedArtifact};

@@ -9,11 +9,14 @@ use mpvar_core::report::TextTable;
 use mpvar_core::CoreError;
 use mpvar_trace::{names, SpanGuard};
 
-use crate::cache::{context_fingerprint, node_key, CacheKey, StudyCache};
+use mpvar_trace::FieldValue;
+
+use crate::cache::{context_fingerprint, node_key, CacheKey};
 use crate::graph::{plan, ArtifactId};
 #[allow(deprecated)]
 use crate::observer::StudyObserver;
 use crate::observer::{encode_event, NodeOutcome};
+use crate::store::{ArtifactStore, MemoryStore, StoreStats};
 use crate::value::{produce, Artifact, ArtifactData, ArtifactValue, TypedArtifact};
 
 /// Per-node evaluation counters, surfaced by [`Study::timings`].
@@ -59,7 +62,8 @@ pub struct NodeStats {
 pub struct Study {
     ctx: ExperimentContext,
     fingerprint: u64,
-    cache: Arc<StudyCache>,
+    store: Arc<dyn ArtifactStore>,
+    span_label: Option<String>,
     #[allow(deprecated)]
     observers: Vec<Arc<dyn StudyObserver>>,
     stats: Mutex<BTreeMap<ArtifactId, NodeStats>>,
@@ -69,32 +73,56 @@ impl std::fmt::Debug for Study {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Study")
             .field("fingerprint", &self.fingerprint)
-            .field("cached_artifacts", &self.cache.len())
+            .field("cached_artifacts", &self.store.len())
             .field("observers", &self.observers.len())
             .finish_non_exhaustive()
     }
 }
 
 impl Study {
-    /// A session over `ctx` with a fresh private cache.
+    /// A session over `ctx` with a fresh private in-memory store.
     pub fn new(ctx: ExperimentContext) -> Self {
-        Self::with_cache(ctx, Arc::new(StudyCache::new()))
+        Self::with_store(ctx, Arc::new(MemoryStore::new()))
     }
 
-    /// A session over `ctx` sharing an existing cache.
+    /// A session over `ctx` backed by an explicit [`ArtifactStore`] —
+    /// an in-process [`MemoryStore`], a persistent
+    /// [`DiskStore`](crate::DiskStore), or any custom implementation.
     ///
-    /// Because keys are content-derived, sharing a cache across
-    /// sessions is always sound: a session only sees entries whose
-    /// context fingerprint (and dependency closure) matches its own.
-    pub fn with_cache(ctx: ExperimentContext, cache: Arc<StudyCache>) -> Self {
+    /// Because keys are content-derived, sharing a store across
+    /// sessions (and, for a disk store, across processes) is always
+    /// sound: a session only sees entries whose context fingerprint
+    /// (and dependency closure) matches its own.
+    pub fn with_store(ctx: ExperimentContext, store: Arc<dyn ArtifactStore>) -> Self {
         let fingerprint = context_fingerprint(&ctx);
         Self {
             ctx,
             fingerprint,
-            cache,
+            store,
+            span_label: None,
             observers: Vec::new(),
             stats: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// A session over `ctx` sharing an existing cache.
+    #[deprecated(note = "use `Study::with_store` (any `Arc<impl ArtifactStore>` coerces)")]
+    pub fn with_cache(ctx: ExperimentContext, cache: Arc<dyn ArtifactStore>) -> Self {
+        Self::with_store(ctx, cache)
+    }
+
+    /// Tags every `study_materialize` / `study_node` span this session
+    /// emits with a `session = <label>` field (chainable).
+    ///
+    /// Trace consumers that multiplex several concurrent sessions onto
+    /// one collector — e.g. the `mpvar-serve` job server routing
+    /// progress events to the requests that caused them — key on this
+    /// field, since spans are only delivered on completion and
+    /// parent-chain resolution across sessions is not possible live.
+    #[must_use]
+    pub fn with_span_label(mut self, label: impl Into<String>) -> Self {
+        self.span_label = Some(label.into());
+        self
     }
 
     /// Attaches an event observer (chainable).
@@ -116,9 +144,20 @@ impl Study {
         &self.ctx
     }
 
+    /// The session's artifact store (shareable).
+    pub fn store(&self) -> &Arc<dyn ArtifactStore> {
+        &self.store
+    }
+
+    /// Population and traffic counters of the session's store.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
     /// The session's content-keyed cache (shareable).
-    pub fn cache(&self) -> &Arc<StudyCache> {
-        &self.cache
+    #[deprecated(note = "use `Study::store`")]
+    pub fn cache(&self) -> &Arc<dyn ArtifactStore> {
+        &self.store
     }
 
     /// The stable fingerprint of this session's context knobs.
@@ -147,9 +186,17 @@ impl Study {
         &self,
         requested: &[ArtifactId],
     ) -> Result<Vec<Arc<ArtifactValue>>, CoreError> {
-        let mat_span =
-            mpvar_trace::span!(names::SPAN_STUDY_MATERIALIZE, requested = requested.len(),);
         let traced = mpvar_trace::enabled();
+        let mat_span = if traced {
+            let mut fields: Vec<(&'static str, FieldValue)> =
+                vec![("requested", requested.len().into())];
+            if let Some(label) = &self.span_label {
+                fields.push(("session", label.clone().into()));
+            }
+            SpanGuard::enter(names::SPAN_STUDY_MATERIALIZE, fields)
+        } else {
+            SpanGuard::disabled()
+        };
         let parent = mat_span.id();
         for wave in plan(requested) {
             // Serve memoized nodes, keep the rest for the parallel pass.
@@ -157,7 +204,7 @@ impl Study {
                 .into_iter()
                 .filter(|&id| {
                     self.notify_start(id);
-                    match self.cache.get(self.key_of(id)) {
+                    match self.store.get(self.key_of(id)) {
                         Some(_) => {
                             self.record(id, NodeOutcome::CacheHit);
                             false
@@ -180,14 +227,14 @@ impl Study {
                 // Workers start with an empty span stack; parent their
                 // node spans to this materialize() call explicitly.
                 let _node_span = if traced {
-                    SpanGuard::enter_with_parent(
-                        parent,
-                        names::SPAN_STUDY_NODE,
-                        vec![
-                            ("artifact", id.name().into()),
-                            ("outcome", "computed".into()),
-                        ],
-                    )
+                    let mut fields: Vec<(&'static str, FieldValue)> = vec![
+                        ("artifact", id.name().into()),
+                        ("outcome", "computed".into()),
+                    ];
+                    if let Some(label) = &self.span_label {
+                        fields.push(("session", label.clone().into()));
+                    }
+                    SpanGuard::enter_with_parent(parent, names::SPAN_STUDY_NODE, fields)
                 } else {
                     SpanGuard::disabled()
                 };
@@ -196,7 +243,7 @@ impl Study {
                     .iter()
                     .map(|&d| {
                         let v = self
-                            .cache
+                            .store
                             .get(self.key_of(d))
                             .expect("dependency evaluated in an earlier wave");
                         self.record(d, NodeOutcome::CacheHit);
@@ -216,13 +263,13 @@ impl Study {
                         (rendered.text.len() + rendered.csv.len()) as u64,
                     );
                 }
-                self.cache.insert(self.key_of(*id), value);
+                self.store.put(self.key_of(*id), value);
             }
         }
         Ok(requested
             .iter()
             .map(|&id| {
-                self.cache
+                self.store
                     .get(self.key_of(id))
                     .expect("requested artifact evaluated")
             })
@@ -329,7 +376,7 @@ impl Study {
         format!(
             "{}\ntotal: {} artifacts cached, {} cache hits, {:.3} s computing\n",
             t.render(),
-            self.cache.len(),
+            self.store.len(),
             total_hits,
             total_wall.as_secs_f64()
         )
@@ -363,7 +410,11 @@ impl Study {
                 // hits are instantaneous, so emit a zero-duration
                 // synthetic span to keep every node visible in a trace.
                 if mpvar_trace::enabled() {
-                    encode_event(id, outcome).emit();
+                    let mut record = encode_event(id, outcome);
+                    if let Some(label) = &self.span_label {
+                        record.fields.push(("session", label.clone().into()));
+                    }
+                    record.emit();
                 }
             }
         }

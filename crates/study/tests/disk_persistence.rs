@@ -1,0 +1,134 @@
+//! Crash-safety and warm-path proof for the on-disk artifact store.
+//!
+//! A materialization is killed mid-write (fault-injection hook on
+//! [`DiskStore`]), the "process" restarts, and the store must reject
+//! the partial entry and recompute to a bit-identical artifact. A clean
+//! warm restart must be answered purely by decoding persisted
+//! envelopes: the trace shows `store.disk_hits`, `study.cache_hits`,
+//! and **zero** solver activity (no `spice_transient` / `mc_wave`
+//! spans).
+//!
+//! Everything lives in one `#[test]` on purpose: trace collectors are
+//! process-global, so a sibling test's spans would leak into this
+//! one's counters.
+
+use std::sync::Arc;
+
+use mpvar_core::experiments::ExperimentContext;
+use mpvar_study::{ArtifactId, ArtifactStore, DiskStore, Study, WriteFault};
+use mpvar_trace::{names, validate_jsonl, Collector, JsonlSink};
+
+fn tiny_ctx() -> ExperimentContext {
+    ExperimentContext::builder()
+        .expect("context builds")
+        .quick_preset()
+        .sizes(vec![8])
+        .trials(200)
+        .threads(2)
+        .build()
+}
+
+#[test]
+fn crash_mid_write_recovers_and_warm_restart_skips_the_solver() {
+    let root = std::env::temp_dir().join(format!("mpvar-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // --- Run 1: the materialization "crashes" mid-write. -------------
+    // The torn-write fault truncates table1's envelope at the final
+    // path; the crash-before-rename fault leaves fig4 staged in tmp/.
+    // (Faults are one-shot and apply to the next durable write, which
+    // happen in dependency order: table1, then fig4, then table3.)
+    let first = {
+        let store = Arc::new(DiskStore::open(&root).expect("open"));
+        store.inject_write_fault(WriteFault::TornWrite { keep_bytes: 25 });
+        let study = Study::with_store(tiny_ctx(), Arc::clone(&store) as Arc<dyn ArtifactStore>);
+        let rendered = study
+            .run(&[ArtifactId::Table1])
+            .expect("interrupted run still answers from memory");
+        store.inject_write_fault(WriteFault::CrashBeforeRename);
+        study
+            .run(&[ArtifactId::Fig4])
+            .expect("second interrupted write");
+        rendered
+    };
+
+    // --- Restart: partial entries must read as misses. ----------------
+    let store = Arc::new(DiskStore::open(&root).expect("reopen after crash"));
+    assert_eq!(
+        std::fs::read_dir(root.join("tmp"))
+            .expect("tmp dir")
+            .count(),
+        0,
+        "open() must clear staged litter from the crash"
+    );
+    let study = Study::with_store(tiny_ctx(), Arc::clone(&store) as Arc<dyn ArtifactStore>);
+    let recomputed = study
+        .run(&[ArtifactId::Table1])
+        .expect("recompute after crash");
+    assert_eq!(
+        first, recomputed,
+        "recomputed artifact must be bit-identical to the pre-crash one"
+    );
+    let stats = store.stats();
+    assert_eq!(stats.quarantined, 1, "the torn table1 envelope quarantined");
+    assert_eq!(
+        stats.disk_hits, 0,
+        "no partial entry may ever be served as a hit"
+    );
+    study.run(&[ArtifactId::Table3]).expect("fill the store");
+    assert!(
+        store.stats().disk_entries >= 3,
+        "recompute healed every envelope"
+    );
+
+    // --- Run 3: a traced warm restart must be decode-only. ------------
+    let sink = Arc::new(JsonlSink::new());
+    let collector = Collector::new(vec![sink.clone()]);
+    let session = collector.install();
+    let warm_store = Arc::new(DiskStore::open(&root).expect("reopen warm"));
+    let warm = Study::with_store(tiny_ctx(), warm_store).with_span_label("warm-restart");
+    let warmed = warm
+        .run(&[ArtifactId::Table3, ArtifactId::Table1])
+        .expect("warm run evaluates");
+    drop(session);
+    assert_eq!(warmed[1..], first[..], "warm table1 matches the original");
+
+    let log = validate_jsonl(&sink.contents()).expect("trace validates");
+    let span_names = log.span_names();
+    for solver_span in [
+        names::SPAN_SPICE_TRANSIENT,
+        names::SPAN_MC_WAVE,
+        names::SPAN_CORNER_SEARCH,
+        names::SPAN_MC_DISTRIBUTION,
+    ] {
+        assert!(
+            !span_names.contains(&solver_span),
+            "warm replay touched the solver: `{solver_span}` span present"
+        );
+    }
+    assert!(
+        log.counters
+            .get(names::STORE_DISK_HITS)
+            .copied()
+            .unwrap_or(0)
+            >= 3,
+        "warm lookups must decode persisted envelopes"
+    );
+    assert!(
+        log.counters.get(names::CACHE_HITS).copied().unwrap_or(0) >= 2,
+        "warm requests must be cache hits"
+    );
+    assert_eq!(
+        log.counters.get(names::CACHE_MISSES).copied(),
+        None,
+        "a warm restart must not miss"
+    );
+    // The per-session span label is on every study span, so a serve
+    // layer can attribute progress to the request that caused it.
+    assert!(
+        sink.contents().contains("\"session\":\"warm-restart\""),
+        "study spans carry the session label"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}

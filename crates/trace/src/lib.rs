@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 pub mod collector;
+pub mod json;
 pub mod metrics;
 pub mod schema;
 pub mod sink;
@@ -167,6 +168,26 @@ pub mod names {
     /// must hold this flat, mirroring the batched-solver workspace
     /// discipline.
     pub const STATS_SCRATCH_BYTES: &str = "stats.scratch_bytes";
+
+    /// Counter: artifact-store lookups answered by decoding a
+    /// persisted on-disk entry (a "disk-warm" hit).
+    pub const STORE_DISK_HITS: &str = "store.disk_hits";
+    /// Counter: artifact envelopes durably written to disk.
+    pub const STORE_DISK_WRITES: &str = "store.disk_writes";
+    /// Counter: persisted entries rejected (bad envelope, checksum
+    /// mismatch, undecodable payload) and moved to quarantine.
+    pub const STORE_QUARANTINED: &str = "store.quarantined";
+
+    /// Counter: analysis requests accepted by the serve dispatcher.
+    pub const SERVE_REQUESTS: &str = "serve.requests";
+    /// Counter: requests coalesced onto an already-in-flight
+    /// materialization instead of starting their own.
+    pub const SERVE_DEDUPED: &str = "serve.deduped";
+    /// Counter: materialization waves the serve dispatcher launched.
+    pub const SERVE_MATERIALIZATIONS: &str = "serve.materializations";
+    /// Counter: cold requests batched into a shared wave with other
+    /// compatible requests (same context fingerprint).
+    pub const SERVE_BATCHED: &str = "serve.batched";
 
     /// Counter: worker chunks dispatched by the exec pool.
     pub const EXEC_CHUNKS: &str = "exec.chunks";

@@ -24,12 +24,16 @@
 //! 3. span fields hold scalars only (numbers, strings, booleans);
 //! 4. histogram `bounds` has exactly `counts.len() + 1` edges.
 //!
-//! The parser is a self-contained subset-of-JSON reader (objects,
-//! arrays, strings with escapes, numbers, booleans, null) so the
-//! validator works under the workspace's no-external-dependency rule.
+//! The parser is the crate's self-contained subset-of-JSON reader
+//! ([`crate::json`]) so the validator works under the workspace's
+//! no-external-dependency rule.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+
+use crate::json::{
+    get_f64, get_f64_array, get_str, get_u64, get_u64_array, parse_json, to_u64, Json, Obj,
+};
 
 /// A validation or parse failure, with the 1-based line number.
 #[derive(Debug, Clone, PartialEq)]
@@ -266,248 +270,6 @@ pub fn validate_jsonl(text: &str) -> Result<TraceLog, SchemaError> {
     Ok(log)
 }
 
-// ---------------------------------------------------------------------
-// Object field accessors
-// ---------------------------------------------------------------------
-
-type Obj = BTreeMap<String, Json>;
-
-fn get_str<'a>(obj: &'a Obj, key: &str) -> Result<&'a str, String> {
-    match obj.get(key) {
-        Some(Json::Str(s)) => Ok(s),
-        Some(_) => Err(format!("`{key}` must be a string")),
-        None => Err(format!("missing `{key}`")),
-    }
-}
-
-fn get_f64(obj: &Obj, key: &str) -> Result<f64, String> {
-    match obj.get(key) {
-        Some(Json::Num(n)) => Ok(*n),
-        Some(Json::Null) => Ok(f64::NAN),
-        Some(_) => Err(format!("`{key}` must be a number")),
-        None => Err(format!("missing `{key}`")),
-    }
-}
-
-fn get_u64(obj: &Obj, key: &str) -> Result<u64, String> {
-    let n = match obj.get(key) {
-        Some(Json::Num(n)) => *n,
-        Some(_) => return Err(format!("`{key}` must be a number")),
-        None => return Err(format!("missing `{key}`")),
-    };
-    to_u64(n).map_err(|m| format!("`{key}`: {m}"))
-}
-
-fn to_u64(n: f64) -> Result<u64, String> {
-    if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 {
-        Ok(n as u64)
-    } else {
-        Err(format!("{n} is not a non-negative integer"))
-    }
-}
-
-fn get_f64_array(obj: &Obj, key: &str) -> Result<Vec<f64>, String> {
-    let Some(Json::Arr(items)) = obj.get(key) else {
-        return Err(format!("`{key}` must be an array"));
-    };
-    items
-        .iter()
-        .map(|v| match v {
-            Json::Num(n) => Ok(*n),
-            Json::Null => Ok(f64::NAN),
-            _ => Err(format!("`{key}` must contain numbers")),
-        })
-        .collect()
-}
-
-fn get_u64_array(obj: &Obj, key: &str) -> Result<Vec<u64>, String> {
-    get_f64_array(obj, key)?
-        .into_iter()
-        .map(|n| to_u64(n).map_err(|m| format!("`{key}`: {m}")))
-        .collect()
-}
-
-// ---------------------------------------------------------------------
-// Minimal JSON parser (objects, arrays, strings, numbers, bools, null)
-// ---------------------------------------------------------------------
-
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Obj),
-}
-
-impl Json {
-    fn as_object(&self) -> Option<&Obj> {
-        match self {
-            Json::Obj(map) => Some(map),
-            _ => None,
-        }
-    }
-}
-
-fn parse_json(text: &str) -> Result<Json, String> {
-    let mut parser = Parser {
-        chars: text.chars().collect(),
-        pos: 0,
-    };
-    parser.skip_ws();
-    let value = parser.value()?;
-    parser.skip_ws();
-    if parser.pos != parser.chars.len() {
-        return Err(format!("trailing content at offset {}", parser.pos));
-    }
-    Ok(value)
-}
-
-struct Parser {
-    chars: Vec<char>,
-    pos: usize,
-}
-
-impl Parser {
-    fn peek(&self) -> Option<char> {
-        self.chars.get(self.pos).copied()
-    }
-
-    fn bump(&mut self) -> Result<char, String> {
-        let c = self.peek().ok_or("unexpected end of input")?;
-        self.pos += 1;
-        Ok(c)
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, c: char) -> Result<(), String> {
-        let got = self.bump()?;
-        if got == c {
-            Ok(())
-        } else {
-            Err(format!("expected `{c}`, got `{got}`"))
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        for expected in word.chars() {
-            self.expect(expected)?;
-        }
-        Ok(value)
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek().ok_or("unexpected end of input")? {
-            '{' => self.object(),
-            '[' => self.array(),
-            '"' => Ok(Json::Str(self.string()?)),
-            't' => self.literal("true", Json::Bool(true)),
-            'f' => self.literal("false", Json::Bool(false)),
-            'n' => self.literal("null", Json::Null),
-            '-' | '0'..='9' => self.number(),
-            other => Err(format!("unexpected character `{other}`")),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect('{')?;
-        let mut map = Obj::new();
-        self.skip_ws();
-        if self.peek() == Some('}') {
-            self.pos += 1;
-            return Ok(Json::Obj(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(':')?;
-            self.skip_ws();
-            let value = self.value()?;
-            map.insert(key, value);
-            self.skip_ws();
-            match self.bump()? {
-                ',' => continue,
-                '}' => return Ok(Json::Obj(map)),
-                other => return Err(format!("expected `,` or `}}`, got `{other}`")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect('[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.bump()? {
-                ',' => continue,
-                ']' => return Ok(Json::Arr(items)),
-                other => return Err(format!("expected `,` or `]`, got `{other}`")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect('"')?;
-        let mut out = String::new();
-        loop {
-            match self.bump()? {
-                '"' => return Ok(out),
-                '\\' => match self.bump()? {
-                    '"' => out.push('"'),
-                    '\\' => out.push('\\'),
-                    '/' => out.push('/'),
-                    'b' => out.push('\u{8}'),
-                    'f' => out.push('\u{c}'),
-                    'n' => out.push('\n'),
-                    'r' => out.push('\r'),
-                    't' => out.push('\t'),
-                    'u' => {
-                        let mut code = 0u32;
-                        for _ in 0..4 {
-                            let digit = self
-                                .bump()?
-                                .to_digit(16)
-                                .ok_or("invalid \\u escape digit")?;
-                            code = code * 16 + digit;
-                        }
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                    }
-                    other => return Err(format!("invalid escape `\\{other}`")),
-                },
-                c => out.push(c),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        if self.peek() == Some('-') {
-            self.pos += 1;
-        }
-        while matches!(self.peek(), Some('0'..='9' | '.' | 'e' | 'E' | '+' | '-')) {
-            self.pos += 1;
-        }
-        let text: String = self.chars[start..self.pos].iter().collect();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("invalid number `{text}`"))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -608,16 +370,5 @@ mod tests {
         );
         let result = validate_jsonl(&doc);
         assert!(result.unwrap_err().message.contains("bounds"));
-    }
-
-    #[test]
-    fn parser_handles_escapes_and_nesting() {
-        let value = parse_json(r#"{"a":[1,2.5,-3e2],"b":"xA\n","c":{"d":null}}"#).expect("parses");
-        let obj = value.as_object().expect("object");
-        assert_eq!(obj["b"], Json::Str("xA\n".to_string()));
-        let Json::Arr(items) = &obj["a"] else {
-            panic!("array expected")
-        };
-        assert_eq!(items[2], Json::Num(-300.0));
     }
 }

@@ -62,10 +62,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n{}", render_tree(&recording.spans()));
     println!("{}", render_metrics(&collector.metrics_snapshot()));
 
-    // A fresh session over the SAME cache: everything above resolves
+    // A fresh session over the SAME store: everything above resolves
     // without recomputation because the context fingerprint matches.
-    let warm = Study::with_cache(ctx, Arc::clone(study.cache()));
-    println!("warm session, same cache:");
+    // (`Study::with_store` also takes a persistent `mpvar::study::DiskStore`
+    // to warm sessions across process restarts.)
+    let warm = Study::with_store(ctx, Arc::clone(study.store()));
+    println!("warm session, same store:");
     let again = warm.run(&[ArtifactId::Table3])?;
     assert_eq!(again, artifacts);
     let hits: usize = warm.timings().values().map(|stats| stats.cache_hits).sum();

@@ -20,7 +20,12 @@
 //!   failure probabilities with an adaptive, resumable controller
 //!   (re-export of `mpvar-yield`; `yield` is a reserved word);
 //! * [`study`] — the artifact-graph engine: memoized, instrumented
-//!   experiment evaluation behind the [`study::Study`] session;
+//!   experiment evaluation behind the [`study::Study`] session, with
+//!   pluggable in-memory / on-disk artifact stores;
+//! * [`serve`] — the analysis job server: newline-delimited JSON
+//!   requests (`mpvar-serve/v1`) over TCP against a persistent
+//!   artifact store, with in-flight request dedupe, wave batching,
+//!   and streamed per-request progress;
 //! * [`trace`] — structured spans, metrics, and machine-readable run
 //!   telemetry (the `--trace` / `--metrics` machinery of `repro`).
 //!
@@ -52,6 +57,7 @@ pub use mpvar_exec as exec;
 pub use mpvar_extract as extract;
 pub use mpvar_geometry as geometry;
 pub use mpvar_litho as litho;
+pub use mpvar_serve as serve;
 pub use mpvar_spice as spice;
 pub use mpvar_sram as sram;
 pub use mpvar_stats as stats;
@@ -74,9 +80,12 @@ pub mod prelude {
     pub use mpvar_litho::Draw;
     pub use mpvar_sram::{simulate_read, BitcellGeometry, FormulaParams, ReadConfig};
     #[allow(deprecated)]
+    pub use mpvar_study::StudyCache;
+    #[allow(deprecated)]
     pub use mpvar_study::StudyObserver;
     pub use mpvar_study::{
-        Artifact, ArtifactId, ArtifactValue, NodeOutcome, RecordingObserver, Study, StudyCache,
+        Artifact, ArtifactId, ArtifactStore, ArtifactValue, DiskStore, MemoryStore, NodeOutcome,
+        RecordingObserver, StoreStats, Study,
     };
     pub use mpvar_tech::preset::{n10, n7};
     pub use mpvar_tech::{PatterningOption, TechDb, VariationBudget};
