@@ -4,8 +4,10 @@
 //! repro [--quick] [--out DIR] [--trace FILE] [--metrics] [--timings] <experiment | all>
 //! repro check [--fast] [--golden DIR] [--oracle-cases N] [--trace FILE] [--metrics] [--timings]
 //! repro validate-trace FILE
+//! repro profile [--folded OUT] FILE
+//! repro perf-check [--baseline FILE] FILE
 //! repro serve [--addr HOST:PORT] [--store DIR]
-//! repro client [--addr HOST:PORT] [--quick] <artifact>...
+//! repro client [--addr HOST:PORT] [--quick] <artifact>... | --stats | --shutdown
 //! repro validate-serve FILE
 //! repro serve-smoke [--store DIR]
 //! ```
@@ -43,13 +45,28 @@
 //!   `--require-counter NAME` (repeatable) additionally fails unless
 //!   the trace recorded a nonzero final value for that counter — the
 //!   CI solver smoke uses it to prove the compiled kernel actually
-//!   reused its symbolic analysis (`spice.lu_symbolic_reuses`).
+//!   reused its symbolic analysis (`spice.lu_symbolic_reuses`) —
+//!   and `--require-span NAME` (repeatable) fails unless the trace
+//!   contains at least one completed span of that name;
+//! * `profile FILE` runs the `mpvar-obs` trace analytics over a
+//!   captured trace: per-span-name aggregates (count, total/self
+//!   time, latency quantiles), the critical path through the dominant
+//!   root, and — with `--folded OUT` — the folded-stack flamegraph
+//!   export (`stack;frames self_ns`, one line per distinct stack,
+//!   ready for `flamegraph.pl` or speedscope);
+//! * `perf-check FILE` evaluates the trace against the committed
+//!   relative perf baseline (`--baseline`, default
+//!   `results/perf_baseline.json`) and exits non-zero when any named
+//!   check regresses — the observability analogue of `repro check`.
 //!
 //! The serving quartet fronts the same study graph over a socket
 //! (`mpvar-serve/v1`, newline-delimited JSON): `serve` runs the job
 //! server against a persistent on-disk artifact store (warm restarts
 //! replay cached analyses without touching a solver), `client` submits
-//! one request and streams its progress, `validate-serve FILE` checks
+//! one request and streams its progress (`client --stats` instead
+//! renders the server's live telemetry: dispatch counters, cache
+//! hit-rate and dedupe-ratio gauges, per-outcome latency quantiles,
+//! and the recent snapshot windows), `validate-serve FILE` checks
 //! a protocol transcript against the schema, and `serve-smoke` is the
 //! CI gate — it proves request dedupe (3 identical concurrent
 //! requests + 1 distinct = exactly 2 materializations, counter-
@@ -75,6 +92,10 @@ use mpvar_bench::{
     EXPERIMENT_IDS,
 };
 use mpvar_core::experiments::ExperimentContext;
+use mpvar_obs::{
+    check as run_perf_check, folded_stacks, profile as profile_trace, render_profile,
+    render_report, PerfBaseline, SpanForest,
+};
 use mpvar_serve::protocol::{AnalysisRequest, ContextSpec, Preset};
 use mpvar_serve::{
     validate_serve_jsonl, Client, ClientMessage, Dispatcher, ProgressRouter, RenderedArtifact,
@@ -168,9 +189,11 @@ fn usage() -> String {
          <experiment | all | bench-parallel | bench-batch-smoke | bench-yield-smoke>\n\
          \x20      repro check [--fast] [--golden DIR] [--oracle-cases N] [--trace FILE] \
          [--metrics] [--timings]\n\
-         \x20      repro validate-trace [--require-counter NAME]... FILE\n\
+         \x20      repro validate-trace [--require-counter NAME]... [--require-span NAME]... FILE\n\
+         \x20      repro profile [--folded OUT] FILE\n\
+         \x20      repro perf-check [--baseline FILE] FILE\n\
          \x20      repro serve [--addr HOST:PORT] [--store DIR]\n\
-         \x20      repro client [--addr HOST:PORT] [--quick] <artifact>... | --shutdown\n\
+         \x20      repro client [--addr HOST:PORT] [--quick] <artifact>... | --stats | --shutdown\n\
          \x20      repro validate-serve FILE\n\
          \x20      repro serve-smoke [--store DIR]\n\
          experiments: {}",
@@ -351,10 +374,14 @@ fn main() -> ExitCode {
     let mut target: Option<String> = None;
     let mut trace_to_validate: Option<PathBuf> = None;
     let mut required_counters: Vec<String> = Vec::new();
+    let mut required_spans: Vec<String> = Vec::new();
+    let mut folded_out: Option<PathBuf> = None;
+    let mut baseline_path = PathBuf::from("results/perf_baseline.json");
     let mut addr = String::from("127.0.0.1:7878");
     let mut store_dir: Option<PathBuf> = None;
     let mut client_artifacts: Vec<String> = Vec::new();
     let mut shutdown_server = false;
+    let mut client_stats = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -391,6 +418,28 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--require-span" => match args.next() {
+                Some(name) if !name.is_empty() => required_spans.push(name),
+                _ => {
+                    eprintln!("--require-span needs a span name\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--folded" => match args.next() {
+                Some(path) => folded_out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--folded needs a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--baseline" => match args.next() {
+                Some(path) => baseline_path = PathBuf::from(path),
+                None => {
+                    eprintln!("--baseline needs a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--stats" => client_stats = true,
             "--shutdown" => shutdown_server = true,
             "--addr" => match args.next() {
                 Some(a) if !a.is_empty() => addr = a,
@@ -420,7 +469,10 @@ fn main() -> ExitCode {
             other
                 if matches!(
                     target.as_deref(),
-                    Some("validate-trace") | Some("validate-serve")
+                    Some("validate-trace")
+                        | Some("validate-serve")
+                        | Some("profile")
+                        | Some("perf-check")
                 ) && trace_to_validate.is_none()
                     && !other.starts_with('-') =>
             {
@@ -483,6 +535,15 @@ fn main() -> ExitCode {
                         }
                     }
                 }
+                for name in &required_spans {
+                    let hits = log.spans.iter().filter(|s| &s.name == name).count();
+                    if hits > 0 {
+                        println!("  span `{name}` x{hits}");
+                    } else {
+                        eprintln!("{}: span `{name}` missing", path.display());
+                        ok = false;
+                    }
+                }
                 if ok {
                     ExitCode::SUCCESS
                 } else {
@@ -493,6 +554,109 @@ fn main() -> ExitCode {
                 eprintln!("{}: invalid trace: {e}", path.display());
                 ExitCode::FAILURE
             }
+        };
+    }
+
+    if target == "profile" {
+        let Some(path) = trace_to_validate else {
+            eprintln!("profile needs a JSONL trace file\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(raw) => raw,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let log = match validate_jsonl(&raw) {
+            Ok(log) => log,
+            Err(e) => {
+                eprintln!("{}: invalid trace: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let prof = match profile_trace(&log) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{}: cannot profile: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", render_profile(&prof));
+        if let Some(out) = folded_out {
+            let forest = match SpanForest::build(log.spans.clone()) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{}: cannot rebuild span forest: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = std::fs::write(&out, folded_stacks(&forest)) {
+                eprintln!("cannot write {}: {e}", out.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", out.display());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if target == "perf-check" {
+        let Some(path) = trace_to_validate else {
+            eprintln!("perf-check needs a JSONL trace file\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        let baseline_raw = match std::fs::read_to_string(&baseline_path) {
+            Ok(raw) => raw,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match PerfBaseline::parse(&baseline_raw) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(raw) => raw,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let log = match validate_jsonl(&raw) {
+            Ok(log) => log,
+            Err(e) => {
+                eprintln!("{}: invalid trace: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "perf-check: {} against baseline {} ({} checks, workload `{}`)",
+            path.display(),
+            baseline_path.display(),
+            baseline.checks.len(),
+            baseline.workload
+        );
+        let report = match run_perf_check(&baseline, &log) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("perf-check failed to evaluate: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", render_report(&report));
+        return if report.passed() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "perf regression gate failed: {}",
+                report.failed_names().join(", ")
+            );
+            ExitCode::FAILURE
         };
     }
 
@@ -567,6 +731,25 @@ fn main() -> ExitCode {
     }
 
     if target == "client" {
+        if client_stats {
+            let mut client = match Client::connect(addr.as_str()) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot connect to {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            return match client.stats_full() {
+                Ok(stats) => {
+                    print!("{}", stats.render());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cannot fetch stats from {addr}: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         if shutdown_server {
             return match Client::connect(addr.as_str()).and_then(Client::shutdown) {
                 Ok(()) => {
@@ -724,9 +907,9 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    if !required_counters.is_empty() {
+    if !required_counters.is_empty() || !required_spans.is_empty() {
         eprintln!(
-            "--require-counter is only valid with `validate-trace`\n{}",
+            "--require-counter/--require-span are only valid with `validate-trace`\n{}",
             usage()
         );
         return ExitCode::FAILURE;

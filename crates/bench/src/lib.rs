@@ -395,6 +395,12 @@ pub fn run_all(ctx: &ExperimentContext) -> Result<Vec<Artifact>, CoreError> {
 /// the wall-clock sections it is exactly reproducible (see
 /// [`yield_bench`]).
 ///
+/// An `obs` section profiles one traced repetition of the same
+/// Monte-Carlo workload through `mpvar-obs`: span/name counts, the
+/// dominant span by self time and its share, and the fraction of the
+/// wall clock the critical path explains — a standing smoke test that
+/// the trace-analytics pipeline digests a real production trace.
+///
 /// # Errors
 ///
 /// Propagates Monte-Carlo failures.
@@ -500,6 +506,45 @@ pub fn parallel_bench_snapshot(ctx: &ExperimentContext) -> Result<String, CoreEr
     // counts, not wall clock, so the section is exactly reproducible.
     let yb = yield_bench()?;
 
+    // Observability smoke: one traced rep of the same MC workload,
+    // captured as `mpvar-trace/v1` JSONL and profiled with mpvar-obs.
+    // A trace this process just emitted always validates and always
+    // forms a forest, so failures here are bugs, not inputs.
+    let obs = {
+        let sink = Arc::new(mpvar_trace::JsonlSink::new());
+        let collector =
+            mpvar_trace::Collector::new(vec![Arc::clone(&sink) as Arc<dyn mpvar_trace::TraceSink>]);
+        let session = collector.install();
+        let mc = McConfig::builder()
+            .trials(trials)
+            .seed(ctx.mc.seed)
+            .threads(traced_threads)
+            .build();
+        let d = tdp_distribution_with(&window, &budget, 64, &mc)?;
+        debug_assert_eq!(d.samples_percent().len(), trials);
+        drop(session);
+        let log = mpvar_trace::schema::validate_jsonl(&sink.contents())
+            .expect("self-emitted trace validates");
+        let profile = mpvar_obs::profile(&log).expect("self-emitted trace profiles");
+        let dominant = profile
+            .aggregates
+            .first()
+            .expect("traced run emits spans")
+            .clone();
+        let coverage_percent = if profile.wall_ns == 0 {
+            0.0
+        } else {
+            profile.critical_path_ns() as f64 / profile.wall_ns as f64 * 100.0
+        };
+        (
+            log.spans.len(),
+            profile.aggregates.len(),
+            dominant,
+            profile.critical_path.len(),
+            coverage_percent,
+        )
+    };
+
     let t1 = entries
         .iter()
         .find(|&&(t, _, _)| t == 1)
@@ -555,6 +600,20 @@ pub fn parallel_bench_snapshot(ctx: &ExperimentContext) -> Result<String, CoreEr
         yb.brute_equivalent_trials,
         yb.speedup()
     );
+    {
+        let (spans, names, dominant, path_len, coverage) = &obs;
+        let mut dominant_name = String::new();
+        mpvar_trace::json::push_json_str(&mut dominant_name, &dominant.name);
+        let _ = writeln!(
+            json,
+            "  \"obs\": {{ \"workload\": \"traced tdp_distribution rep, {traced_threads} \
+             threads\", \"spans\": {spans}, \"distinct_names\": {names}, \
+             \"dominant_span\": {dominant_name}, \"dominant_share\": {:.4}, \
+             \"critical_path_nodes\": {path_len}, \
+             \"critical_path_coverage_percent\": {coverage:.1} }},",
+            dominant.share
+        );
+    }
     let _ = writeln!(json, "  \"entries\": [");
     for (i, &(threads, seconds, tps)) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };

@@ -1,0 +1,456 @@
+//! The perf-regression gate: a committed baseline of *relative*
+//! expectations, checked against any traced run.
+//!
+//! Absolute times flake in CI — machines differ, neighbors steal
+//! cycles. What stays stable is the run's *shape*: which span names
+//! own which fraction of self time, and which counter invariants the
+//! engineered fast paths guarantee (the compiled LU kernel reuses its
+//! symbolic analysis; the batched solver keeps lane fall-out rare).
+//! `results/perf_baseline.json` (schema `mpvar-perf-baseline/v1`)
+//! records those expectations as **named, thresholded checks**;
+//! [`check`] evaluates a trace against them — the observability
+//! analogue of `repro check`'s golden-CSV gate:
+//!
+//! ```text
+//! {"schema":"mpvar-perf-baseline/v1",
+//!  "workload":"repro --quick all --trace",
+//!  "checks":[
+//!    {"name":"solver-self-share","kind":"share_window",
+//!     "span":"spice_transient","min":0.05,"max":0.9},
+//!    {"name":"lu-reuse-present","kind":"counter_min",
+//!     "counter":"spice.lu_symbolic_reuses","min":1},
+//!    {"name":"symbolic-rebuild-rate","kind":"counter_ratio_max",
+//!     "num":"spice.lu_symbolic_builds","den":"spice.lu_refactors",
+//!     "max":0.1}]}
+//! ```
+
+use mpvar_trace::json::{get_f64, get_str, get_u64, parse_json, push_json_str, Json};
+use mpvar_trace::schema::TraceLog;
+
+use crate::analytics::profile;
+use crate::ObsError;
+
+/// Schema identifier of a perf baseline document.
+pub const BASELINE_SCHEMA_ID: &str = "mpvar-perf-baseline/v1";
+
+/// What one named check asserts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckKind {
+    /// The span name's share of total self time must sit in
+    /// `[min, max]`. A missing span counts as share 0 — and fails
+    /// unless `min` is 0.
+    ShareWindow {
+        /// Span name the share is computed for.
+        span: String,
+        /// Inclusive lower share bound, `[0, 1]`.
+        min: f64,
+        /// Inclusive upper share bound, `[0, 1]`.
+        max: f64,
+    },
+    /// The counter's final value must be at least `min` (a missing
+    /// counter reads as 0).
+    CounterMin {
+        /// Counter name.
+        counter: String,
+        /// Inclusive minimum.
+        min: u64,
+    },
+    /// `num / den` must not exceed `max`. A zero or missing
+    /// denominator passes only when the numerator is 0 too.
+    CounterRatioMax {
+        /// Numerator counter name.
+        num: String,
+        /// Denominator counter name.
+        den: String,
+        /// Inclusive maximum ratio.
+        max: f64,
+    },
+}
+
+/// One named, thresholded expectation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfCheck {
+    /// Stable check name, reported on failure.
+    pub name: String,
+    /// The assertion.
+    pub kind: CheckKind,
+}
+
+/// A parsed perf baseline document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfBaseline {
+    /// The workload the baseline was calibrated on (informational).
+    pub workload: String,
+    /// The named checks, in file order.
+    pub checks: Vec<PerfCheck>,
+}
+
+impl PerfBaseline {
+    /// Parses a `mpvar-perf-baseline/v1` JSON document.
+    ///
+    /// # Errors
+    ///
+    /// [`ObsError::Baseline`] describing the first problem.
+    pub fn parse(text: &str) -> Result<PerfBaseline, ObsError> {
+        let err = |m: String| ObsError::Baseline(m);
+        let value = parse_json(text.trim()).map_err(&err)?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| err("document is not a JSON object".into()))?;
+        let schema = get_str(obj, "schema").map_err(&err)?;
+        if schema != BASELINE_SCHEMA_ID {
+            return Err(err(format!(
+                "unsupported schema `{schema}` (expected `{BASELINE_SCHEMA_ID}`)"
+            )));
+        }
+        let workload = get_str(obj, "workload").map_err(&err)?.to_string();
+        let Some(Json::Arr(items)) = obj.get("checks") else {
+            return Err(err("`checks` must be an array".into()));
+        };
+        if items.is_empty() {
+            return Err(err("`checks` must not be empty".into()));
+        }
+        let mut checks = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let check = item
+                .as_object()
+                .ok_or_else(|| err(format!("check #{i} is not an object")))
+                .and_then(|entry| {
+                    let name = get_str(entry, "name").map_err(&err)?.to_string();
+                    if name.is_empty() {
+                        return Err(err(format!("check #{i} has an empty name")));
+                    }
+                    let within = |m: String| err(format!("check `{name}`: {m}"));
+                    let kind = match get_str(entry, "kind").map_err(&err)? {
+                        "share_window" => {
+                            let min = get_f64(entry, "min").map_err(within)?;
+                            let max = get_f64(entry, "max").map_err(within)?;
+                            if !(0.0..=1.0).contains(&min)
+                                || !(0.0..=1.0).contains(&max)
+                                || min > max
+                            {
+                                return Err(err(format!(
+                                    "check `{name}`: share window [{min}, {max}] is not a \
+                                     sub-interval of [0, 1]"
+                                )));
+                            }
+                            CheckKind::ShareWindow {
+                                span: get_str(entry, "span").map_err(within)?.to_string(),
+                                min,
+                                max,
+                            }
+                        }
+                        "counter_min" => CheckKind::CounterMin {
+                            counter: get_str(entry, "counter").map_err(within)?.to_string(),
+                            min: get_u64(entry, "min").map_err(within)?,
+                        },
+                        "counter_ratio_max" => {
+                            let max = get_f64(entry, "max").map_err(within)?;
+                            if !max.is_finite() || max < 0.0 {
+                                return Err(err(format!(
+                                    "check `{name}`: ratio max {max} must be finite and >= 0"
+                                )));
+                            }
+                            CheckKind::CounterRatioMax {
+                                num: get_str(entry, "num").map_err(within)?.to_string(),
+                                den: get_str(entry, "den").map_err(within)?.to_string(),
+                                max,
+                            }
+                        }
+                        other => {
+                            return Err(err(format!("check `{name}`: unknown kind `{other}`")))
+                        }
+                    };
+                    Ok(PerfCheck { name, kind })
+                })?;
+            checks.push(check);
+        }
+        Ok(PerfBaseline { workload, checks })
+    }
+
+    /// Serializes the baseline back to its canonical JSON form
+    /// (pretty-printed, one check per line — the committed format).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\":");
+        push_json_str(&mut out, BASELINE_SCHEMA_ID);
+        out.push_str(",\n \"workload\":");
+        push_json_str(&mut out, &self.workload);
+        out.push_str(",\n \"checks\":[");
+        for (i, check) in self.checks.iter().enumerate() {
+            out.push_str(if i == 0 { "\n  " } else { ",\n  " });
+            out.push_str("{\"name\":");
+            push_json_str(&mut out, &check.name);
+            match &check.kind {
+                CheckKind::ShareWindow { span, min, max } => {
+                    out.push_str(",\"kind\":\"share_window\",\"span\":");
+                    push_json_str(&mut out, span);
+                    out.push_str(&format!(",\"min\":{min},\"max\":{max}"));
+                }
+                CheckKind::CounterMin { counter, min } => {
+                    out.push_str(",\"kind\":\"counter_min\",\"counter\":");
+                    push_json_str(&mut out, counter);
+                    out.push_str(&format!(",\"min\":{min}"));
+                }
+                CheckKind::CounterRatioMax { num, den, max } => {
+                    out.push_str(",\"kind\":\"counter_ratio_max\",\"num\":");
+                    push_json_str(&mut out, num);
+                    out.push_str(",\"den\":");
+                    push_json_str(&mut out, den);
+                    out.push_str(&format!(",\"max\":{max}"));
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("\n ]}\n");
+        out
+    }
+}
+
+/// One evaluated check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfCheckResult {
+    /// The check's name.
+    pub name: String,
+    /// Whether the trace satisfied it.
+    pub passed: bool,
+    /// Human-readable measurement vs threshold.
+    pub detail: String,
+}
+
+/// Every check's verdict against one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Results in baseline order.
+    pub checks: Vec<PerfCheckResult>,
+}
+
+impl PerfReport {
+    /// Whether every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Names of the failing checks, in baseline order.
+    pub fn failed_names(&self) -> Vec<&str> {
+        self.checks
+            .iter()
+            .filter(|c| !c.passed)
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+}
+
+/// Evaluates `baseline` against a parsed trace.
+///
+/// Missing spans and counters are *failing measurements* (share 0,
+/// value 0), not errors — a trace that silently lost its solver spans
+/// is exactly the regression this gate exists to catch.
+///
+/// # Errors
+///
+/// Only structural ones: an empty trace or an unbuildable span forest.
+pub fn check(baseline: &PerfBaseline, log: &TraceLog) -> Result<PerfReport, ObsError> {
+    let profile = profile(log)?;
+    let counter = |name: &str| log.counters.get(name).copied().unwrap_or(0);
+    let checks = baseline
+        .checks
+        .iter()
+        .map(|c| {
+            let (passed, detail) = match &c.kind {
+                CheckKind::ShareWindow { span, min, max } => {
+                    let share = profile.aggregate(span).map(|a| a.share).unwrap_or(0.0);
+                    (
+                        (*min..=*max).contains(&share),
+                        format!(
+                            "span `{span}` self-time share {:.1}% (window {:.1}%..{:.1}%)",
+                            share * 100.0,
+                            min * 100.0,
+                            max * 100.0
+                        ),
+                    )
+                }
+                CheckKind::CounterMin { counter: name, min } => {
+                    let value = counter(name);
+                    (
+                        value >= *min,
+                        format!("counter `{name}` = {value} (min {min})"),
+                    )
+                }
+                CheckKind::CounterRatioMax { num, den, max } => {
+                    let (n, d) = (counter(num), counter(den));
+                    let (passed, shown) = if d == 0 {
+                        (n == 0, "undefined (zero denominator)".to_string())
+                    } else {
+                        let ratio = n as f64 / d as f64;
+                        (ratio <= *max, format!("{ratio:.4}"))
+                    };
+                    (
+                        passed,
+                        format!("`{num}`/`{den}` = {n}/{d} = {shown} (max {max})"),
+                    )
+                }
+            };
+            PerfCheckResult {
+                name: c.name.clone(),
+                passed,
+                detail,
+            }
+        })
+        .collect();
+    Ok(PerfReport { checks })
+}
+
+/// Renders a report as `repro perf-check` prints it: one `PASS`/`FAIL`
+/// line per check, then the verdict.
+pub fn render_report(report: &PerfReport) -> String {
+    let mut out = String::new();
+    for c in &report.checks {
+        out.push_str(&format!(
+            "  [{}] {:<28} {}\n",
+            if c.passed { "PASS" } else { "FAIL" },
+            c.name,
+            c.detail
+        ));
+    }
+    let failed = report.failed_names();
+    if failed.is_empty() {
+        out.push_str(&format!(
+            "perf-check: OK ({} checks)\n",
+            report.checks.len()
+        ));
+    } else {
+        out.push_str(&format!(
+            "perf-check: FAILED ({}/{} checks): {}\n",
+            failed.len(),
+            report.checks.len(),
+            failed.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_baseline() -> PerfBaseline {
+        PerfBaseline {
+            workload: "test".into(),
+            checks: vec![
+                PerfCheck {
+                    name: "solver-share".into(),
+                    kind: CheckKind::ShareWindow {
+                        span: "work".into(),
+                        min: 0.5,
+                        max: 0.95,
+                    },
+                },
+                PerfCheck {
+                    name: "reuse-present".into(),
+                    kind: CheckKind::CounterMin {
+                        counter: "reuses".into(),
+                        min: 1,
+                    },
+                },
+                PerfCheck {
+                    name: "rebuild-rate".into(),
+                    kind: CheckKind::CounterRatioMax {
+                        num: "builds".into(),
+                        den: "solves".into(),
+                        max: 0.5,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let baseline = sample_baseline();
+        let parsed = PerfBaseline::parse(&baseline.to_json()).expect("parse");
+        assert_eq!(parsed, baseline);
+    }
+
+    #[test]
+    fn parse_rejects_bad_documents() {
+        assert!(matches!(
+            PerfBaseline::parse("{}"),
+            Err(ObsError::Baseline(_))
+        ));
+        let wrong_schema = r#"{"schema":"perf/v0","workload":"w","checks":[]}"#;
+        assert!(PerfBaseline::parse(wrong_schema).is_err());
+        let empty_checks = r#"{"schema":"mpvar-perf-baseline/v1","workload":"w","checks":[]}"#;
+        assert!(PerfBaseline::parse(empty_checks).is_err());
+        let bad_window = r#"{"schema":"mpvar-perf-baseline/v1","workload":"w",
+            "checks":[{"name":"x","kind":"share_window","span":"s","min":0.9,"max":0.1}]}"#;
+        assert!(PerfBaseline::parse(bad_window).is_err());
+        let unknown_kind = r#"{"schema":"mpvar-perf-baseline/v1","workload":"w",
+            "checks":[{"name":"x","kind":"wall_time_max","max":1.0}]}"#;
+        let err = PerfBaseline::parse(unknown_kind).unwrap_err();
+        assert!(err.to_string().contains("unknown kind"), "{err}");
+    }
+
+    fn trace_with(work_ns: u64, other_ns: u64, counters: &[(&str, u64)]) -> TraceLog {
+        use mpvar_trace::schema::SpanEntry;
+        use std::collections::BTreeMap;
+        let mut log = TraceLog {
+            schema: "mpvar-trace/v1".into(),
+            ..TraceLog::default()
+        };
+        log.spans.push(SpanEntry {
+            id: 1,
+            parent: None,
+            name: "work".into(),
+            thread: 0,
+            start_ns: 0,
+            dur_ns: work_ns,
+            fields: BTreeMap::new(),
+        });
+        log.spans.push(SpanEntry {
+            id: 2,
+            parent: None,
+            name: "other".into(),
+            thread: 0,
+            start_ns: work_ns,
+            dur_ns: other_ns,
+            fields: BTreeMap::new(),
+        });
+        for (name, value) in counters {
+            log.counters.insert(name.to_string(), *value);
+        }
+        log
+    }
+
+    #[test]
+    fn honest_trace_passes_and_inflated_share_fails_by_name() {
+        let baseline = sample_baseline();
+        let honest = trace_with(80, 20, &[("reuses", 10), ("builds", 1), ("solves", 10)]);
+        let report = check(&baseline, &honest).expect("check");
+        assert!(report.passed(), "{report:?}");
+
+        // Doctoring `other` up (so `work`'s share collapses) must fail
+        // exactly the share check, by name.
+        let doctored = trace_with(80, 2000, &[("reuses", 10), ("builds", 1), ("solves", 10)]);
+        let report = check(&baseline, &doctored).expect("check");
+        assert!(!report.passed());
+        assert_eq!(report.failed_names(), ["solver-share"]);
+        assert!(
+            render_report(&report).contains("FAIL"),
+            "render names failure"
+        );
+    }
+
+    #[test]
+    fn counter_checks_fail_on_missing_and_zero_denominator() {
+        let baseline = sample_baseline();
+        let no_counters = trace_with(80, 20, &[]);
+        let report = check(&baseline, &no_counters).expect("check");
+        // reuse-present fails (missing = 0); rebuild-rate passes (0/0).
+        assert_eq!(report.failed_names(), ["reuse-present"]);
+
+        let zero_den = trace_with(80, 20, &[("reuses", 5), ("builds", 3)]);
+        let report = check(&baseline, &zero_den).expect("check");
+        assert_eq!(report.failed_names(), ["rebuild-rate"]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Adversarial traces against the span-forest rebuilder and the
+//! profile pipeline: orphaned parents, events out of order across
+//! threads, and a truncated final line must each surface as a *named*
+//! error (or be handled transparently where order simply does not
+//! matter) — never a panic.
+
+use mpvar_obs::{profile, profile_spans, ForestError, ObsError, SpanForest};
+use mpvar_trace::schema::SpanEntry;
+use mpvar_trace::validate_jsonl;
+
+fn span(id: u64, parent: Option<u64>, name: &str, thread: u64, start: u64, dur: u64) -> SpanEntry {
+    SpanEntry {
+        id,
+        parent,
+        name: name.to_string(),
+        thread,
+        start_ns: start,
+        dur_ns: dur,
+        fields: std::collections::BTreeMap::new(),
+    }
+}
+
+/// A well-formed JSONL document with one root and two cross-thread
+/// children, written in completion order (children first).
+fn jsonl_doc() -> String {
+    [
+        r#"{"type":"meta","schema":"mpvar-trace/v1","producer":"mpvar"}"#,
+        r#"{"type":"span","id":2,"parent":1,"name":"mc_wave","thread":1,"start_ns":100,"dur_ns":400}"#,
+        r#"{"type":"span","id":3,"parent":1,"name":"mc_wave","thread":2,"start_ns":150,"dur_ns":420}"#,
+        r#"{"type":"span","id":1,"parent":null,"name":"mc_distribution","thread":0,"start_ns":0,"dur_ns":700}"#,
+        r#"{"type":"counter","name":"mc.trials","value":512}"#,
+    ]
+    .join("\n")
+}
+
+#[test]
+fn orphaned_parent_is_a_named_forest_error() {
+    // The parent's completion line never made it into the stream (the
+    // process died before the root span closed).
+    let spans = vec![
+        span(2, Some(1), "mc_wave", 1, 100, 400),
+        span(3, Some(1), "mc_wave", 2, 150, 420),
+    ];
+    let err = SpanForest::build(spans.clone()).unwrap_err();
+    assert_eq!(err, ForestError::OrphanedParent { span: 2, parent: 1 });
+    // The profile pipeline wraps, not panics.
+    let err = profile_spans(spans).unwrap_err();
+    assert_eq!(
+        err,
+        ObsError::Forest(ForestError::OrphanedParent { span: 2, parent: 1 })
+    );
+    assert!(err.to_string().contains("orphaned parent 1"), "{err}");
+}
+
+#[test]
+fn out_of_order_events_across_threads_profile_identically() {
+    // Interleaved multi-thread completion order vs fully reversed vs
+    // sorted-by-id: the rebuilt forest and the profile must be
+    // identical, because parent links — not file order — define
+    // structure.
+    let completion_order = vec![
+        span(4, Some(2), "spice_transient", 1, 120, 80),
+        span(2, Some(1), "mc_wave", 1, 100, 400),
+        span(5, Some(3), "spice_transient", 2, 200, 90),
+        span(3, Some(1), "mc_wave", 2, 150, 420),
+        span(1, None, "mc_distribution", 0, 0, 700),
+    ];
+    let mut reversed = completion_order.clone();
+    reversed.reverse();
+    let mut by_id = completion_order.clone();
+    by_id.sort_by_key(|s| s.id);
+
+    let base = profile_spans(completion_order).expect("profile");
+    assert_eq!(base, profile_spans(reversed).expect("profile"));
+    assert_eq!(base, profile_spans(by_id).expect("profile"));
+    // Sanity: the wave that finished last carries the critical path.
+    let names: Vec<&str> = base.critical_path.iter().map(|n| n.name.as_str()).collect();
+    assert_eq!(names, ["mc_distribution", "mc_wave", "spice_transient"]);
+}
+
+#[test]
+fn truncated_final_line_is_a_named_schema_error() {
+    let doc = jsonl_doc();
+    // Sanity: the intact document parses and profiles.
+    let log = validate_jsonl(&doc).expect("intact doc parses");
+    profile(&log).expect("intact doc profiles");
+
+    // Cut the file mid-way through its final line (a crashed writer).
+    let cut = doc.len() - 10;
+    let truncated = &doc[..cut];
+    let err = validate_jsonl(truncated).unwrap_err();
+    assert_eq!(err.line, 5, "error names the truncated line");
+    let wrapped: ObsError = err.into();
+    assert!(
+        matches!(wrapped, ObsError::Trace(_)),
+        "schema errors wrap as ObsError::Trace"
+    );
+    assert!(wrapped.to_string().contains("line 5"), "{wrapped}");
+}
+
+#[test]
+fn duplicate_ids_and_cycles_never_panic() {
+    let dup = vec![span(7, None, "a", 0, 0, 10), span(7, None, "b", 0, 20, 10)];
+    assert_eq!(
+        profile_spans(dup).unwrap_err(),
+        ObsError::Forest(ForestError::DuplicateSpanId { span: 7 })
+    );
+    let cycle = vec![
+        span(1, Some(2), "a", 0, 0, 10),
+        span(2, Some(3), "b", 0, 0, 10),
+        span(3, Some(1), "c", 0, 0, 10),
+    ];
+    assert!(matches!(
+        profile_spans(cycle).unwrap_err(),
+        ObsError::Forest(ForestError::ParentCycle { .. })
+    ));
+}

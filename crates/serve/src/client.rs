@@ -12,6 +12,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::protocol::{AnalysisRequest, ClientMessage, RenderedArtifact, ServerMessage};
+use crate::telemetry::ServeStats;
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -141,18 +142,29 @@ impl Client {
         }
     }
 
-    /// Fetches the server's live dispatch counters.
+    /// Fetches the server's live dispatch counters (the `counters`
+    /// slice of [`Client::stats_full`]).
     ///
     /// # Errors
     ///
     /// Transport/protocol failures.
     pub fn stats(&mut self) -> Result<BTreeMap<String, u64>, ClientError> {
+        self.stats_full().map(|stats| stats.counters)
+    }
+
+    /// Fetches the server's full telemetry: counters, gauges,
+    /// per-outcome latency quantiles, and recent snapshot windows.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn stats_full(&mut self) -> Result<ServeStats, ClientError> {
         self.send(&ClientMessage::Stats)?;
         loop {
             // Skip stray progress lines from requests still in flight
             // elsewhere on this connection.
-            if let ServerMessage::Stats { counters } = self.recv()? {
-                return Ok(counters);
+            if let ServerMessage::Stats { stats } = self.recv()? {
+                return Ok(stats);
             }
         }
     }

@@ -36,6 +36,7 @@ use mpvar_trace::names;
 
 use crate::progress::{JobEvent, ProgressRouter};
 use crate::protocol::{AnalysisRequest, RenderedArtifact};
+use crate::telemetry::{RequestOutcome, ServeStats, ServeTelemetry};
 
 /// A submitted job: its cache identity and its event stream (zero or
 /// more [`JobEvent::Progress`], then one [`JobEvent::Done`]).
@@ -50,6 +51,8 @@ pub struct JobHandle {
 struct Waiter {
     artifacts: Vec<ArtifactId>,
     tx: Sender<JobEvent>,
+    submitted: Instant,
+    deduped: bool,
 }
 
 struct PendingJob {
@@ -86,6 +89,7 @@ pub struct Dispatcher {
     router: Arc<ProgressRouter>,
     waves: Mutex<HashMap<u64, WaveState>>,
     counters: DispatchCounters,
+    telemetry: ServeTelemetry,
     wave_seq: AtomicU64,
     active: Mutex<usize>,
     idle: Condvar,
@@ -100,6 +104,7 @@ impl Dispatcher {
             router,
             waves: Mutex::new(HashMap::new()),
             counters: DispatchCounters::default(),
+            telemetry: ServeTelemetry::new(),
             wave_seq: AtomicU64::new(0),
             active: Mutex::new(0),
             idle: Condvar::new(),
@@ -123,18 +128,20 @@ impl Dispatcher {
     ///
     /// A description when the request's context cannot be built.
     pub fn submit(self: &Arc<Self>, request: &AnalysisRequest) -> Result<JobHandle, String> {
-        let ctx = request
-            .context
-            .build()
-            .map_err(|e| format!("invalid context: {e}"))?;
+        let ctx = request.context.build().map_err(|e| {
+            self.telemetry.record_error();
+            format!("invalid context: {e}")
+        })?;
         let fingerprint = context_fingerprint(&ctx);
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         mpvar_trace::counter_add(names::SERVE_REQUESTS, 1);
 
         let (tx, rx) = channel();
-        let waiter = Waiter {
+        let mut waiter = Waiter {
             artifacts: request.artifacts.clone(),
             tx: tx.clone(),
+            submitted: Instant::now(),
+            deduped: false,
         };
 
         let mut waves = self.waves.lock().expect("dispatcher waves lock poisoned");
@@ -150,6 +157,7 @@ impl Dispatcher {
                 if request.progress {
                     self.router.attach(&running.label, tx);
                 }
+                waiter.deduped = true;
                 running.waiters.push(waiter);
                 self.counters.deduped.fetch_add(1, Ordering::Relaxed);
                 mpvar_trace::counter_add(names::SERVE_DEDUPED, 1);
@@ -230,6 +238,19 @@ impl Dispatcher {
         ])
     }
 
+    /// The full enriched stats payload: the counters of
+    /// [`Dispatcher::stats_snapshot`] plus the telemetry's gauges,
+    /// per-outcome latency quantiles, and snapshot-window ring.
+    pub fn full_stats(&self) -> ServeStats {
+        self.telemetry.snapshot(self.stats_snapshot())
+    }
+
+    /// The request-outcome telemetry accumulator (tests roll its
+    /// windows deterministically through this).
+    pub fn telemetry(&self) -> &ServeTelemetry {
+        &self.telemetry
+    }
+
     /// Blocks until no wave is running (or the timeout passes);
     /// returns whether the dispatcher went idle.
     pub fn wait_idle(&self, timeout: Duration) -> bool {
@@ -294,6 +315,16 @@ impl Dispatcher {
                 })
                 .map_err(|e| e.to_string());
 
+            // Classify the wave for telemetry: a wave that computed
+            // nothing was answered entirely by the store (warm),
+            // anything else is cold. Dedupe joiners are tagged on
+            // their waiter instead.
+            let wave_outcome = if study.session_stats().computed == 0 {
+                RequestOutcome::WarmHit
+            } else {
+                RequestOutcome::Cold
+            };
+
             // Drain this wave's waiters and promote the pending wave
             // under one lock, so a dedupe join can never slip between
             // "wave done" and "waiters answered".
@@ -336,6 +367,19 @@ impl Dispatcher {
                         .collect::<Vec<_>>()),
                     Err(message) => Err(message.clone()),
                 };
+                // Latency is submit → answer, queueing included: it is
+                // the latency the *client* experienced.
+                match &answer {
+                    Ok(_) => self.telemetry.record(
+                        if waiter.deduped {
+                            RequestOutcome::Deduped
+                        } else {
+                            wave_outcome
+                        },
+                        waiter.submitted.elapsed(),
+                    ),
+                    Err(_) => self.telemetry.record_error(),
+                }
                 // A waiter that hung up just misses its answer.
                 let _ = waiter.tx.send(JobEvent::Done(answer));
             }

@@ -71,6 +71,7 @@ pub mod dispatch;
 pub mod progress;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
 
 pub use client::{Client, ClientError};
 pub use dispatch::{Dispatcher, JobHandle};
@@ -80,3 +81,4 @@ pub use protocol::{
     RenderedArtifact, ServeLog, ServeMessage, ServerMessage, SCHEMA_ID,
 };
 pub use server::Server;
+pub use telemetry::{LatencyStat, RequestOutcome, ServeStats, ServeTelemetry, StatsWindow};

@@ -27,7 +27,12 @@
 //! {"schema":"mpvar-serve/v1","type":"result","id":"r1",
 //!  "artifacts":[{"id":"table3","text":"...","csv":"..."}]}
 //! {"schema":"mpvar-serve/v1","type":"error","id":"r1","message":"..."}
-//! {"schema":"mpvar-serve/v1","type":"stats","counters":{"serve.requests":4}}
+//! {"schema":"mpvar-serve/v1","type":"stats","counters":{"serve.requests":4},
+//!  "gauges":{"serve.cache_hit_rate":0.75,"serve.dedupe_ratio":0.2},
+//!  "latencies":{"warm_hit":{"bounds":[...],"counts":[...],"underflow":0,
+//!  "overflow":0,"sum":81000,"count":3,"p50_ns":21000,"p95_ns":60000,
+//!  "p99_ns":71000}},"windows":[{"seq":0,"requests":4,"warm_hit":3,
+//!  "deduped":0,"cold":1,"errors":0}]}
 //! ```
 //!
 //! Parsing is strict where it matters (unknown artifact names, bad
@@ -41,7 +46,13 @@ use std::fmt;
 use mpvar_core::experiments::ExperimentContext;
 use mpvar_core::CoreError;
 use mpvar_study::ArtifactId;
-use mpvar_trace::json::{get_str, get_str_array, get_u64, parse_json, push_json_str, Json, Obj};
+use mpvar_trace::json::{
+    get_f64, get_f64_array, get_str, get_str_array, get_u64, get_u64_array, parse_json,
+    push_json_f64, push_json_str, Json, Obj,
+};
+use mpvar_trace::metrics::HistogramMetric;
+
+use crate::telemetry::{LatencyStat, ServeStats, StatsWindow};
 
 /// Schema identifier carried by every `mpvar-serve/v1` message.
 pub const SCHEMA_ID: &str = "mpvar-serve/v1";
@@ -279,11 +290,14 @@ pub enum ServerMessage {
         /// Failure description.
         message: String,
     },
-    /// Live dispatch counters.
+    /// Live dispatch telemetry: counters plus (since the telemetry
+    /// extension) gauges, per-outcome latency histograms with derived
+    /// quantiles, and the recent snapshot-window ring. The enriched
+    /// fields are optional on the wire — a `{"counters":{...}}`-only
+    /// line from an older server still parses, with the extras empty.
     Stats {
-        /// Counter name → value (the `serve.*` names from
-        /// `mpvar_trace::names`).
-        counters: BTreeMap<String, u64>,
+        /// The full stats payload.
+        stats: ServeStats,
     },
 }
 
@@ -414,9 +428,9 @@ impl ServerMessage {
                 out.push_str(",\"message\":");
                 push_json_str(&mut out, message);
             }
-            ServerMessage::Stats { counters } => {
+            ServerMessage::Stats { stats } => {
                 out.push_str(",\"type\":\"stats\",\"counters\":{");
-                for (i, (name, value)) in counters.iter().enumerate() {
+                for (i, (name, value)) in stats.counters.iter().enumerate() {
                     if i > 0 {
                         out.push(',');
                     }
@@ -424,6 +438,44 @@ impl ServerMessage {
                     out.push_str(&format!(":{value}"));
                 }
                 out.push('}');
+                if !stats.gauges.is_empty() {
+                    out.push_str(",\"gauges\":{");
+                    for (i, (name, value)) in stats.gauges.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        push_json_str(&mut out, name);
+                        out.push(':');
+                        push_json_f64(&mut out, *value);
+                    }
+                    out.push('}');
+                }
+                if !stats.latencies.is_empty() {
+                    out.push_str(",\"latencies\":{");
+                    for (i, (outcome, stat)) in stats.latencies.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        push_json_str(&mut out, outcome);
+                        out.push(':');
+                        encode_latency(&mut out, stat);
+                    }
+                    out.push('}');
+                }
+                if !stats.windows.is_empty() {
+                    out.push_str(",\"windows\":[");
+                    for (i, w) in stats.windows.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!(
+                            "{{\"seq\":{},\"requests\":{},\"warm_hit\":{},\
+                             \"deduped\":{},\"cold\":{},\"errors\":{}}}",
+                            w.seq, w.requests, w.warm_hit, w.deduped, w.cold, w.errors
+                        ));
+                    }
+                    out.push(']');
+                }
             }
         }
         out.push_str("}\n");
@@ -481,26 +533,187 @@ impl ServerMessage {
                 id: get_str(&obj, "id")?.to_string(),
                 message: get_str(&obj, "message")?.to_string(),
             }),
-            "stats" => {
-                let Some(Json::Obj(raw)) = obj.get("counters") else {
-                    return Err("`counters` must be an object".to_string());
-                };
-                let mut counters = BTreeMap::new();
-                for (name, value) in raw {
-                    let Json::Num(n) = value else {
-                        return Err(format!("counter `{name}` must be a number"));
-                    };
-                    counters.insert(
-                        name.clone(),
-                        mpvar_trace::json::to_u64(*n)
-                            .map_err(|m| format!("counter `{name}`: {m}"))?,
-                    );
-                }
-                Ok(ServerMessage::Stats { counters })
-            }
+            "stats" => decode_stats(&obj).map(|stats| ServerMessage::Stats { stats }),
             other => Err(format!("unknown server message type `{other}`")),
         }
     }
+}
+
+fn encode_latency(out: &mut String, stat: &LatencyStat) {
+    let h = &stat.histogram;
+    out.push_str("{\"bounds\":[");
+    for (i, b) in h.bounds.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_f64(out, *b);
+    }
+    out.push_str("],\"counts\":[");
+    for (i, c) in h.counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&c.to_string());
+    }
+    out.push_str(&format!(
+        "],\"underflow\":{},\"overflow\":{},\"sum\":",
+        h.underflow, h.overflow
+    ));
+    push_json_f64(out, h.sum);
+    out.push_str(&format!(",\"count\":{},\"p50_ns\":", h.count));
+    push_json_f64(out, stat.p50_ns);
+    out.push_str(",\"p95_ns\":");
+    push_json_f64(out, stat.p95_ns);
+    out.push_str(",\"p99_ns\":");
+    push_json_f64(out, stat.p99_ns);
+    out.push('}');
+}
+
+fn decode_stats(obj: &Obj) -> Result<ServeStats, String> {
+    let Some(Json::Obj(raw)) = obj.get("counters") else {
+        return Err("`counters` must be an object".to_string());
+    };
+    let mut counters = BTreeMap::new();
+    for (name, value) in raw {
+        let Json::Num(n) = value else {
+            return Err(format!("counter `{name}` must be a number"));
+        };
+        counters.insert(
+            name.clone(),
+            mpvar_trace::json::to_u64(*n).map_err(|m| format!("counter `{name}`: {m}"))?,
+        );
+    }
+    let mut gauges = BTreeMap::new();
+    match obj.get("gauges") {
+        None => {}
+        Some(Json::Obj(raw)) => {
+            for (name, value) in raw {
+                let Json::Num(n) = value else {
+                    return Err(format!("gauge `{name}` must be a finite number"));
+                };
+                if !n.is_finite() {
+                    return Err(format!("gauge `{name}` must be a finite number"));
+                }
+                gauges.insert(name.clone(), *n);
+            }
+        }
+        Some(_) => return Err("`gauges` must be an object".to_string()),
+    }
+    let mut latencies = BTreeMap::new();
+    match obj.get("latencies") {
+        None => {}
+        Some(Json::Obj(raw)) => {
+            for (outcome, value) in raw {
+                let entry = value
+                    .as_object()
+                    .ok_or_else(|| format!("latency `{outcome}` must be an object"))?;
+                let stat =
+                    decode_latency(entry).map_err(|m| format!("latency `{outcome}`: {m}"))?;
+                latencies.insert(outcome.clone(), stat);
+            }
+        }
+        Some(_) => return Err("`latencies` must be an object".to_string()),
+    }
+    let mut windows = Vec::new();
+    match obj.get("windows") {
+        None => {}
+        Some(Json::Arr(items)) => {
+            for (i, item) in items.iter().enumerate() {
+                let entry = item
+                    .as_object()
+                    .ok_or_else(|| format!("window {i} must be an object"))?;
+                windows.push(decode_window(entry).map_err(|m| format!("window {i}: {m}"))?);
+            }
+        }
+        Some(_) => return Err("`windows` must be an array".to_string()),
+    }
+    Ok(ServeStats {
+        counters,
+        gauges,
+        latencies,
+        windows,
+    })
+}
+
+fn decode_latency(entry: &Obj) -> Result<LatencyStat, String> {
+    let bounds = get_f64_array(entry, "bounds")?;
+    if bounds.len() < 2 {
+        return Err("`bounds` needs at least two edges".to_string());
+    }
+    if bounds.iter().any(|b| !b.is_finite()) || bounds.windows(2).any(|w| w[0] >= w[1]) {
+        return Err("`bounds` must be finite and strictly ascending".to_string());
+    }
+    let counts = get_u64_array(entry, "counts")?;
+    if bounds.len() != counts.len() + 1 {
+        return Err(format!(
+            "{} bounds do not frame {} counts (need counts + 1)",
+            bounds.len(),
+            counts.len()
+        ));
+    }
+    let underflow = get_u64(entry, "underflow")?;
+    let overflow = get_u64(entry, "overflow")?;
+    let count = get_u64(entry, "count")?;
+    let bucketed: u64 = counts.iter().sum();
+    if count != bucketed + underflow + overflow {
+        return Err(format!(
+            "`count` {count} disagrees with buckets + under/overflow \
+             ({bucketed} + {underflow} + {overflow})"
+        ));
+    }
+    let sum = get_f64(entry, "sum")?;
+    if !sum.is_finite() {
+        return Err("`sum` must be finite".to_string());
+    }
+    let quantile = |key: &str| -> Result<f64, String> {
+        let v = get_f64(entry, key)?;
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(format!("`{key}` must be finite"))
+        }
+    };
+    let (p50_ns, p95_ns, p99_ns) = (
+        quantile("p50_ns")?,
+        quantile("p95_ns")?,
+        quantile("p99_ns")?,
+    );
+    if !(p50_ns <= p95_ns && p95_ns <= p99_ns) {
+        return Err(format!(
+            "quantiles out of order: p50 {p50_ns} / p95 {p95_ns} / p99 {p99_ns}"
+        ));
+    }
+    Ok(LatencyStat {
+        histogram: HistogramMetric {
+            bounds,
+            counts,
+            underflow,
+            overflow,
+            sum,
+            count,
+        },
+        p50_ns,
+        p95_ns,
+        p99_ns,
+    })
+}
+
+fn decode_window(entry: &Obj) -> Result<StatsWindow, String> {
+    let window = StatsWindow {
+        seq: get_u64(entry, "seq")?,
+        requests: get_u64(entry, "requests")?,
+        warm_hit: get_u64(entry, "warm_hit")?,
+        deduped: get_u64(entry, "deduped")?,
+        cold: get_u64(entry, "cold")?,
+        errors: get_u64(entry, "errors")?,
+    };
+    if window.warm_hit + window.deduped + window.cold != window.requests {
+        return Err(format!(
+            "`requests` {} disagrees with outcome counts ({} + {} + {})",
+            window.requests, window.warm_hit, window.deduped, window.cold
+        ));
+    }
+    Ok(window)
 }
 
 fn parse_object(line: &str) -> Result<Obj, String> {
@@ -553,6 +766,11 @@ impl ServeLog {
     /// Number of `progress` lines.
     pub fn progress_events(&self) -> usize {
         self.count(|m| matches!(m, ServeMessage::Server(ServerMessage::Progress { .. })))
+    }
+
+    /// Number of server `stats` reply lines.
+    pub fn stats_replies(&self) -> usize {
+        self.count(|m| matches!(m, ServeMessage::Server(ServerMessage::Stats { .. })))
     }
 
     fn count(&self, pred: impl Fn(&ServeMessage) -> bool) -> usize {
@@ -679,16 +897,110 @@ mod tests {
                 message: "unknown artifact `tableX`".into(),
             },
             ServerMessage::Stats {
-                counters: BTreeMap::from([
-                    ("serve.requests".to_string(), 4),
-                    ("serve.materializations".to_string(), 2),
-                ]),
+                stats: ServeStats {
+                    counters: BTreeMap::from([
+                        ("serve.requests".to_string(), 4),
+                        ("serve.materializations".to_string(), 2),
+                    ]),
+                    ..ServeStats::default()
+                },
             },
         ];
         for message in messages {
             let line = message.to_line();
             assert_eq!(ServerMessage::parse(&line).as_ref(), Ok(&message), "{line}");
         }
+    }
+
+    /// An enriched stats payload as the telemetry produces it.
+    fn sample_stats() -> ServeStats {
+        use crate::telemetry::{RequestOutcome, ServeTelemetry};
+        use std::time::Duration;
+        let t = ServeTelemetry::with_window(Duration::from_secs(3600));
+        t.record(RequestOutcome::Cold, Duration::from_millis(700));
+        t.record(RequestOutcome::WarmHit, Duration::from_micros(40));
+        t.record(RequestOutcome::WarmHit, Duration::from_micros(55));
+        t.record(RequestOutcome::Deduped, Duration::from_millis(650));
+        t.record_error();
+        t.roll_window();
+        t.record(RequestOutcome::WarmHit, Duration::from_micros(35));
+        t.snapshot(BTreeMap::from([
+            ("serve.requests".to_string(), 5),
+            ("serve.dedup_hits".to_string(), 1),
+        ]))
+    }
+
+    #[test]
+    fn enriched_stats_round_trip_exactly() {
+        let message = ServerMessage::Stats {
+            stats: sample_stats(),
+        };
+        let line = message.to_line();
+        assert_eq!(ServerMessage::parse(&line), Ok(message), "{line}");
+    }
+
+    #[test]
+    fn stats_keys_encode_deterministically_sorted() {
+        let line = ServerMessage::Stats {
+            stats: sample_stats(),
+        }
+        .to_line();
+        // Counters, gauges, and latency outcomes must appear in sorted
+        // key order regardless of insertion history.
+        let pos = |needle: &str| {
+            line.find(needle)
+                .unwrap_or_else(|| panic!("{needle} in {line}"))
+        };
+        assert!(pos("serve.dedup_hits") < pos("serve.requests"));
+        assert!(pos("serve.cache_hit_rate") < pos("serve.dedupe_ratio"));
+        assert!(pos("\"cold\"") < pos("\"deduped\""));
+        assert!(pos("\"deduped\"") < pos("\"warm_hit\""));
+        // Re-encoding the parse is byte-identical: the line is canonical.
+        let reparsed = ServerMessage::parse(&line).expect("parses");
+        assert_eq!(reparsed.to_line(), line);
+    }
+
+    #[test]
+    fn stats_parser_rejects_malformed_telemetry_shapes() {
+        let line = ServerMessage::Stats {
+            stats: sample_stats(),
+        }
+        .to_line();
+        // Quantiles out of order.
+        let doctored = line.replace("\"p99_ns\":", "\"p99_ns\":0e0,\"ignored\":");
+        assert!(
+            ServerMessage::parse(&doctored)
+                .unwrap_err()
+                .contains("quantiles out of order"),
+            "{doctored}"
+        );
+        // Window outcome counts that do not add up.
+        let bad_window = line.replace("\"cold\":1", "\"cold\":2");
+        assert!(ServerMessage::parse(&bad_window)
+            .unwrap_err()
+            .contains("disagrees with outcome counts"));
+        // Histogram count that disagrees with its buckets.
+        let bad_count = line.replace("\"underflow\":0", "\"underflow\":7");
+        assert!(ServerMessage::parse(&bad_count)
+            .unwrap_err()
+            .contains("disagrees with buckets"));
+        // Non-finite gauges are unrepresentable and rejected.
+        let bad_gauge = line.replace(
+            "\"serve.cache_hit_rate\":",
+            "\"serve.cache_hit_rate\":null,\"x\":",
+        );
+        assert!(ServerMessage::parse(&bad_gauge)
+            .unwrap_err()
+            .contains("finite"));
+        // Old counters-only stats lines still parse, extras empty.
+        let legacy =
+            r#"{"schema":"mpvar-serve/v1","type":"stats","counters":{"serve.requests":4}}"#;
+        let ServerMessage::Stats { stats } = ServerMessage::parse(legacy).expect("legacy parses")
+        else {
+            panic!("stats expected");
+        };
+        assert_eq!(stats.counters["serve.requests"], 4);
+        assert!(stats.gauges.is_empty() && stats.latencies.is_empty() && stats.windows.is_empty());
     }
 
     #[test]

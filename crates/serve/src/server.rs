@@ -140,7 +140,7 @@ fn serve_connection(stream: TcpStream, dispatcher: &Arc<Dispatcher>, stop: &Arc<
             Ok(ClientMessage::Stats) => send(
                 &out,
                 &ServerMessage::Stats {
-                    counters: dispatcher.stats_snapshot(),
+                    stats: dispatcher.full_stats(),
                 },
             ),
             Ok(ClientMessage::Shutdown) => {

@@ -143,6 +143,49 @@ fn dedupe_batching_and_warm_restart_without_solvers() {
         "4 requests, 2 waves: r1+r2+r3 share one, r4 gets one"
     );
 
+    // --------------------------------------------------- phase 1-warm
+    // The store is now populated, so identical requests on the live
+    // server are answered without computing. A batch of them gives
+    // the warm-hit latency histogram a meaningful p99.
+    for i in 0..8 {
+        let warm = client
+            .request(
+                request(&format!("warm{i}"), vec![ArtifactId::Table3], false),
+                |_| {},
+            )
+            .expect("warm request");
+        assert_eq!(warm, results["r1"], "warm answers are identical");
+    }
+    let full = client.stats_full().expect("stats_full");
+    let cold = full.latencies.get("cold").expect("cold latency recorded");
+    let warm = full
+        .latencies
+        .get("warm_hit")
+        .expect("warm-hit latency recorded");
+    assert_eq!(cold.histogram.count, 2, "r1 and r4 rode cold waves");
+    assert_eq!(full.latencies["deduped"].histogram.count, 2);
+    assert_eq!(warm.histogram.count, 8);
+    assert!(
+        warm.p50_ns > 0.0 && warm.p50_ns <= warm.p95_ns && warm.p95_ns <= warm.p99_ns,
+        "warm quantiles ordered: {warm:?}"
+    );
+    assert!(
+        warm.p99_ns * 100.0 <= cold.p50_ns,
+        "warm-hit p99 ({} ns) must sit >=100x below cold p50 ({} ns)",
+        warm.p99_ns,
+        cold.p50_ns
+    );
+    // Gauges: 8 warm of 10 waves; 2 deduped of 12 answered.
+    assert!((full.gauges["serve.cache_hit_rate"] - 0.8).abs() < 1e-12);
+    assert!((full.gauges["serve.dedupe_ratio"] - 2.0 / 12.0).abs() < 1e-12);
+    // Window ring: every answered request landed in some window.
+    assert_eq!(
+        full.windows.iter().map(|w| w.requests).sum::<u64>(),
+        12,
+        "windows: {:?}",
+        full.windows
+    );
+
     client.shutdown().expect("shutdown");
     assert!(server.join(Duration::from_secs(300)), "waves drain");
     drop(cold_guard);

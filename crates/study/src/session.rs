@@ -349,6 +349,22 @@ impl Study {
             .clone()
     }
 
+    /// The session's evaluation counters summed across nodes — the
+    /// one-glance answer to "did this session compute anything, or was
+    /// it served entirely from cache?". `mpvar-serve` uses it to
+    /// classify a finished wave as a warm hit (`computed == 0`) or a
+    /// cold materialization for its latency telemetry.
+    pub fn session_stats(&self) -> NodeStats {
+        let stats = self.stats.lock().expect("study stats lock poisoned");
+        let mut total = NodeStats::default();
+        for s in stats.values() {
+            total.computed += s.computed;
+            total.cache_hits += s.cache_hits;
+            total.wall += s.wall;
+        }
+        total
+    }
+
     /// Renders the legacy `--timings` report: producer runs, cache
     /// hits, and wall-clock per node, plus the cache population.
     #[deprecated(

@@ -198,6 +198,16 @@ pub fn push_json_str(out: &mut String, text: &str) {
     out.push('"');
 }
 
+/// Appends `v` to `out` as a JSON number (`null` for non-finite
+/// values, which JSON cannot represent).
+pub fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
 struct Parser {
     chars: Vec<char>,
     pos: usize,

@@ -40,7 +40,13 @@ pub struct HistogramMetric {
 }
 
 impl HistogramMetric {
-    fn new(bounds: &[f64]) -> Self {
+    /// An empty histogram over `bounds` (ascending bucket edges;
+    /// `bounds.len() - 1` buckets).
+    ///
+    /// Public so consumers outside the registry — the serve-side
+    /// latency telemetry, trace analytics — can accumulate their own
+    /// histograms and share [`HistogramMetric::quantile`].
+    pub fn with_bounds(bounds: &[f64]) -> Self {
         HistogramMetric {
             bounds: bounds.to_vec(),
             counts: vec![0; bounds.len().saturating_sub(1)],
@@ -51,7 +57,12 @@ impl HistogramMetric {
         }
     }
 
-    fn record(&mut self, value: f64) {
+    fn new(bounds: &[f64]) -> Self {
+        Self::with_bounds(bounds)
+    }
+
+    /// Records one value into its bucket (or the under/overflow tally).
+    pub fn record(&mut self, value: f64) {
         self.sum += value;
         self.count += 1;
         let Some((&first, &last)) = self.bounds.first().zip(self.bounds.last()) else {
@@ -77,6 +88,61 @@ impl HistogramMetric {
             self.sum / self.count as f64
         }
     }
+
+    /// The `q`-quantile of the recorded distribution, linearly
+    /// interpolated inside the bucket the target rank lands in (the
+    /// values of a bucket are assumed uniform over `[lo, hi)`).
+    ///
+    /// Defined behavior at the edges:
+    ///
+    /// * empty histogram (`count == 0`), no bucket geometry
+    ///   (`bounds.len() < 2`), or a NaN `q` → `None`;
+    /// * `q` outside `[0, 1]` is clamped;
+    /// * a rank landing in the **underflow** tally returns the first
+    ///   edge (an upper bound on the true quantile — the histogram only
+    ///   knows those values were below it);
+    /// * a rank landing in the **overflow** tally returns the last
+    ///   edge (a lower bound, symmetrically).
+    ///
+    /// Monotone in `q` by construction: the target rank is monotone,
+    /// buckets are walked in ascending-edge order, and interpolation
+    /// inside a bucket is monotone.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        interpolated_quantile(&self.bounds, &self.counts, self.underflow, self.count, q)
+    }
+}
+
+/// Shared quantile walk for [`HistogramMetric`] and the parsed
+/// [`crate::schema::HistogramEntry`] (same bucket layout).
+pub(crate) fn interpolated_quantile(
+    bounds: &[f64],
+    counts: &[u64],
+    underflow: u64,
+    count: u64,
+    q: f64,
+) -> Option<f64> {
+    if count == 0 || bounds.len() < 2 || q.is_nan() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let target = q * count as f64;
+    let mut cum = underflow as f64;
+    if underflow > 0 && target <= cum {
+        return Some(bounds[0]);
+    }
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let next = cum + c as f64;
+        if target <= next {
+            let frac = (target - cum) / c as f64;
+            return Some(bounds[i] + frac * (bounds[i + 1] - bounds[i]));
+        }
+        cum = next;
+    }
+    // Whatever rank is left lives in the overflow tally.
+    bounds.last().copied()
 }
 
 /// The cumulative metrics of one collector session, name-keyed.
@@ -177,6 +243,43 @@ mod tests {
         assert_eq!(h.overflow, 2);
         assert_eq!(h.count, 7);
         assert!((h.sum - 17.39).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_interpolates_and_defines_the_edges() {
+        let mut h = HistogramMetric::with_bounds(&[0.0, 10.0, 20.0]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        for v in [2.0, 4.0, 6.0, 8.0, 12.0] {
+            h.record(v);
+        }
+        // Rank 2.5 of 5 lands in the first bucket (4 values): lerp at
+        // 2.5/4 of [0, 10).
+        let p50 = h.quantile(0.5).expect("quantile");
+        assert!((p50 - 6.25).abs() < 1e-12, "p50 = {p50}");
+        // q is clamped; 1.0 is the top of the last populated bucket.
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NAN), None);
+        // Underflow/overflow ranks pin to the first/last edge.
+        h.record(-5.0);
+        h.record(99.0);
+        assert_eq!(h.quantile(0.0), Some(0.0), "underflow rank → first edge");
+        assert_eq!(h.quantile(1.0), Some(20.0), "overflow rank → last edge");
+    }
+
+    #[test]
+    fn quantile_without_bucket_geometry_is_none() {
+        let mut h = HistogramMetric::with_bounds(&[]);
+        h.record(1.0);
+        assert_eq!(h.count, 1);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_zero_lands_on_the_first_populated_bucket() {
+        let mut h = HistogramMetric::with_bounds(&[0.0, 1.0, 2.0, 3.0]);
+        h.record(2.5);
+        assert_eq!(h.quantile(0.0), Some(2.0));
+        assert_eq!(h.quantile(1.0), Some(3.0));
     }
 
     #[test]

@@ -103,6 +103,21 @@ pub struct HistogramEntry {
     pub count: u64,
 }
 
+impl HistogramEntry {
+    /// The `q`-quantile of the recorded distribution — same
+    /// interpolation and edge semantics as
+    /// [`crate::metrics::HistogramMetric::quantile`].
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        crate::metrics::interpolated_quantile(
+            &self.bounds,
+            &self.counts,
+            self.underflow,
+            self.count,
+            q,
+        )
+    }
+}
+
 /// A fully parsed and validated trace document.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceLog {

@@ -372,7 +372,9 @@ pub fn render_metrics(metrics: &MetricsSnapshot) -> String {
 }
 
 /// Formats nanoseconds with a unit suited to the magnitude.
-fn fmt_ns(ns: u64) -> String {
+/// Formats a nanosecond count at human scale (`123ns`, `4.5us`,
+/// `6.7ms`, `8.90s`).
+pub fn fmt_ns(ns: u64) -> String {
     if ns < 1_000 {
         format!("{ns}ns")
     } else if ns < 1_000_000 {

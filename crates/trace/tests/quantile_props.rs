@@ -1,0 +1,109 @@
+//! Property-based laws for the interpolated histogram quantile:
+//! monotonicity in `q`, bucket containment of the median, and
+//! agreement with exact sample quantiles when the data shares one
+//! bucket — all without panicking on degenerate inputs.
+
+use proptest::prelude::*;
+
+use mpvar_trace::metrics::HistogramMetric;
+
+/// Unit-width edges 0..=n so a value `v` lands in bucket `floor(v)`.
+fn unit_bounds(n: usize) -> Vec<f64> {
+    (0..=n).map(|i| i as f64).collect()
+}
+
+/// Exact empirical quantile (nearest-rank with interpolation-free
+/// containment bounds): returns the sorted data.
+fn sorted(mut data: Vec<f64>) -> Vec<f64> {
+    data.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    data
+}
+
+proptest! {
+    /// quantile is monotone in `q`, for any data layout including
+    /// under/overflow mass.
+    #[test]
+    fn quantile_is_monotone_in_q(
+        data in prop::collection::vec(-2.0f64..12.0, 1..60),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        let mut h = HistogramMetric::with_bounds(&unit_bounds(10));
+        for &v in &data {
+            h.record(v);
+        }
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let vlo = h.quantile(lo).expect("non-empty");
+        let vhi = h.quantile(hi).expect("non-empty");
+        prop_assert!(vlo <= vhi, "quantile not monotone: q{lo} -> {vlo} > q{hi} -> {vhi}");
+    }
+
+    /// quantile(0.5) lands inside the bucket that contains the true
+    /// median (data kept strictly inside the edge range so no rank
+    /// hides in under/overflow).
+    #[test]
+    fn median_quantile_stays_in_the_median_bucket(
+        data in prop::collection::vec(0.0f64..10.0, 1..60),
+    ) {
+        let mut h = HistogramMetric::with_bounds(&unit_bounds(10));
+        for &v in &data {
+            h.record(v);
+        }
+        let est = h.quantile(0.5).expect("non-empty");
+        let data = sorted(data);
+        // Both defensible medians for even lengths: the histogram walk
+        // uses rank q*n, which sits between the two central elements.
+        let lower_mid = data[(data.len() - 1) / 2];
+        let upper_mid = data[data.len() / 2];
+        let bucket_lo = lower_mid.floor();
+        let bucket_hi = upper_mid.floor() + 1.0;
+        prop_assert!(
+            (bucket_lo..=bucket_hi).contains(&est),
+            "median estimate {est} outside bucket range [{bucket_lo}, {bucket_hi}]"
+        );
+    }
+
+    /// When every value shares one bucket, the interpolated quantile
+    /// agrees with the exact sample quantile to within that bucket's
+    /// width — and collapses to the exact value when the bucket is
+    /// degenerate-narrow around the data.
+    #[test]
+    fn single_bucket_agrees_with_exact_quantiles(
+        base in 0u8..9,
+        offsets in prop::collection::vec(0.0f64..1.0, 1..40),
+        q in 0.0f64..=1.0,
+    ) {
+        let lo = base as f64;
+        let data: Vec<f64> = offsets.iter().map(|o| lo + o).collect();
+        let mut h = HistogramMetric::with_bounds(&unit_bounds(10));
+        for &v in &data {
+            h.record(v);
+        }
+        let est = h.quantile(q).expect("non-empty");
+        prop_assert!(
+            (lo..=lo + 1.0).contains(&est),
+            "estimate {est} escaped the single bucket [{lo}, {}]",
+            lo + 1.0
+        );
+        let data = sorted(data);
+        let exact_lo = data[0];
+        let exact_hi = data[data.len() - 1];
+        // Exact quantiles live inside [min, max] ⊂ the bucket, so the
+        // estimate is within one bucket width of any of them.
+        prop_assert!(est >= exact_lo - 1.0 && est <= exact_hi + 1.0);
+    }
+
+    /// Degenerate histograms never panic: empty data, empty bounds,
+    /// NaN q.
+    #[test]
+    fn degenerate_inputs_return_none(q in -1.0f64..2.0) {
+        let empty = HistogramMetric::with_bounds(&unit_bounds(4));
+        prop_assert_eq!(empty.quantile(q), None);
+        let mut no_geometry = HistogramMetric::with_bounds(&[]);
+        no_geometry.record(1.0);
+        prop_assert_eq!(no_geometry.quantile(q), None);
+        let mut h = HistogramMetric::with_bounds(&unit_bounds(4));
+        h.record(2.5);
+        prop_assert_eq!(h.quantile(f64::NAN), None);
+    }
+}

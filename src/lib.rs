@@ -25,7 +25,12 @@
 //! * [`serve`] — the analysis job server: newline-delimited JSON
 //!   requests (`mpvar-serve/v1`) over TCP against a persistent
 //!   artifact store, with in-flight request dedupe, wave batching,
-//!   and streamed per-request progress;
+//!   streamed per-request progress, and live latency/hit-rate
+//!   telemetry in its `stats` reply;
+//! * [`obs`] — trace analytics: span-forest rebuilding, per-span-name
+//!   aggregates with quantiles, critical paths, flamegraph export,
+//!   and the `perf_baseline.json` regression gate behind
+//!   `repro profile` / `repro perf-check`;
 //! * [`trace`] — structured spans, metrics, and machine-readable run
 //!   telemetry (the `--trace` / `--metrics` machinery of `repro`).
 //!
@@ -57,6 +62,7 @@ pub use mpvar_exec as exec;
 pub use mpvar_extract as extract;
 pub use mpvar_geometry as geometry;
 pub use mpvar_litho as litho;
+pub use mpvar_obs as obs;
 pub use mpvar_serve as serve;
 pub use mpvar_spice as spice;
 pub use mpvar_sram as sram;
