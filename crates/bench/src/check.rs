@@ -29,12 +29,15 @@ use mpvar_core::experiments::{
     ExtensionLe2, ExtensionLer, ExtensionScaling, Fig4, Fig5, Table1, Table2, Table3, Table4,
 };
 use mpvar_core::rareevent::YieldTable;
+use mpvar_core::writeexp::{SenseMargin, WlDelay, WriteMargin, WriteTime, WriteYieldTable};
 use mpvar_core::{CoreError, ExecConfig};
+use mpvar_sram::WriteConfig;
 use mpvar_study::{SensitivityMatrix, Study};
 use mpvar_testkit::compare::{compare_tables, Policy, TableSpec};
 use mpvar_testkit::csv::CsvTable;
 use mpvar_testkit::invariants;
 use mpvar_testkit::oracle::{run_delay_oracles, OracleConfig};
+use mpvar_testkit::write_oracle::{run_write_oracles, WriteOracleConfig};
 use mpvar_testkit::{CheckItem, CheckReport};
 
 /// Maximum simulation-vs-formula tdp gap (percentage points) asserted
@@ -266,6 +269,65 @@ pub fn table_specs(fast: bool) -> Vec<TableSpec> {
             ],
             true,
         ),
+        // The write-family artefacts fix their own sizes, trials, and
+        // seeds (see `WriteStudySettings`), so like `yield_6sigma` they
+        // are profile-independent and gate exactly in BOTH profiles.
+        TableSpec::new(
+            "write_time",
+            &["array"],
+            &[
+                ("t_write sim", strict()),
+                ("t_write formula", strict()),
+                ("twp LELELE", strict()),
+                ("twp SADP", strict()),
+                ("twp EUV", strict()),
+            ],
+            true,
+        ),
+        TableSpec::new(
+            "write_margin",
+            &["option"],
+            &[
+                ("sigma (% twp)", strict()),
+                ("mean", strict()),
+                ("min", strict()),
+                ("max", strict()),
+            ],
+            true,
+        ),
+        TableSpec::new(
+            "sense_margin",
+            &["option"],
+            &[
+                ("failure fraction", strict()),
+                ("mean margin", strict()),
+                ("sigma margin", strict()),
+            ],
+            true,
+        ),
+        TableSpec::new(
+            "wl_delay",
+            &["option"],
+            &[
+                ("near (worst)", strict()),
+                ("far (worst)", strict()),
+                ("far penalty", strict()),
+            ],
+            true,
+        ),
+        TableSpec::new(
+            "write_yield",
+            &["option", "margin"],
+            &[
+                ("write p_fail", strict()),
+                ("ci_lo", strict()),
+                ("ci_hi", strict()),
+                ("trials", strict()),
+                ("converged", Policy::Text),
+                ("read p_fail", strict()),
+            ],
+            true,
+        ),
     ]
 }
 
@@ -345,6 +407,11 @@ pub fn run_check_in(opts: &CheckOptions, study: &Study) -> Result<CheckReport, C
     let e3 = study.get::<ExtensionScaling>()?;
     let sensitivity = study.get::<SensitivityMatrix>()?;
     let yt = study.get::<YieldTable>()?;
+    let wt = study.get::<WriteTime>()?;
+    let wm = study.get::<WriteMargin>()?;
+    let sm = study.get::<SenseMargin>()?;
+    let wl = study.get::<WlDelay>()?;
+    let wy = study.get::<WriteYieldTable>()?;
 
     // Golden gate: fresh CSV vs committed artefact, value-wise.
     let fresh: Vec<(&str, String)> = vec![
@@ -361,6 +428,11 @@ pub fn run_check_in(opts: &CheckOptions, study: &Study) -> Result<CheckReport, C
         ("extension-sensitivity", sensitivity.to_csv()),
         ("extension-scaling", e3.report().to_csv()),
         ("yield_6sigma", yt.report().to_csv()),
+        ("write_time", wt.report().to_csv()),
+        ("write_margin", wm.report().to_csv()),
+        ("sense_margin", sm.report().to_csv()),
+        ("wl_delay", wl.report().to_csv()),
+        ("write_yield", wy.report().to_csv()),
     ];
     for spec in table_specs(opts.fast) {
         let csv = fresh
@@ -386,6 +458,11 @@ pub fn run_check_in(opts: &CheckOptions, study: &Study) -> Result<CheckReport, C
     report.extend(invariants::ler_invariants(&e2));
     report.extend(invariants::scaling_invariants(&e3));
     report.extend(invariants::yield_invariants(&yt));
+    report.extend(invariants::write_time_invariants(&wt));
+    report.extend(invariants::write_margin_invariants(&wm));
+    report.extend(invariants::sense_margin_invariants(&sm));
+    report.extend(invariants::wl_delay_invariants(&wl));
+    report.extend(invariants::write_yield_invariants(&wy));
 
     // Differential delay oracles on randomized arrays.
     let oracle_cfg = OracleConfig {
@@ -395,6 +472,17 @@ pub fn run_check_in(opts: &CheckOptions, study: &Study) -> Result<CheckReport, C
     match run_delay_oracles(&ctx.tech, &ctx.cell, &ctx.read_config, &oracle_cfg) {
         Ok(oracle_report) => report.extend(oracle_report.items()),
         Err(e) => report.push(CheckItem::fail("oracle.run", e.to_string())),
+    }
+
+    // The write-side mirror: formula vs scalar vs batched write
+    // transients, including the batch bit-identity contract.
+    let write_cfg = WriteOracleConfig {
+        cases: (opts.oracle_cases * 3 / 4).max(1),
+        ..WriteOracleConfig::default()
+    };
+    match run_write_oracles(&ctx.tech, &ctx.cell, &WriteConfig::default(), &write_cfg) {
+        Ok(write_report) => report.extend(write_report.items()),
+        Err(e) => report.push(CheckItem::fail("write_oracle.run", e.to_string())),
     }
 
     Ok(report)

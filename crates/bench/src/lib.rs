@@ -321,7 +321,7 @@ pub fn yield_threads_identical() -> Result<bool, CoreError> {
 
 /// Identifiers of every reproducible artefact, in canonical report
 /// order (mirrors [`mpvar_study::ArtifactId::ALL`]).
-pub const EXPERIMENT_IDS: [&str; 14] = [
+pub const EXPERIMENT_IDS: [&str; 19] = [
     "table1",
     "fig4",
     "table2",
@@ -336,6 +336,11 @@ pub const EXPERIMENT_IDS: [&str; 14] = [
     "extension-sensitivity",
     "extension-scaling",
     "yield_6sigma",
+    "write_time",
+    "write_margin",
+    "sense_margin",
+    "wl_delay",
+    "write_yield",
 ];
 
 /// Runs one experiment (or `"all"`) and returns the artefacts.

@@ -50,6 +50,9 @@ pub struct ExperimentContext {
     /// of [`ExperimentContext::mc`], so the yield artifact is
     /// profile-invariant).
     pub yield_settings: crate::rareevent::YieldSettings,
+    /// Write-path study settings (own sizes, trials, and seed, so the
+    /// write-family artifacts are profile-invariant too).
+    pub write_settings: crate::writeexp::WriteStudySettings,
     /// Thread-count knob for parallel cell dispatch; results are
     /// bit-identical for any setting.
     pub exec: ExecConfig,
@@ -75,6 +78,7 @@ impl ExperimentContext {
                 le3_overlay_sweep_nm: vec![3.0, 5.0, 7.0, 8.0],
                 le3_overlay_nm: 8.0,
                 yield_settings: crate::rareevent::YieldSettings::default(),
+                write_settings: crate::writeexp::WriteStudySettings::default(),
                 exec: ExecConfig::default(),
             },
         })
@@ -246,6 +250,13 @@ impl ExperimentContextBuilder {
     #[must_use]
     pub fn yield_settings(mut self, settings: crate::rareevent::YieldSettings) -> Self {
         self.ctx.yield_settings = settings;
+        self
+    }
+
+    /// Overrides the write-path study settings.
+    #[must_use]
+    pub fn write_settings(mut self, settings: crate::writeexp::WriteStudySettings) -> Self {
+        self.ctx.write_settings = settings;
         self
     }
 

@@ -53,6 +53,7 @@ pub mod report;
 pub mod sensitivity;
 pub mod timing_yield;
 pub mod worst_case;
+pub mod writeexp;
 
 pub use elmore::ElmoreModel;
 pub use error::CoreError;
@@ -65,11 +66,16 @@ pub use montecarlo::{
 pub use mpvar_exec::ExecConfig;
 pub use nominal::{NominalCache, NominalWindow};
 pub use rareevent::{
-    yield_6sigma, FormulaYieldProblem, SpiceYieldProblem, YieldRow, YieldSettings, YieldTable, ZMap,
+    yield_6sigma, FormulaYieldProblem, SpiceWriteYieldProblem, SpiceYieldProblem, YieldRow,
+    YieldSettings, YieldTable, ZMap,
 };
 pub use sensitivity::{sensitivity_profile, SensitivityProfile};
 pub use timing_yield::{yield_curve, YieldCurve};
 pub use worst_case::{find_worst_case, find_worst_case_with, WorstCase};
+pub use writeexp::{
+    sense_margin, wl_delay, write_margin, write_time, write_yield, SenseMargin, WlDelay,
+    WriteMargin, WriteStudySettings, WriteTime, WriteYieldRow, WriteYieldTable,
+};
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
@@ -84,11 +90,15 @@ pub mod prelude {
     };
     pub use crate::nominal::{NominalCache, NominalWindow};
     pub use crate::rareevent::{
-        yield_6sigma, FormulaYieldProblem, SpiceYieldProblem, YieldRow, YieldSettings, YieldTable,
-        ZMap,
+        yield_6sigma, FormulaYieldProblem, SpiceWriteYieldProblem, SpiceYieldProblem, YieldRow,
+        YieldSettings, YieldTable, ZMap,
     };
     pub use crate::sensitivity::{sensitivity_profile, SensitivityProfile};
     pub use crate::timing_yield::{yield_curve, YieldCurve};
     pub use crate::worst_case::{find_worst_case, find_worst_case_with, WorstCase};
+    pub use crate::writeexp::{
+        sense_margin, wl_delay, write_margin, write_time, write_yield, SenseMargin, WlDelay,
+        WriteMargin, WriteStudySettings, WriteTime, WriteYieldRow, WriteYieldTable,
+    };
     pub use mpvar_exec::ExecConfig;
 }

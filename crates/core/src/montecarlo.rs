@@ -125,6 +125,7 @@ pub struct TdpDistribution {
     samples_percent: Vec<f64>,
     summary: Summary,
     shorted_draws: usize,
+    failed_reads: usize,
 }
 
 impl TdpDistribution {
@@ -140,6 +141,7 @@ impl TdpDistribution {
         samples_percent: Vec<f64>,
         summary: Summary,
         shorted_draws: usize,
+        failed_reads: usize,
     ) -> TdpDistribution {
         TdpDistribution {
             option,
@@ -147,6 +149,7 @@ impl TdpDistribution {
             samples_percent,
             summary,
             shorted_draws,
+            failed_reads,
         }
     }
 
@@ -180,6 +183,14 @@ impl TdpDistribution {
         self.shorted_draws
     }
 
+    /// Trials whose read never tripped the sense threshold — *measured
+    /// failures* that consumed a trial slot without contributing a `td`
+    /// sample. Always 0 on the formula route; on the SPICE route a
+    /// pathological trial lands here instead of aborting the wave.
+    pub fn failed_reads(&self) -> usize {
+        self.failed_reads
+    }
+
     /// Histogram of the distribution (Fig. 5).
     ///
     /// # Errors
@@ -209,9 +220,23 @@ pub fn tdp_distribution(
     tdp_distribution_with(&window, budget, n, config)
 }
 
-/// The outcome of evaluating one trial index, before the in-order merge
+/// How one evaluated trial index resolved, before the in-order merge
 /// decides which indices actually count.
-type TrialOutcome = Result<Option<f64>, CoreError>;
+enum TrialResolution {
+    /// A measured `tdp` sample.
+    Sample(f64),
+    /// The draw printed shorted geometry: a yield loss, excluded from
+    /// the trial count entirely (mirrors inspection screening).
+    Shorted,
+    /// The simulated operation never completed (e.g. the sense never
+    /// tripped): a *measured failure* that consumes its trial slot but
+    /// contributes no sample — one pathological trial must not abort
+    /// the other lanes of its wave.
+    Failed,
+}
+
+/// The outcome of evaluating one trial index.
+type TrialOutcome = Result<TrialResolution, CoreError>;
 
 /// In-order merge state for the round-based trial farm.
 struct Farm {
@@ -219,6 +244,7 @@ struct Farm {
     threads: usize,
     samples: Vec<f64>,
     shorted: usize,
+    failed: usize,
     /// Earliest per-trial hard error, surfaced after the dispatch loop
     /// (kept out of the chunk error channel so an error *after* the
     /// final accepted sample is ignored, exactly like a sequential
@@ -226,12 +252,20 @@ struct Farm {
     error: Option<CoreError>,
 }
 
+impl Farm {
+    /// Trial slots consumed so far (samples plus measured failures).
+    fn consumed(&self) -> usize {
+        self.samples.len() + self.failed
+    }
+}
+
 /// Farms trial indices through [`mpvar_exec::dispatch_rounds`] until
-/// `trials` non-shorted samples accumulate: each round's size is the
-/// current deficit (at least one index per worker), outcomes merge in
-/// global index order, and indices past the final accepted sample are
-/// discarded — so samples, shorted counts, and surfaced errors are
-/// bit-identical to a sequential scan for any thread count.
+/// `trials` slots are consumed by non-shorted trials (samples plus
+/// measured failures): each round's size is the current deficit (at
+/// least one index per worker), outcomes merge in global index order,
+/// and indices past the final consumed slot are discarded — so samples,
+/// shorted/failed counts, and surfaced errors are bit-identical to a
+/// sequential scan for any thread count.
 ///
 /// `eval_chunk` receives **global** trial-index ranges; trial `k` must
 /// consume RNG substream `k`.
@@ -240,7 +274,7 @@ fn farm_trials<F>(
     trials: usize,
     threads: usize,
     eval_chunk: F,
-) -> Result<(Vec<f64>, usize), CoreError>
+) -> Result<(Vec<f64>, usize, usize), CoreError>
 where
     F: Fn(std::ops::Range<usize>) -> Vec<TrialOutcome> + Sync,
 {
@@ -253,6 +287,7 @@ where
         threads,
         samples: Vec::with_capacity(trials),
         shorted: 0,
+        failed: 0,
         error: None,
     };
     mpvar_exec::dispatch_rounds(
@@ -261,29 +296,30 @@ where
         limit,
         threads,
         |farm, _round, _consumed| {
-            if farm.samples.len() >= farm.trials {
+            if farm.consumed() >= farm.trials {
                 0
             } else {
-                (farm.trials - farm.samples.len()).max(farm.threads)
+                (farm.trials - farm.consumed()).max(farm.threads)
             }
         },
         |range| Ok::<Vec<TrialOutcome>, std::convert::Infallible>(eval_chunk(range)),
-        |farm, outcome| match outcome {
-            Ok(Some(s)) => {
-                farm.samples.push(s);
-                if farm.samples.len() == farm.trials {
-                    std::ops::ControlFlow::Break(())
-                } else {
-                    std::ops::ControlFlow::Continue(())
+        |farm, outcome| {
+            match outcome {
+                Ok(TrialResolution::Sample(s)) => farm.samples.push(s),
+                Ok(TrialResolution::Shorted) => {
+                    farm.shorted += 1;
+                    return std::ops::ControlFlow::Continue(());
+                }
+                Ok(TrialResolution::Failed) => farm.failed += 1,
+                Err(e) => {
+                    farm.error = Some(e);
+                    return std::ops::ControlFlow::Break(());
                 }
             }
-            Ok(None) => {
-                farm.shorted += 1;
-                std::ops::ControlFlow::Continue(())
-            }
-            Err(e) => {
-                farm.error = Some(e);
+            if farm.consumed() == farm.trials {
                 std::ops::ControlFlow::Break(())
+            } else {
+                std::ops::ControlFlow::Continue(())
             }
         },
     )
@@ -291,13 +327,13 @@ where
     if let Some(e) = farm.error {
         return Err(e);
     }
-    if farm.samples.len() < farm.trials {
+    if farm.consumed() < farm.trials {
         // The dispatcher exhausted `limit` indices first.
         return Err(CoreError::NoFeasibleCorner {
             option: option.to_string(),
         });
     }
-    Ok((farm.samples, farm.shorted))
+    Ok((farm.samples, farm.shorted, farm.failed))
 }
 
 /// [`tdp_distribution`] against a precomputed [`NominalWindow`] — the
@@ -313,6 +349,49 @@ pub fn tdp_distribution_with(
     budget: &VariationBudget,
     n: usize,
     config: &McConfig,
+) -> Result<TdpDistribution, CoreError> {
+    let params = mpvar_sram::FormulaParams::derive(window.tech(), window.cell(), 0.7)?;
+    let model = crate::formula::AnalyticalModel::new(params, 0.10)?;
+    penalty_distribution_with(window, budget, n, config, &model)
+}
+
+/// The *write-time* penalty distribution: the same decomposed-M1
+/// population and trial farm as [`tdp_distribution_with`], but the
+/// analytical model is built from the write-path parameters (driver +
+/// pass gate in series, [`mpvar_sram::FormulaParams::derive_write`]) at
+/// the flip level instead of the sense level. Samples are write-time
+/// penalty in percent; the summary's sigma is the write-margin spread.
+///
+/// # Errors
+///
+/// Propagated tech/extraction/statistics failures, or invalid
+/// `driver_strength`/`flip_fraction`.
+pub fn twp_distribution_with(
+    window: &NominalWindow<'_>,
+    budget: &VariationBudget,
+    n: usize,
+    config: &McConfig,
+    driver_strength: f64,
+    flip_fraction: f64,
+) -> Result<TdpDistribution, CoreError> {
+    let params = mpvar_sram::FormulaParams::derive_write(
+        window.tech(),
+        window.cell(),
+        0.7,
+        driver_strength,
+    )?;
+    let model = crate::formula::AnalyticalModel::new(params, flip_fraction)?;
+    penalty_distribution_with(window, budget, n, config, &model)
+}
+
+/// Shared formula-route penalty farm behind [`tdp_distribution_with`]
+/// and [`twp_distribution_with`]: only the analytical model differs.
+fn penalty_distribution_with(
+    window: &NominalWindow<'_>,
+    budget: &VariationBudget,
+    n: usize,
+    config: &McConfig,
+    model: &crate::formula::AnalyticalModel,
 ) -> Result<TdpDistribution, CoreError> {
     let option = window.option();
     if config.trials == 0 {
@@ -332,26 +411,25 @@ pub fn tdp_distribution_with(
     let traced = mpvar_trace::enabled();
     let started = traced.then(std::time::Instant::now);
 
-    let params = mpvar_sram::FormulaParams::derive(window.tech(), window.cell(), 0.7)?;
-    let model = crate::formula::AnalyticalModel::new(params, 0.10)?;
-
     let base = RngStream::from_seed(config.seed);
-    // Trial k consumes substream k: Some(sample), None for a shorted
-    // draw (yield loss, skipped), or a hard error.
+    // Trial k consumes substream k: a sample, a shorted draw (yield
+    // loss, skipped), or a hard error.
     let eval = |k: u64| -> TrialOutcome {
         let mut rng = base.substream(k);
         let draw = sample_draw(option, budget, &mut rng)?;
         let printed = match apply_draw(window.stack(), &draw) {
             Ok(p) => p,
-            Err(_) => return Ok(None),
+            Err(_) => return Ok(TrialResolution::Shorted),
         };
         let parasitics = extract_track(&printed, window.bl_index(), window.metal())?;
         let var = RelativeVariation::between(window.nominal(), &parasitics);
-        Ok(Some(model.tdp_percent(n, var.r_var, var.c_var)))
+        Ok(TrialResolution::Sample(
+            model.tdp_percent(n, var.r_var, var.c_var),
+        ))
     };
 
     let threads = config.exec.effective_threads();
-    let (samples, shorted) = farm_trials(option, config.trials, threads, |range| {
+    let (samples, shorted, failed) = farm_trials(option, config.trials, threads, |range| {
         range.map(|k| eval(k as u64)).collect()
     })?;
 
@@ -377,6 +455,7 @@ pub fn tdp_distribution_with(
         samples_percent: samples,
         summary,
         shorted_draws: shorted,
+        failed_reads: failed,
     })
 }
 
@@ -407,10 +486,14 @@ impl Default for SpiceMcOptions {
 /// a shorted-draw exclusion, or a hard error.
 fn read_to_outcome(r: Result<ReadOutcome, SramError>, td_nom_s: f64) -> TrialOutcome {
     match r {
-        Ok(o) => Ok(Some((o.td_s / td_nom_s - 1.0) * 100.0)),
+        Ok(o) => Ok(TrialResolution::Sample((o.td_s / td_nom_s - 1.0) * 100.0)),
         // A shorted print is a yield loss — excluded and counted, the
         // same screening the formula path applies at `apply_draw`.
-        Err(SramError::Litho(_)) => Ok(None),
+        Err(SramError::Litho(_)) => Ok(TrialResolution::Shorted),
+        // A sense that never trips is a *measured failure* of this one
+        // trial — recorded, not escalated, so the rest of the wave's
+        // lanes keep their results.
+        Err(SramError::SenseNeverTripped { .. }) => Ok(TrialResolution::Failed),
         Err(e) => Err(e.into()),
     }
 }
@@ -500,7 +583,7 @@ pub fn tdp_distribution_spice(
                         lane_slots.push(outcomes.len());
                         draws.push(d);
                         // Placeholder; overwritten with the lane result.
-                        outcomes.push(Ok(None));
+                        outcomes.push(Ok(TrialResolution::Shorted));
                     }
                     Err(e) => outcomes.push(Err(e.into())),
                 }
@@ -528,7 +611,7 @@ pub fn tdp_distribution_spice(
     };
 
     let threads = config.exec.effective_threads();
-    let (samples, shorted) = farm_trials(option, config.trials, threads, eval_chunk)?;
+    let (samples, shorted, failed) = farm_trials(option, config.trials, threads, eval_chunk)?;
 
     if traced {
         mpvar_trace::counter_add(names::MC_TRIALS, samples.len() as u64);
@@ -550,6 +633,7 @@ pub fn tdp_distribution_spice(
         samples_percent: samples,
         summary,
         shorted_draws: shorted,
+        failed_reads: failed,
     })
 }
 
@@ -691,5 +775,103 @@ mod tests {
         assert_eq!(d.option(), PatterningOption::Euv);
         assert_eq!(d.n(), 64);
         assert_eq!(d.shorted_draws(), 0);
+        assert_eq!(d.failed_reads(), 0, "formula route never fails a read");
+    }
+
+    #[test]
+    fn write_penalty_distribution_runs_on_the_same_farm() {
+        let (tech, cell) = setup();
+        let budget = VariationBudget::paper_default(PatterningOption::Le3, 8.0).unwrap();
+        let window =
+            crate::nominal::NominalWindow::build(&tech, &cell, PatterningOption::Le3).unwrap();
+        let cfg = McConfig::builder().trials(2000).seed(9).build();
+        let write = twp_distribution_with(&window, &budget, 64, &cfg, 4.0, 0.5).unwrap();
+        let read = tdp_distribution_with(&window, &budget, 64, &cfg).unwrap();
+        assert_eq!(write.samples_percent().len(), 2000);
+        // Same zero-mean population, both percent-scale spreads.
+        assert!(write.summary().mean().abs() < 2.0);
+        assert!(write.sigma_percent() > 0.1);
+        // The write path is more FET-dominated (driver + pass in a
+        // stiffer series path), so wire-induced spread differs from the
+        // read's but stays in the same family.
+        let ratio = write.sigma_percent() / read.sigma_percent();
+        assert!(ratio > 0.2 && ratio < 5.0, "ratio {ratio}");
+        // Determinism: same seed, same bits.
+        let again = twp_distribution_with(&window, &budget, 64, &cfg, 4.0, 0.5).unwrap();
+        assert_eq!(write.samples_percent(), again.samples_percent());
+    }
+
+    #[test]
+    fn sense_never_tripped_is_a_recorded_failure_not_a_wave_abort() {
+        // Plant never-tripping trials: a tight simulation window
+        // (window_scale 0.6, no retries) that the nominal read clears
+        // but roughly half the Le3 draws at this seed do not. Before
+        // the fix, the first such trial aborted the whole farm with
+        // SramError::SenseNeverTripped, killing the wave's other lanes;
+        // now each failure consumes its trial slot as a measured
+        // failure and the distribution completes.
+        let (tech, cell) = setup();
+        let budget = VariationBudget::paper_default(PatterningOption::Le3, 8.0).unwrap();
+        let run = |width: usize, threads: usize| {
+            tdp_distribution_spice(
+                &tech,
+                &cell,
+                PatterningOption::Le3,
+                &budget,
+                64,
+                &McConfig::builder()
+                    .trials(6)
+                    .seed(11)
+                    .threads(threads)
+                    .build(),
+                &SpiceMcOptions {
+                    read: ReadConfig {
+                        window_scale: 0.6,
+                        max_retries: 0,
+                        ..ReadConfig::default()
+                    },
+                    batch_width: width,
+                },
+            )
+        };
+        let scalar = run(0, 1).expect("per-trial failures must not abort the farm");
+        assert!(scalar.failed_reads() > 0, "the plant produced no failure");
+        assert!(
+            !scalar.samples_percent().is_empty(),
+            "good lanes must survive alongside the failing ones"
+        );
+        assert_eq!(
+            scalar.failed_reads() + scalar.samples_percent().len(),
+            6,
+            "failures consume trial slots"
+        );
+        // Bit-identical accounting for any batch width / thread count:
+        // the batched path resolves failing lanes through the scalar
+        // fallback without killing the other lanes of the wave.
+        for (width, threads) in [(4, 1), (3, 2)] {
+            let batched = run(width, threads).unwrap();
+            assert_eq!(batched.failed_reads(), scalar.failed_reads());
+            assert_eq!(batched.shorted_draws(), scalar.shorted_draws());
+            assert_eq!(batched.samples_percent(), scalar.samples_percent());
+        }
+    }
+
+    #[test]
+    fn nominal_read_failure_still_surfaces_as_an_error() {
+        // The nominal reference read runs outside the farm; if *it*
+        // cannot trip the sense there is no denominator and the whole
+        // distribution is meaningless — that stays a hard error.
+        let (tech, cell) = setup();
+        let budget = VariationBudget::paper_default(PatterningOption::Euv, 8.0).unwrap();
+        let err = tdp_distribution_spice(
+            &tech,
+            &cell,
+            PatterningOption::Euv,
+            &budget,
+            0, // structural error path
+            &McConfig::builder().trials(2).seed(1).threads(1).build(),
+            &SpiceMcOptions::default(),
+        );
+        assert!(err.is_err());
     }
 }

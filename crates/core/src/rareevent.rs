@@ -24,7 +24,10 @@
 
 use mpvar_extract::{extract_track, RelativeVariation};
 use mpvar_litho::{apply_draw, Draw, TRUNCATION_SIGMAS};
-use mpvar_sram::{simulate_read, simulate_read_batch_in, ReadBatchScratch, ReadConfig, SramError};
+use mpvar_sram::{
+    simulate_read, simulate_read_batch_in, simulate_write, simulate_write_batch_in,
+    ReadBatchScratch, ReadConfig, SramError, WriteBatchScratch, WriteConfig,
+};
 use mpvar_stats::normal_tail;
 use mpvar_tech::{PatterningOption, TechDb, VariationBudget};
 use mpvar_yield::{
@@ -293,6 +296,95 @@ impl FailureProblem for SpiceYieldProblem<'_> {
                 Ok(o) => Ok((o.td_s / self.td_nom_s - 1.0) * 100.0 > self.margin_percent),
                 // Shorted print: a read failure, same as the formula path.
                 Err(SramError::Litho(_)) => Ok(true),
+                Err(e) => Err(YieldError::Problem(Box::new(CoreError::from(e)))),
+            })
+            .collect()
+    }
+}
+
+/// SPICE-route *write*-failure predicate: like [`SpiceYieldProblem`]
+/// but each trial is a full write transient through the batched SoA
+/// solver — a trial fails when its draw prints shorted geometry, its
+/// cell never flips, or its write-time penalty exceeds the margin.
+#[derive(Debug)]
+pub struct SpiceWriteYieldProblem<'a> {
+    tech: &'a TechDb,
+    cell: &'a mpvar_sram::BitcellGeometry,
+    write: WriteConfig,
+    map: ZMap,
+    n_cells: usize,
+    margin_percent: f64,
+    t_write_nom_s: f64,
+}
+
+impl<'a> SpiceWriteYieldProblem<'a> {
+    /// Builds the predicate, running the nominal reference write once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the nominal write and map construction.
+    pub fn new(
+        tech: &'a TechDb,
+        cell: &'a mpvar_sram::BitcellGeometry,
+        write: WriteConfig,
+        option: PatterningOption,
+        budget: &VariationBudget,
+        n_cells: usize,
+        margin_percent: f64,
+    ) -> Result<Self, CoreError> {
+        let t_write_nom_s =
+            simulate_write(tech, cell, &write, n_cells, &Draw::nominal(option))?.t_write_s;
+        Ok(Self {
+            tech,
+            cell,
+            write,
+            map: ZMap::build(option, budget)?,
+            n_cells,
+            margin_percent,
+            t_write_nom_s,
+        })
+    }
+
+    /// The nominal reference flip time, s.
+    pub fn t_write_nom_s(&self) -> f64 {
+        self.t_write_nom_s
+    }
+}
+
+impl FailureProblem for SpiceWriteYieldProblem<'_> {
+    fn dims(&self) -> usize {
+        self.map.dims()
+    }
+
+    fn evaluate_batch(&self, zs: &[f64]) -> Result<Vec<bool>, YieldError> {
+        let dims = self.map.dims();
+        if !zs.len().is_multiple_of(dims) {
+            return Err(YieldError::InvalidConfig {
+                reason: format!("batch length {} not a multiple of dims {dims}", zs.len()),
+            });
+        }
+        let draws: Vec<Draw> = zs
+            .chunks_exact(dims)
+            .map(|z| nominal_draw_for_z(&self.map, z))
+            .collect();
+        let mut scratch = WriteBatchScratch::new();
+        let lanes = simulate_write_batch_in(
+            self.tech,
+            self.cell,
+            &self.write,
+            self.n_cells,
+            &draws,
+            &mut scratch,
+        )
+        .map_err(|e| YieldError::Problem(Box::new(CoreError::from(e))))?;
+        lanes
+            .into_iter()
+            .map(|lane| match lane {
+                Ok(o) => Ok((o.t_write_s / self.t_write_nom_s - 1.0) * 100.0 > self.margin_percent),
+                // Shorted print: a hard write failure, as on the read path.
+                Err(SramError::Litho(_)) => Ok(true),
+                // A cell that never flips is the definitional write failure.
+                Err(SramError::WriteNeverFlipped { .. }) => Ok(true),
                 Err(e) => Err(YieldError::Problem(Box::new(CoreError::from(e)))),
             })
             .collect()
@@ -733,6 +825,28 @@ mod tests {
                 .unwrap();
         let problem = FormulaYieldProblem::new(&window, &budget, model, 64, 5.0).unwrap();
         // Nominal z passes; an extreme all-up corner fails.
+        let nominal = vec![0.0; problem.dims()];
+        let corner = vec![3.4; problem.dims()];
+        let flags = problem.evaluate_batch(&[nominal, corner].concat()).unwrap();
+        assert_eq!(flags, vec![false, true]);
+    }
+
+    #[test]
+    fn spice_write_problem_passes_nominal_and_flags_deep_corners() {
+        let ctx = quick_ctx(1);
+        let option = PatterningOption::Le3;
+        let budget = ctx.budget(option).unwrap();
+        let problem = SpiceWriteYieldProblem::new(
+            &ctx.tech,
+            &ctx.cell,
+            mpvar_sram::WriteConfig::default(),
+            option,
+            &budget,
+            8,
+            3.0,
+        )
+        .unwrap();
+        assert!(problem.t_write_nom_s() > 0.0);
         let nominal = vec![0.0; problem.dims()];
         let corner = vec![3.4; problem.dims()];
         let flags = problem.evaluate_batch(&[nominal, corner].concat()).unwrap();

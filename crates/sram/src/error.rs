@@ -32,6 +32,13 @@ pub enum SramError {
         /// Final simulated window, s.
         window_s: f64,
     },
+    /// The cell's internal node never crossed the flip threshold within
+    /// the (already retried) write window — the write driver could not
+    /// overpower the cell through the printed bit line.
+    WriteNeverFlipped {
+        /// Final simulated window, s.
+        window_s: f64,
+    },
 }
 
 impl fmt::Display for SramError {
@@ -51,6 +58,9 @@ impl fmt::Display for SramError {
                 f,
                 "sense threshold never reached within {window_s:.3e}s window"
             ),
+            SramError::WriteNeverFlipped { window_s } => {
+                write!(f, "cell never flipped within {window_s:.3e}s write window")
+            }
         }
     }
 }

@@ -51,6 +51,7 @@ pub mod error;
 pub mod params;
 pub mod readout;
 pub mod snm;
+pub mod writepath;
 
 pub use array::SramArray;
 pub use cell::{BitcellGeometry, DeviceSizing};
@@ -61,6 +62,10 @@ pub use readout::{
     ReadOutcome,
 };
 pub use snm::{half_cell_vtc, static_noise_margin, SnmMode, SnmResult};
+pub use writepath::{
+    simulate_write, simulate_write_batch, simulate_write_batch_in, WriteBatchScratch, WriteConfig,
+    WriteOutcome,
+};
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
@@ -73,4 +78,8 @@ pub mod prelude {
         ReadOutcome,
     };
     pub use crate::snm::{half_cell_vtc, static_noise_margin, SnmMode, SnmResult};
+    pub use crate::writepath::{
+        simulate_write, simulate_write_batch, simulate_write_batch_in, WriteBatchScratch,
+        WriteConfig, WriteOutcome,
+    };
 }

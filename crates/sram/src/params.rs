@@ -75,6 +75,42 @@ impl FormulaParams {
         })
     }
 
+    /// Derives the *write-path* variant of the parameters: the lumped RC
+    /// driven network is the same multiple-patterned bit line, but the
+    /// FEOL series resistance is now the write driver plus the pass gate
+    /// (the path that discharges the bit line and yanks the internal
+    /// node), instead of the read's pass-gate + pull-down stack.
+    ///
+    /// `driver_strength` is the write driver's drive multiplier relative
+    /// to the unit NMOS (see
+    /// [`crate::writepath::WriteConfig::driver_strength`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry/litho/extraction failures;
+    /// [`SramError::InvalidStructure`] for a non-positive
+    /// `driver_strength`.
+    pub fn derive_write(
+        tech: &TechDb,
+        cell: &BitcellGeometry,
+        vdd_v: f64,
+        driver_strength: f64,
+    ) -> Result<Self, SramError> {
+        if !driver_strength.is_finite() || driver_strength <= 0.0 {
+            return Err(SramError::InvalidStructure {
+                message: format!("write driver strength must be positive, got {driver_strength}"),
+            });
+        }
+        let read = Self::derive(tech, cell, vdd_v)?;
+        let sizing = cell.sizing();
+        let nmos = tech.nmos();
+        let vov = (vdd_v - nmos.vth_v()).max(0.05);
+        let r_unit = nmos.equivalent_resistance(vov, vdd_v);
+        // Driver and pass-gate conduct in series on the write path.
+        let rfe_ohm = r_unit / driver_strength + r_unit / sizing.pass_gate;
+        Ok(Self { rfe_ohm, ..read })
+    }
+
     /// Precharge capacitance for an `n`-cell column, F.
     pub fn cpre_f(&self, n: usize) -> f64 {
         self.cpre_per_cell_f * n as f64
@@ -104,6 +140,24 @@ mod tests {
         // Junction caps: tens of aF.
         assert!(p.cfe_f > 5e-18 && p.cfe_f < 60e-18);
         assert!(p.cpre_per_cell_f > 1e-18 && p.cpre_per_cell_f < 20e-18);
+    }
+
+    #[test]
+    fn write_params_share_the_wire_and_swap_the_feol_path() {
+        let tech = n10();
+        let cell = BitcellGeometry::n10_hd(&tech).unwrap();
+        let read = FormulaParams::derive(&tech, &cell, 0.7).unwrap();
+        let write = FormulaParams::derive_write(&tech, &cell, 0.7, 4.0).unwrap();
+        // Same multiple-patterned bit line...
+        assert_eq!(read.rbl_ohm.to_bits(), write.rbl_ohm.to_bits());
+        assert_eq!(read.cbl_f.to_bits(), write.cbl_f.to_bits());
+        assert_eq!(read.cfe_f.to_bits(), write.cfe_f.to_bits());
+        // ...but a stronger series path (driver/4 + pass < pass + pd/1.3).
+        assert!(write.rfe_ohm < read.rfe_ohm);
+        // A stronger driver lowers the write path resistance further.
+        let strong = FormulaParams::derive_write(&tech, &cell, 0.7, 8.0).unwrap();
+        assert!(strong.rfe_ohm < write.rfe_ohm);
+        assert!(FormulaParams::derive_write(&tech, &cell, 0.7, 0.0).is_err());
     }
 
     #[test]

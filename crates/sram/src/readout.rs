@@ -111,7 +111,9 @@ pub fn simulate_read(
     }
 
     let mut window = tb.window0_s;
+    let mut searched = window;
     for _attempt in 0..=config.max_retries {
+        searched = window;
         let dt = window / config.steps as f64;
         let result = match config.lte_tol_v {
             Some(tol) => tran.run_adaptive(dt, window, tol)?,
@@ -145,7 +147,9 @@ pub fn simulate_read(
             }
         }
     }
-    Err(SramError::SenseNeverTripped { window_s: window })
+    // Report the largest window actually simulated, not the next
+    // (never-run) doubling the retry loop left behind.
+    Err(SramError::SenseNeverTripped { window_s: searched })
 }
 
 /// One built read testbench: the extracted deck with the accessed cell
@@ -748,6 +752,51 @@ mod tests {
             simulate_read_batch(&tech, &cell, &ReadConfig::default(), 0, &d),
             Err(SramError::InvalidStructure { .. })
         ));
+    }
+
+    #[test]
+    fn sense_never_tripped_reports_the_final_window_searched() {
+        // A sense threshold above the rail can never trip; the error must
+        // carry the *largest window actually simulated*, i.e. the initial
+        // window grown by one doubling per retry — not the next doubling
+        // the loop computed but never ran.
+        let (tech, cell) = setup();
+        let d = Draw::nominal(PatterningOption::Euv);
+        let base = ReadConfig {
+            sense_dv_v: 1.0,
+            ..ReadConfig::default()
+        };
+        let window_at = |retries: usize| {
+            let cfg = ReadConfig {
+                max_retries: retries,
+                ..base
+            };
+            match simulate_read(&tech, &cell, &cfg, 8, &d) {
+                Err(SramError::SenseNeverTripped { window_s }) => window_s,
+                other => panic!("expected SenseNeverTripped, got {other:?}"),
+            }
+        };
+        let w0 = window_at(0);
+        let w2 = window_at(2);
+        assert!(w0 > 0.0);
+        assert_eq!(
+            w2.to_bits(),
+            (4.0 * w0).to_bits(),
+            "two retries = two doublings of the searched window"
+        );
+
+        // The batched path resolves a never-tripping lane through the
+        // scalar fallback, so it reports the identical window.
+        let cfg = ReadConfig {
+            max_retries: 1,
+            ..base
+        };
+        let scalar_err = simulate_read(&tech, &cell, &cfg, 8, &d).unwrap_err();
+        let batch = simulate_read_batch(&tech, &cell, &cfg, 8, &[d]).unwrap();
+        match &batch[0] {
+            Err(e) => assert_eq!(e.to_string(), scalar_err.to_string()),
+            Ok(o) => panic!("batch lane unexpectedly tripped: {o:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,731 @@
+//! The write-path testbench: write driver through the access transistor
+//! flipping the cell.
+//!
+//! Builds and simulates one write access in the same 10-pair array
+//! window as [`crate::readout`]:
+//!
+//! * the active pair's BL and BLB are the identical distributed RC
+//!   ladders (one π-segment per cell) the read testbench extracts, so
+//!   the write sees the same multiple-patterning R/C population;
+//! * a write-driver NMOS at the **near** end, gated by the word line
+//!   (the column write pulse fires with the row select), discharges BL
+//!   toward the new datum while BLB stays at precharge — the worst-case
+//!   write flips the far cell's stored 1 through the full ladder, so the
+//!   bit-line discharge races the flip and MP-induced R/C skew delays
+//!   the write directly;
+//! * the *accessed cell sits at the far end* and is a genuine
+//!   cross-coupled latch (both inverters), initially storing `q = vdd`,
+//!   `qb = 0`: the write must win the ratioed fight of pass gate against
+//!   pull-up and then let the feedback regenerate;
+//! * write time `t_write` is measured from the WL mid-edge to the
+//!   internal node `q` **falling** through the flip threshold.
+//!
+//! The scalar and batched paths share one testbench builder verbatim
+//! (element order included), and the batched path resolves any lane it
+//! cannot finish through the scalar path, so batched results are
+//! bit-identical to scalar at any width.
+
+use mpvar_extract::{emit_rc_deck, RcDeck, RcDeckSpec};
+use mpvar_litho::{apply_draw, Draw};
+use mpvar_spice::{
+    cross_threshold, cross_threshold_series, run_transient_batch, BatchLaneOutcome,
+    BatchTransientSpec, BatchedMnaWorkspace, CrossDirection, Method, MosfetModel, Netlist, NodeId,
+    Transient, Waveform,
+};
+use mpvar_tech::TechDb;
+
+use crate::cell::{BitcellGeometry, INACTIVE_PREFIX};
+use crate::error::SramError;
+use crate::params::FormulaParams;
+
+/// Write-testbench configuration (defaults mirror [`crate::ReadConfig`]
+/// where the quantities coincide: 0.7V rails, the same word-line
+/// timing, the same fixed-step grid).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteConfig {
+    /// Supply / precharge / word-line high level, V.
+    pub vdd_v: f64,
+    /// Flip threshold as a fraction of `vdd_v`: the write completes when
+    /// the internal node falls through `flip_fraction * vdd_v`.
+    pub flip_fraction: f64,
+    /// Write-driver NMOS strength multiplier (relative to the unit
+    /// NMOS). Column drivers are sized several times the cell devices.
+    pub driver_strength: f64,
+    /// Delay before the word-line edge, s.
+    pub wl_delay_s: f64,
+    /// Word-line rise time, s.
+    pub wl_rise_s: f64,
+    /// Fixed time-step count per simulation window.
+    pub steps: usize,
+    /// Initial window = `window_scale` x the lumped-RC write estimate.
+    pub window_scale: f64,
+    /// Window doublings attempted before giving up.
+    pub max_retries: usize,
+}
+
+impl Default for WriteConfig {
+    fn default() -> Self {
+        Self {
+            vdd_v: 0.7,
+            flip_fraction: 0.5,
+            driver_strength: 4.0,
+            wl_delay_s: 20e-12,
+            wl_rise_s: 10e-12,
+            steps: 2000,
+            window_scale: 25.0,
+            max_retries: 3,
+        }
+    }
+}
+
+impl WriteConfig {
+    /// The absolute flip threshold, V.
+    pub fn flip_threshold_v(&self) -> f64 {
+        self.flip_fraction * self.vdd_v
+    }
+}
+
+/// Result of one write simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteOutcome {
+    /// Write time: WL mid-edge to the internal node crossing the flip
+    /// threshold, s — the write-path figure of merit.
+    pub t_write_s: f64,
+    /// Absolute time of the WL mid-edge, s.
+    pub t_wl_s: f64,
+    /// Simulated window that produced the measurement, s.
+    pub window_s: f64,
+}
+
+/// Simulates one write into an `n_cells`-deep column printed under
+/// `draw`, returning the flip time.
+///
+/// # Errors
+///
+/// * structural/tech errors from geometry and extraction;
+/// * [`SramError::WriteNeverFlipped`] when the internal node never
+///   crosses the flip threshold even after window retries.
+pub fn simulate_write(
+    tech: &TechDb,
+    cell: &BitcellGeometry,
+    config: &WriteConfig,
+    n_cells: usize,
+    draw: &Draw,
+) -> Result<WriteOutcome, SramError> {
+    if n_cells == 0 {
+        return Err(SramError::InvalidStructure {
+            message: "column needs at least one cell".to_string(),
+        });
+    }
+    let _span = mpvar_trace::span!(mpvar_trace::names::SPAN_SRAM_WRITE, n_cells = n_cells);
+    let tb = build_write_testbench(tech, cell, config, n_cells, draw)?;
+
+    let mut tran = Transient::new(tb.deck.netlist())?;
+    for &(node, v) in &tb.initial {
+        tran.set_initial_voltage(node, v);
+    }
+
+    let mut window = tb.window0_s;
+    let mut searched = window;
+    for _attempt in 0..=config.max_retries {
+        searched = window;
+        let dt = window / config.steps as f64;
+        let result = tran.run(dt, window)?;
+        let t_wl = cross_threshold(
+            &result,
+            tb.wl,
+            config.vdd_v / 2.0,
+            CrossDirection::Rising,
+            0.0,
+        )
+        .map_err(|e| SramError::Spice(e.to_string()))?;
+        match cross_threshold(
+            &result,
+            tb.q,
+            config.flip_threshold_v(),
+            CrossDirection::Falling,
+            t_wl,
+        ) {
+            Ok(t_flip) => {
+                return Ok(WriteOutcome {
+                    t_write_s: t_flip - t_wl,
+                    t_wl_s: t_wl,
+                    window_s: window,
+                });
+            }
+            Err(_) => {
+                window *= 2.0;
+            }
+        }
+    }
+    // Report the largest window actually simulated (same contract as the
+    // read path's SenseNeverTripped).
+    Err(SramError::WriteNeverFlipped { window_s: searched })
+}
+
+/// One built write testbench: the extracted deck with the accessed
+/// latch, write driver, and precharge devices attached, plus the node
+/// handles, UIC initial conditions, and first simulation window.
+struct WriteTestbench {
+    deck: RcDeck,
+    wl: NodeId,
+    q: NodeId,
+    initial: Vec<(NodeId, f64)>,
+    window0_s: f64,
+}
+
+/// Builds the write testbench for one printed draw. Shared verbatim by
+/// the scalar and batched paths, so both simulate exactly the same
+/// circuit — element order included, since MNA stamp order is
+/// accumulation-order-sensitive at the f64 level.
+fn build_write_testbench(
+    tech: &TechDb,
+    cell: &BitcellGeometry,
+    config: &WriteConfig,
+    n_cells: usize,
+    draw: &Draw,
+) -> Result<WriteTestbench, SramError> {
+    let m1 = tech.metal(1).ok_or_else(|| SramError::IncompleteTech {
+        missing: "metal1 spec".to_string(),
+    })?;
+
+    // ---- printed geometry and RC ladders --------------------------------
+    let stack = cell.column_stack(crate::array::PAPER_BL_PAIRS, 5, n_cells)?;
+    let printed = apply_draw(&stack, draw)?;
+    let deck_spec = RcDeckSpec {
+        segments: n_cells,
+        rail_prefixes: vec![
+            "VSS".to_string(),
+            "VDD".to_string(),
+            INACTIVE_PREFIX.to_string(),
+        ],
+    };
+    let mut deck = emit_rc_deck(&printed, m1, &deck_spec)?;
+
+    let sizing = cell.sizing();
+    let nmos = *tech.nmos();
+    let pmos = *tech.pmos();
+
+    let bl_near = deck.tap("BL", 0).expect("BL ladder emitted");
+    let bl_far = deck.tap("BL", n_cells).expect("BL far tap");
+    let blb_near = deck.tap("BLB", 0).expect("BLB ladder emitted");
+    let blb_far = deck.tap("BLB", n_cells).expect("BLB far tap");
+
+    let net = deck.netlist_mut();
+
+    // ---- supplies and word line -----------------------------------------
+    let vdd = net.node("vdd");
+    net.add_vsource("VDD", vdd, Netlist::GROUND, Waveform::dc(config.vdd_v))?;
+    let wl = net.node("wl");
+    net.add_vsource(
+        "VWL",
+        wl,
+        Netlist::GROUND,
+        Waveform::pulse(
+            0.0,
+            config.vdd_v,
+            config.wl_delay_s,
+            config.wl_rise_s,
+            config.wl_rise_s,
+            1.0, // stays up for the whole window
+            0.0,
+        )?,
+    )?;
+
+    // ---- per-cell pass-gate junction load on both bit lines --------------
+    let cfe = nmos.c_drain_f() * sizing.pass_gate;
+    for net_name in ["BL", "BLB"] {
+        for k in 1..=n_cells {
+            let tap = deck_tap(&deck, net_name, k)?;
+            deck.netlist_mut().add_capacitor(
+                &format!("Cfe_{net_name}_{k}"),
+                tap,
+                Netlist::GROUND,
+                cfe,
+            )?;
+        }
+    }
+
+    let net = deck.netlist_mut();
+
+    // ---- write driver at the near end ------------------------------------
+    // Gate tied to the word line: the column write pulse fires with the
+    // row select, so the bit-line discharge races the cell flip through
+    // the full multiple-patterned RC ladder. BLB carries the
+    // complementary 1 and simply stays at precharge.
+    let driver = MosfetModel::new(nmos.scaled(config.driver_strength).map_err(|e| {
+        SramError::InvalidStructure {
+            message: e.to_string(),
+        }
+    })?);
+    net.add_mosfet("Mdrv", bl_near, wl, Netlist::GROUND, driver)?;
+
+    // ---- accessed cell at the far end: a real cross-coupled latch --------
+    let q = net.node("q");
+    let qb = net.node("qb");
+    let pass = MosfetModel::new(nmos.scaled(sizing.pass_gate).map_err(|e| {
+        SramError::InvalidStructure {
+            message: e.to_string(),
+        }
+    })?);
+    let pull_down = MosfetModel::new(nmos.scaled(sizing.pull_down).map_err(|e| {
+        SramError::InvalidStructure {
+            message: e.to_string(),
+        }
+    })?);
+    let pull_up =
+        MosfetModel::new(
+            pmos.scaled(sizing.pull_up)
+                .map_err(|e| SramError::InvalidStructure {
+                    message: e.to_string(),
+                })?,
+        );
+    net.add_mosfet("Mpass", bl_far, wl, q, pass)?;
+    net.add_mosfet("Mpass_b", blb_far, wl, qb, pass)?;
+    // q-side inverter, gated by qb (initially 0: PU on, PD off → q = vdd).
+    net.add_mosfet("Mpu", q, qb, vdd, pull_up)?;
+    net.add_mosfet("Mpd", q, qb, Netlist::GROUND, pull_down)?;
+    // qb-side inverter, gated by q (initially vdd: PU off, PD on → qb = 0).
+    net.add_mosfet("Mpu_b", qb, q, vdd, pull_up)?;
+    net.add_mosfet("Mpd_b", qb, q, Netlist::GROUND, pull_down)?;
+    // Internal-node loads: both inverter gate caps plus two junctions.
+    let cint = 2.0 * nmos.c_gate_f() + 2.0 * nmos.c_drain_f();
+    net.add_capacitor("Cq", q, Netlist::GROUND, cint)?;
+    net.add_capacitor("Cqb", qb, Netlist::GROUND, cint)?;
+
+    // ---- precharge loads at the near end ---------------------------------
+    let pre_strength = sizing.precharge_per_cell * n_cells as f64;
+    let precharge =
+        MosfetModel::new(
+            pmos.scaled(pre_strength)
+                .map_err(|e| SramError::InvalidStructure {
+                    message: e.to_string(),
+                })?,
+        );
+    // Gate at vdd: off during the write; the device contributes its
+    // (size-scaled) junction capacitance.
+    net.add_mosfet("Mpre_bl", bl_near, vdd, vdd, precharge)?;
+    net.add_mosfet("Mpre_blb", blb_near, vdd, vdd, precharge)?;
+    let cpre = pmos.c_drain_f() * pre_strength;
+    net.add_capacitor("Cpre_bl", bl_near, Netlist::GROUND, cpre)?;
+    net.add_capacitor("Cpre_blb", blb_near, Netlist::GROUND, cpre)?;
+
+    // ---- initial conditions: precharged bit lines, cell storing a 1 ------
+    let mut initial = Vec::new();
+    for net_name in ["BL", "BLB"] {
+        for k in 0..=n_cells {
+            let tap = deck_tap(&deck, net_name, k)?;
+            initial.push((tap, config.vdd_v));
+        }
+    }
+    initial.push((vdd, config.vdd_v));
+    initial.push((q, config.vdd_v));
+    initial.push((qb, 0.0));
+
+    // ---- first-window estimate (trial-invariant by construction) ---------
+    let fp = FormulaParams::derive_write(tech, cell, config.vdd_v, config.driver_strength)?;
+    let n = n_cells as f64;
+    // a = −ln(1 − flip_fraction): the RC step-response constant of the
+    // same eq. 2 family, at the flip level instead of the sense level.
+    let a = -(1.0 - config.flip_fraction.clamp(0.05, 0.95)).ln();
+    let est = a * (n * fp.rbl_ohm + fp.rfe_ohm) * (n * (fp.cbl_f + fp.cfe_f) + fp.cpre_f(n_cells));
+    let window0_s = config.wl_delay_s + config.wl_rise_s + config.window_scale * est;
+
+    Ok(WriteTestbench {
+        deck,
+        wl,
+        q,
+        initial,
+        window0_s,
+    })
+}
+
+/// Reusable solver buffers for [`simulate_write_batch_in`]. Hold one per
+/// worker thread: consecutive batches over the same column structure
+/// then allocate nothing in the solve loop.
+#[derive(Debug, Default)]
+pub struct WriteBatchScratch {
+    ws: BatchedMnaWorkspace,
+}
+
+impl WriteBatchScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Capacity bytes currently held across all buffers.
+    pub fn bytes(&self) -> usize {
+        self.ws.bytes()
+    }
+}
+
+/// Simulates one write per draw through the batched trial solver: one
+/// shared symbolic analysis and stamp program, with the draws as
+/// vector-friendly value lanes ([`mpvar_spice::run_transient_batch`]).
+///
+/// Per-draw results are **bit-identical** to calling [`simulate_write`]
+/// on each draw individually: lanes the batch cannot carry — shorted
+/// prints, structural divergence, pivot drift, Newton non-convergence,
+/// or a write that needs the window-doubling retry loop — are resolved
+/// through the scalar path instead.
+///
+/// # Errors
+///
+/// The outer `Err` is structural (a zero-cell column). Per-draw
+/// failures (shorted geometry, [`SramError::WriteNeverFlipped`]) come
+/// back inside the per-lane results, in draw order.
+pub fn simulate_write_batch(
+    tech: &TechDb,
+    cell: &BitcellGeometry,
+    config: &WriteConfig,
+    n_cells: usize,
+    draws: &[Draw],
+) -> Result<Vec<Result<WriteOutcome, SramError>>, SramError> {
+    let mut scratch = WriteBatchScratch::new();
+    simulate_write_batch_in(tech, cell, config, n_cells, draws, &mut scratch)
+}
+
+/// [`simulate_write_batch`] with caller-owned scratch buffers, for
+/// Monte-Carlo workers that run many batches back to back.
+pub fn simulate_write_batch_in(
+    tech: &TechDb,
+    cell: &BitcellGeometry,
+    config: &WriteConfig,
+    n_cells: usize,
+    draws: &[Draw],
+    scratch: &mut WriteBatchScratch,
+) -> Result<Vec<Result<WriteOutcome, SramError>>, SramError> {
+    if n_cells == 0 {
+        return Err(SramError::InvalidStructure {
+            message: "column needs at least one cell".to_string(),
+        });
+    }
+    if draws.is_empty() {
+        return Ok(Vec::new());
+    }
+    let _span = mpvar_trace::span!(
+        mpvar_trace::names::SPAN_SRAM_WRITE,
+        n_cells = n_cells,
+        lanes = draws.len()
+    );
+
+    // Build one testbench per draw; shorted prints and other per-draw
+    // build failures stay in their lane without occupying a solver slot.
+    let mut out: Vec<Option<Result<WriteOutcome, SramError>>> = Vec::with_capacity(draws.len());
+    let mut benches: Vec<Option<WriteTestbench>> = Vec::with_capacity(draws.len());
+    for draw in draws {
+        match build_write_testbench(tech, cell, config, n_cells, draw) {
+            Ok(tb) => {
+                benches.push(Some(tb));
+                out.push(None);
+            }
+            Err(e) => {
+                benches.push(None);
+                out.push(Some(Err(e)));
+            }
+        }
+    }
+
+    let solver_lanes: Vec<usize> = (0..draws.len()).filter(|&i| benches[i].is_some()).collect();
+    if let Some(first) = benches.iter().flatten().next() {
+        // Structurally identical builds intern identical node ids, so one
+        // lane's handles address every lane; a lane that disagrees falls
+        // out of the batch as a structure mismatch and re-runs scalar.
+        let probes = [first.wl, first.q];
+        let window = first.window0_s;
+        let nets: Vec<&Netlist> = solver_lanes
+            .iter()
+            .map(|&i| benches[i].as_ref().expect("lane built").deck.netlist())
+            .collect();
+        let spec = BatchTransientSpec {
+            method: Method::Trapezoidal,
+            dt: window / config.steps as f64,
+            t_stop: window,
+            initial: &first.initial,
+            probes: &probes,
+        };
+        match run_transient_batch(&nets, &spec, &mut scratch.ws) {
+            Ok(batch) => {
+                for (slot, &i) in solver_lanes.iter().enumerate() {
+                    out[i] = Some(measure_batch_lane(
+                        tech,
+                        cell,
+                        config,
+                        n_cells,
+                        &draws[i],
+                        &batch.times,
+                        &batch.lanes[slot],
+                        window,
+                    ));
+                }
+            }
+            Err(_) => {
+                // Spec-level failure: the scalar path hits the same
+                // condition per lane and owns the error text.
+                for &i in &solver_lanes {
+                    out[i] = Some(simulate_write(tech, cell, config, n_cells, &draws[i]));
+                }
+            }
+        }
+    }
+
+    Ok(out
+        .into_iter()
+        .map(|o| o.expect("every lane resolved"))
+        .collect())
+}
+
+/// Extracts the flip time from one completed batch lane, or resolves the
+/// lane through the scalar path when the batch could not finish it.
+#[allow(clippy::too_many_arguments)]
+fn measure_batch_lane(
+    tech: &TechDb,
+    cell: &BitcellGeometry,
+    config: &WriteConfig,
+    n_cells: usize,
+    draw: &Draw,
+    times: &[f64],
+    lane: &BatchLaneOutcome,
+    window: f64,
+) -> Result<WriteOutcome, SramError> {
+    let probes = match lane {
+        BatchLaneOutcome::Completed { probes } => probes,
+        BatchLaneOutcome::FellOut { .. } => {
+            return simulate_write(tech, cell, config, n_cells, draw);
+        }
+    };
+    let Some(t_wl) = cross_threshold_series(
+        times,
+        &probes[0],
+        config.vdd_v / 2.0,
+        CrossDirection::Rising,
+        0.0,
+    ) else {
+        return simulate_write(tech, cell, config, n_cells, draw);
+    };
+    match cross_threshold_series(
+        times,
+        &probes[1],
+        config.flip_threshold_v(),
+        CrossDirection::Falling,
+        t_wl,
+    ) {
+        Some(t_flip) => Ok(WriteOutcome {
+            t_write_s: t_flip - t_wl,
+            t_wl_s: t_wl,
+            window_s: window,
+        }),
+        None => simulate_write(tech, cell, config, n_cells, draw),
+    }
+}
+
+fn deck_tap(
+    deck: &mpvar_extract::RcDeck,
+    net: &str,
+    k: usize,
+) -> Result<mpvar_spice::NodeId, SramError> {
+    deck.tap(net, k).ok_or_else(|| SramError::InvalidStructure {
+        message: format!("missing tap {k} on {net}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpvar_litho::{Draw, EuvDraw, Le3Draw};
+    use mpvar_tech::preset::n10;
+    use mpvar_tech::PatterningOption;
+
+    fn setup() -> (TechDb, BitcellGeometry) {
+        let tech = n10();
+        let cell = BitcellGeometry::n10_hd(&tech).unwrap();
+        (tech, cell)
+    }
+
+    #[test]
+    fn nominal_write_flips_the_cell_in_picoseconds() {
+        let (tech, cell) = setup();
+        let out = simulate_write(
+            &tech,
+            &cell,
+            &WriteConfig::default(),
+            16,
+            &Draw::nominal(PatterningOption::Euv),
+        )
+        .unwrap();
+        assert!(
+            out.t_write_s > 0.1e-12 && out.t_write_s < 200e-12,
+            "t_write = {:.3e}",
+            out.t_write_s
+        );
+        assert!(out.t_wl_s > 0.0);
+        assert!(out.window_s > out.t_write_s);
+    }
+
+    #[test]
+    fn write_time_grows_with_array_height() {
+        let (tech, cell) = setup();
+        let cfg = WriteConfig::default();
+        let nominal = Draw::nominal(PatterningOption::Euv);
+        let tw16 = simulate_write(&tech, &cell, &cfg, 16, &nominal)
+            .unwrap()
+            .t_write_s;
+        let tw64 = simulate_write(&tech, &cell, &cfg, 64, &nominal)
+            .unwrap()
+            .t_write_s;
+        assert!(tw64 > tw16, "tw16 {tw16:.3e} tw64 {tw64:.3e}");
+    }
+
+    #[test]
+    fn nominal_write_equal_across_options() {
+        // All three options print identical nominal geometry.
+        let (tech, cell) = setup();
+        let cfg = WriteConfig::default();
+        let tws: Vec<f64> = PatterningOption::ALL
+            .iter()
+            .map(|&o| {
+                simulate_write(&tech, &cell, &cfg, 16, &Draw::nominal(o))
+                    .unwrap()
+                    .t_write_s
+            })
+            .collect();
+        assert!((tws[0] - tws[1]).abs() / tws[0] < 1e-6);
+        assert!((tws[0] - tws[2]).abs() / tws[0] < 1e-6);
+    }
+
+    #[test]
+    fn squeezed_bitline_writes_slower() {
+        let (tech, cell) = setup();
+        let cfg = WriteConfig::default();
+        let nominal = simulate_write(
+            &tech,
+            &cell,
+            &cfg,
+            16,
+            &Draw::nominal(PatterningOption::Le3),
+        )
+        .unwrap()
+        .t_write_s;
+        let worst = Draw::Le3(Le3Draw {
+            cd_nm: [3.0, 3.0, 3.0],
+            overlay_nm: [8.0, 0.0, -8.0],
+        });
+        let squeezed = simulate_write(&tech, &cell, &cfg, 16, &worst)
+            .unwrap()
+            .t_write_s;
+        assert!(
+            squeezed > nominal,
+            "squeezed {squeezed:.3e} nominal {nominal:.3e}"
+        );
+    }
+
+    #[test]
+    fn weak_driver_never_flips_and_reports_final_window() {
+        // A hopeless driver (far weaker than the pull-up) cannot win the
+        // ratioed fight; the error must carry the final window searched.
+        let (tech, cell) = setup();
+        let base = WriteConfig {
+            driver_strength: 0.01,
+            flip_fraction: 0.1,
+            ..WriteConfig::default()
+        };
+        let window_at = |retries: usize| {
+            let cfg = WriteConfig {
+                max_retries: retries,
+                ..base
+            };
+            match simulate_write(&tech, &cell, &cfg, 4, &Draw::nominal(PatterningOption::Euv)) {
+                Err(SramError::WriteNeverFlipped { window_s }) => window_s,
+                other => panic!("expected WriteNeverFlipped, got {other:?}"),
+            }
+        };
+        let w0 = window_at(0);
+        let w1 = window_at(1);
+        assert!(w0 > 0.0);
+        assert_eq!(w1.to_bits(), (2.0 * w0).to_bits());
+    }
+
+    #[test]
+    fn zero_cells_rejected() {
+        let (tech, cell) = setup();
+        let d = Draw::nominal(PatterningOption::Euv);
+        assert!(matches!(
+            simulate_write(&tech, &cell, &WriteConfig::default(), 0, &d),
+            Err(SramError::InvalidStructure { .. })
+        ));
+        assert!(matches!(
+            simulate_write_batch(&tech, &cell, &WriteConfig::default(), 0, &[d]),
+            Err(SramError::InvalidStructure { .. })
+        ));
+    }
+
+    #[test]
+    fn batched_writes_bit_identical_to_scalar() {
+        let (tech, cell) = setup();
+        let cfg = WriteConfig::default();
+        let draws = vec![
+            Draw::nominal(PatterningOption::Euv),
+            Draw::Euv(EuvDraw { cd_nm: 2.0 }),
+            Draw::Le3(Le3Draw {
+                cd_nm: [3.0, -2.0, 1.0],
+                overlay_nm: [5.0, 0.0, -5.0],
+            }),
+            // Shorted print: must come back as the scalar path's litho
+            // error, in its lane, without disturbing the solver lanes.
+            Draw::Euv(EuvDraw { cd_nm: 30.0 }),
+            Draw::Euv(EuvDraw { cd_nm: -1.5 }),
+        ];
+        let mut scratch = WriteBatchScratch::new();
+        let batched =
+            simulate_write_batch_in(&tech, &cell, &cfg, 12, &draws, &mut scratch).unwrap();
+        assert_eq!(batched.len(), draws.len());
+        let bytes = scratch.bytes();
+        assert!(bytes > 0);
+        let mut shorted = 0;
+        for (d, b) in draws.iter().zip(&batched) {
+            let scalar = simulate_write(&tech, &cell, &cfg, 12, d);
+            match (b, scalar) {
+                (Ok(bo), Ok(so)) => {
+                    assert_eq!(bo.t_write_s.to_bits(), so.t_write_s.to_bits(), "t_write");
+                    assert_eq!(bo.t_wl_s.to_bits(), so.t_wl_s.to_bits(), "t_wl");
+                    assert_eq!(bo.window_s.to_bits(), so.window_s.to_bits(), "window");
+                }
+                (Err(be), Err(se)) => {
+                    assert_eq!(be.to_string(), se.to_string());
+                    shorted += 1;
+                }
+                (b, s) => panic!("batch {b:?} disagrees with scalar {s:?}"),
+            }
+        }
+        assert_eq!(shorted, 1, "exactly the shorted lane errors");
+
+        // A second batch over the same structure reuses every buffer.
+        let again = simulate_write_batch_in(&tech, &cell, &cfg, 12, &draws, &mut scratch).unwrap();
+        assert_eq!(scratch.bytes(), bytes, "scratch grew on reuse");
+        match (&batched[0], &again[0]) {
+            (Ok(a), Ok(b)) => assert_eq!(a.t_write_s.to_bits(), b.t_write_s.to_bits()),
+            other => panic!("repeat diverged: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let (tech, cell) = setup();
+        assert!(
+            simulate_write_batch(&tech, &cell, &WriteConfig::default(), 12, &[])
+                .unwrap()
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn deterministic_repeat() {
+        let (tech, cell) = setup();
+        let cfg = WriteConfig::default();
+        let d = Draw::nominal(PatterningOption::Sadp);
+        let a = simulate_write(&tech, &cell, &cfg, 16, &d).unwrap();
+        let b = simulate_write(&tech, &cell, &cfg, 16, &d).unwrap();
+        assert_eq!(a.t_write_s, b.t_write_s);
+    }
+}

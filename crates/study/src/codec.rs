@@ -31,6 +31,9 @@ use mpvar_core::montecarlo::TdpDistribution;
 use mpvar_core::rareevent::{YieldRow, YieldSettings, YieldTable};
 use mpvar_core::sensitivity::{ParameterSensitivity, SensitivityProfile};
 use mpvar_core::worst_case::WorstCase;
+use mpvar_core::writeexp::{
+    SenseMargin, WlDelay, WriteMargin, WriteTime, WriteYieldRow, WriteYieldTable,
+};
 use mpvar_extract::{RelativeVariation, WireParasitics};
 use mpvar_litho::{Draw, EuvDraw, Le2Draw, Le3Draw, SadpDraw};
 use mpvar_stats::Summary;
@@ -41,7 +44,7 @@ use crate::value::{ArtifactValue, SensitivityMatrix};
 /// Version of the payload layout. Any change to the encoding — field
 /// added, type widened, order shuffled — must bump this; the disk
 /// envelope stores it and refuses to decode a mismatch.
-pub const CODEC_VERSION: u32 = 1;
+pub const CODEC_VERSION: u32 = 2;
 
 /// A decode failure: the payload is truncated, structurally invalid,
 /// or from an incompatible producer.
@@ -349,7 +352,9 @@ fn intern_estimator(r: &Reader<'_>, name: &str) -> Result<&'static str, CodecErr
 // Encode
 // ---------------------------------------------------------------------
 
-/// Variant tags, fixed forever under [`CODEC_VERSION`] 1.
+/// Variant tags, fixed forever once assigned (tags 1–14 date from
+/// [`CODEC_VERSION`] 1; 15–19 joined with version 2, which also added
+/// the `failed_reads` field to the FIG5 distribution layout).
 mod tag {
     pub const TABLE1: u8 = 1;
     pub const FIG4: u8 = 2;
@@ -365,6 +370,11 @@ mod tag {
     pub const EXTENSION_SENSITIVITY: u8 = 12;
     pub const EXTENSION_SCALING: u8 = 13;
     pub const YIELD_6SIGMA: u8 = 14;
+    pub const WRITE_TIME: u8 = 15;
+    pub const WRITE_MARGIN: u8 = 16;
+    pub const SENSE_MARGIN: u8 = 17;
+    pub const WL_DELAY: u8 = 18;
+    pub const WRITE_YIELD: u8 = 19;
 }
 
 /// Encodes one artifact value into its [`CODEC_VERSION`] payload.
@@ -423,6 +433,7 @@ pub fn encode_value(value: &ArtifactValue) -> Vec<u8> {
                 put_f64s(&mut out, d.samples_percent());
                 put_summary(&mut out, d.summary());
                 put_usize(&mut out, d.shorted_draws());
+                put_usize(&mut out, d.failed_reads());
             }
         }
         ArtifactValue::Table4(v) => {
@@ -530,6 +541,58 @@ pub fn encode_value(value: &ArtifactValue) -> Vec<u8> {
                 put_f64(&mut out, row.gaussian_fit_p);
             }
         }
+        ArtifactValue::WriteTime(v) => {
+            put_u8(&mut out, tag::WRITE_TIME);
+            put_usizes(&mut out, &v.sizes);
+            put_f64s(&mut out, &v.t_write_sim_s);
+            put_f64s(&mut out, &v.t_write_formula_s);
+            put_usize(&mut out, v.penalty_percent.len());
+            for (option, penalties) in &v.penalty_percent {
+                put_option(&mut out, *option);
+                put_f64s(&mut out, penalties);
+            }
+        }
+        ArtifactValue::WriteMargin(v) => {
+            put_u8(&mut out, tag::WRITE_MARGIN);
+            put_usize(&mut out, v.n);
+            put_usize(&mut out, v.rows.len());
+            for &(option, a, b, c, d) in &v.rows {
+                put_option(&mut out, option);
+                put_f64(&mut out, a);
+                put_f64(&mut out, b);
+                put_f64(&mut out, c);
+                put_f64(&mut out, d);
+            }
+        }
+        ArtifactValue::SenseMargin(v) => {
+            put_u8(&mut out, tag::SENSE_MARGIN);
+            put_usize(&mut out, v.n);
+            put_f64(&mut out, v.window_s);
+            put_f64(&mut out, v.offset_sigma_v);
+            put_option_rows(&mut out, &v.rows);
+        }
+        ArtifactValue::WlDelay(v) => {
+            put_u8(&mut out, tag::WL_DELAY);
+            put_usize(&mut out, v.columns);
+            put_f64(&mut out, v.near_nominal_s);
+            put_f64(&mut out, v.far_nominal_s);
+            put_option_rows(&mut out, &v.rows);
+        }
+        ArtifactValue::WriteYield(v) => {
+            put_u8(&mut out, tag::WRITE_YIELD);
+            put_usize(&mut out, v.n);
+            put_usize(&mut out, v.rows.len());
+            for row in &v.rows {
+                put_option(&mut out, row.option);
+                put_f64(&mut out, row.margin_percent);
+                put_f64(&mut out, row.write_p_fail);
+                put_f64(&mut out, row.ci_lo);
+                put_f64(&mut out, row.ci_hi);
+                put_u64(&mut out, row.trials);
+                put_bool(&mut out, row.converged);
+                put_f64(&mut out, row.read_p_fail);
+            }
+        }
     }
     out
 }
@@ -629,6 +692,7 @@ fn decode_inner(r: &mut Reader<'_>) -> Result<ArtifactValue, CodecError> {
                     r.usize()?,
                     r.f64s()?,
                     read_summary(r)?,
+                    r.usize()?,
                     r.usize()?,
                 ));
             }
@@ -755,6 +819,73 @@ fn decode_inner(r: &mut Reader<'_>) -> Result<ArtifactValue, CodecError> {
             }
             ArtifactValue::Yield6Sigma(YieldTable { n, settings, rows })
         }
+        tag::WRITE_TIME => {
+            let sizes = r.usizes()?;
+            let t_write_sim_s = r.f64s()?;
+            let t_write_formula_s = r.f64s()?;
+            let count = r.len()?;
+            let mut penalty_percent = Vec::with_capacity(count);
+            for _ in 0..count {
+                penalty_percent.push((read_option(r)?, r.f64s()?));
+            }
+            ArtifactValue::WriteTime(WriteTime {
+                sizes,
+                t_write_sim_s,
+                t_write_formula_s,
+                penalty_percent,
+            })
+        }
+        tag::WRITE_MARGIN => {
+            let n = r.usize()?;
+            let count = r.len()?;
+            let mut rows = Vec::with_capacity(count);
+            for _ in 0..count {
+                rows.push((read_option(r)?, r.f64()?, r.f64()?, r.f64()?, r.f64()?));
+            }
+            ArtifactValue::WriteMargin(WriteMargin { n, rows })
+        }
+        tag::SENSE_MARGIN => {
+            let n = r.usize()?;
+            let window_s = r.f64()?;
+            let offset_sigma_v = r.f64()?;
+            let rows = read_option_rows(r)?;
+            ArtifactValue::SenseMargin(SenseMargin {
+                n,
+                window_s,
+                offset_sigma_v,
+                rows,
+            })
+        }
+        tag::WL_DELAY => {
+            let columns = r.usize()?;
+            let near_nominal_s = r.f64()?;
+            let far_nominal_s = r.f64()?;
+            let rows = read_option_rows(r)?;
+            ArtifactValue::WlDelay(WlDelay {
+                columns,
+                near_nominal_s,
+                far_nominal_s,
+                rows,
+            })
+        }
+        tag::WRITE_YIELD => {
+            let n = r.usize()?;
+            let count = r.len()?;
+            let mut rows = Vec::with_capacity(count);
+            for _ in 0..count {
+                rows.push(WriteYieldRow {
+                    option: read_option(r)?,
+                    margin_percent: r.f64()?,
+                    write_p_fail: r.f64()?,
+                    ci_lo: r.f64()?,
+                    ci_hi: r.f64()?,
+                    trials: r.u64()?,
+                    converged: r.bool()?,
+                    read_p_fail: r.f64()?,
+                });
+            }
+            ArtifactValue::WriteYield(WriteYieldTable { n, rows })
+        }
         other => return Err(r.err(format!("unknown artifact tag {other}"))),
     })
 }
@@ -827,6 +958,7 @@ mod tests {
                     vec![1.0, 2.5, -0.75, 9.25],
                     summary,
                     7,
+                    2,
                 )],
             }),
             ArtifactValue::Table4(Table4 {
@@ -887,6 +1019,45 @@ mod tests {
                     gaussian_fit_p: 3.2e-7,
                 }],
             }),
+            ArtifactValue::WriteTime(WriteTime {
+                sizes: vec![4, 8],
+                t_write_sim_s: vec![1e-11, 1.5e-11],
+                t_write_formula_s: vec![0.9e-11, 1.4e-11],
+                penalty_percent: vec![
+                    (PatterningOption::Le3, vec![4.5, 6.0]),
+                    (PatterningOption::Sadp, vec![1.0, 1.5]),
+                    (PatterningOption::Euv, vec![0.4, 0.6]),
+                ],
+            }),
+            ArtifactValue::WriteMargin(WriteMargin {
+                n: 64,
+                rows: vec![(PatterningOption::Le3, 3.0, 0.5, -6.0, 12.0)],
+            }),
+            ArtifactValue::SenseMargin(SenseMargin {
+                n: 64,
+                window_s: 4.1e-11,
+                offset_sigma_v: 0.008,
+                rows: vec![(PatterningOption::Euv, 0.01, 0.013, 0.004)],
+            }),
+            ArtifactValue::WlDelay(WlDelay {
+                columns: 64,
+                near_nominal_s: 2e-12,
+                far_nominal_s: 6e-12,
+                rows: vec![(PatterningOption::Sadp, 2.1e-12, 6.2e-12, 3.3)],
+            }),
+            ArtifactValue::WriteYield(WriteYieldTable {
+                n: 64,
+                rows: vec![WriteYieldRow {
+                    option: PatterningOption::Le3,
+                    margin_percent: 8.0,
+                    write_p_fail: 2.5e-4,
+                    ci_lo: 1e-4,
+                    ci_hi: 5e-4,
+                    trials: 32_768,
+                    converged: true,
+                    read_p_fail: 1.25e-4,
+                }],
+            }),
         ]
     }
 
@@ -904,7 +1075,10 @@ mod tests {
     #[test]
     fn infinity_and_interned_strings_survive() {
         let values = sample_values();
-        let yield_value = values.last().expect("yield sample");
+        let yield_value = values
+            .iter()
+            .find(|v| matches!(v, ArtifactValue::Yield6Sigma(_)))
+            .expect("yield sample");
         let decoded = decode_value(&encode_value(yield_value)).expect("decodes");
         let ArtifactValue::Yield6Sigma(table) = &decoded else {
             panic!("variant preserved");

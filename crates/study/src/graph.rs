@@ -47,11 +47,21 @@ pub enum ArtifactId {
     ExtensionScaling,
     /// Extension — rare-event yield: importance-sampled P_fail to 6σ.
     Yield6Sigma,
+    /// Write path — nominal and worst-corner flip time per height.
+    WriteTime,
+    /// Write path — Monte-Carlo write-time-penalty spread per option.
+    WriteMargin,
+    /// Sense periphery — sense-amp offset against the MP-skewed RC.
+    SenseMargin,
+    /// Word line — near versus far column delay per option.
+    WlDelay,
+    /// Write path — rare-event write-failure probability per option.
+    WriteYield,
 }
 
 impl ArtifactId {
     /// Every artifact, in canonical report order.
-    pub const ALL: [ArtifactId; 14] = [
+    pub const ALL: [ArtifactId; 19] = [
         ArtifactId::Table1,
         ArtifactId::Fig4,
         ArtifactId::Table2,
@@ -66,6 +76,11 @@ impl ArtifactId {
         ArtifactId::ExtensionSensitivity,
         ArtifactId::ExtensionScaling,
         ArtifactId::Yield6Sigma,
+        ArtifactId::WriteTime,
+        ArtifactId::WriteMargin,
+        ArtifactId::SenseMargin,
+        ArtifactId::WlDelay,
+        ArtifactId::WriteYield,
     ];
 
     /// The stable string id (e.g. `table1`, `extension-le2`) used by
@@ -86,6 +101,11 @@ impl ArtifactId {
             ArtifactId::ExtensionSensitivity => "extension-sensitivity",
             ArtifactId::ExtensionScaling => "extension-scaling",
             ArtifactId::Yield6Sigma => "yield_6sigma",
+            ArtifactId::WriteTime => "write_time",
+            ArtifactId::WriteMargin => "write_margin",
+            ArtifactId::SenseMargin => "sense_margin",
+            ArtifactId::WlDelay => "wl_delay",
+            ArtifactId::WriteYield => "write_yield",
         }
     }
 
@@ -116,6 +136,7 @@ impl ArtifactId {
             ArtifactId::Fig4 => &[ArtifactId::Table1],
             ArtifactId::Table2 | ArtifactId::AblationDelay => &[ArtifactId::Fig4],
             ArtifactId::Table3 => &[ArtifactId::Table1, ArtifactId::Fig4],
+            ArtifactId::WriteTime | ArtifactId::WlDelay => &[ArtifactId::Table1],
             _ => &[],
         }
     }

@@ -17,6 +17,10 @@ use mpvar_core::experiments::{
 };
 use mpvar_core::rareevent::{yield_6sigma, YieldTable};
 use mpvar_core::sensitivity::{sensitivity_profile, SensitivityProfile};
+use mpvar_core::writeexp::{
+    sense_margin, wl_delay, write_margin, write_time, write_yield, SenseMargin, WlDelay,
+    WriteMargin, WriteTime, WriteYieldTable,
+};
 use mpvar_core::CoreError;
 use mpvar_tech::PatterningOption;
 
@@ -106,6 +110,16 @@ pub enum ArtifactValue {
     ExtensionScaling(ExtensionScaling),
     /// Rare-event yield table (importance-sampled P_fail to 6σ).
     Yield6Sigma(YieldTable),
+    /// Write-time ladder result.
+    WriteTime(WriteTime),
+    /// Write-margin Monte-Carlo result.
+    WriteMargin(WriteMargin),
+    /// Sense-margin result.
+    SenseMargin(SenseMargin),
+    /// Word-line delay result.
+    WlDelay(WlDelay),
+    /// Write-yield result.
+    WriteYield(WriteYieldTable),
 }
 
 impl ArtifactValue {
@@ -126,6 +140,11 @@ impl ArtifactValue {
             ArtifactValue::ExtensionSensitivity(_) => ArtifactId::ExtensionSensitivity,
             ArtifactValue::ExtensionScaling(_) => ArtifactId::ExtensionScaling,
             ArtifactValue::Yield6Sigma(_) => ArtifactId::Yield6Sigma,
+            ArtifactValue::WriteTime(_) => ArtifactId::WriteTime,
+            ArtifactValue::WriteMargin(_) => ArtifactId::WriteMargin,
+            ArtifactValue::SenseMargin(_) => ArtifactId::SenseMargin,
+            ArtifactValue::WlDelay(_) => ArtifactId::WlDelay,
+            ArtifactValue::WriteYield(_) => ArtifactId::WriteYield,
         }
     }
 
@@ -154,6 +173,11 @@ impl ArtifactValue {
             ArtifactValue::ExtensionSensitivity(v) => (v.report_text(), v.to_csv()),
             ArtifactValue::ExtensionScaling(v) => table_pair(&v.report()),
             ArtifactValue::Yield6Sigma(v) => table_pair(&v.report()),
+            ArtifactValue::WriteTime(v) => table_pair(&v.report()),
+            ArtifactValue::WriteMargin(v) => table_pair(&v.report()),
+            ArtifactValue::SenseMargin(v) => table_pair(&v.report()),
+            ArtifactValue::WlDelay(v) => table_pair(&v.report()),
+            ArtifactValue::WriteYield(v) => table_pair(&v.report()),
         };
         Artifact {
             id: self.id().name().to_string(),
@@ -209,6 +233,11 @@ artifact_data!(ExtensionLer, ExtensionLer);
 artifact_data!(SensitivityMatrix, ExtensionSensitivity);
 artifact_data!(ExtensionScaling, ExtensionScaling);
 artifact_data!(YieldTable, Yield6Sigma);
+artifact_data!(WriteTime, WriteTime);
+artifact_data!(WriteMargin, WriteMargin);
+artifact_data!(SenseMargin, SenseMargin);
+artifact_data!(WlDelay, WlDelay);
+artifact_data!(WriteYieldTable, WriteYield);
 
 /// A strongly-typed handle to a cached artifact value.
 ///
@@ -293,5 +322,16 @@ pub(crate) fn produce(
         }
         ArtifactId::ExtensionScaling => ArtifactValue::ExtensionScaling(extension_scaling(ctx)?),
         ArtifactId::Yield6Sigma => ArtifactValue::Yield6Sigma(yield_6sigma(ctx)?),
+        ArtifactId::WriteTime => {
+            let t1 = Table1::project(dep(0)).expect("write_time dep 0 is table1");
+            ArtifactValue::WriteTime(write_time(ctx, t1)?)
+        }
+        ArtifactId::WriteMargin => ArtifactValue::WriteMargin(write_margin(ctx)?),
+        ArtifactId::SenseMargin => ArtifactValue::SenseMargin(sense_margin(ctx)?),
+        ArtifactId::WlDelay => {
+            let t1 = Table1::project(dep(0)).expect("wl_delay dep 0 is table1");
+            ArtifactValue::WlDelay(wl_delay(ctx, t1)?)
+        }
+        ArtifactId::WriteYield => ArtifactValue::WriteYield(write_yield(ctx)?),
     })
 }

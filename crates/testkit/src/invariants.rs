@@ -17,6 +17,7 @@ use mpvar_core::experiments::{
     Table2, Table3, Table4,
 };
 use mpvar_core::rareevent::YieldTable;
+use mpvar_core::writeexp::{SenseMargin, WlDelay, WriteMargin, WriteTime, WriteYieldTable};
 use mpvar_stats::ks_test_fitted;
 use mpvar_tech::PatterningOption;
 
@@ -564,6 +565,263 @@ pub fn yield_invariants(yt: &YieldTable) -> Vec<CheckItem> {
     items
 }
 
+/// Write-time claims: the simulated and formula flip times both grow
+/// strictly with array height, and LE3's worst-corner write penalty
+/// dominates SADP's at the tallest column.
+pub fn write_time_invariants(wt: &WriteTime) -> Vec<CheckItem> {
+    let mut items = Vec::new();
+
+    let mut monotone = Vec::new();
+    for (route, times) in [
+        ("sim", &wt.t_write_sim_s),
+        ("formula", &wt.t_write_formula_s),
+    ] {
+        for (w, n) in times.windows(2).zip(wt.sizes.windows(2)) {
+            if w[1] <= w[0] {
+                monotone.push(format!(
+                    "{route} n={}->{}: {:.3e}s -> {:.3e}s",
+                    n[0], n[1], w[0], w[1]
+                ));
+            }
+        }
+    }
+    items.push(CheckItem::from_violations(
+        "write_time.grows-with-height",
+        "simulated and formula write time strictly increase with array height",
+        &monotone,
+    ));
+
+    let last = wt.sizes.len() - 1;
+    let le3 = wt.penalty_of(PatterningOption::Le3)[last];
+    let sadp = wt.penalty_of(PatterningOption::Sadp)[last];
+    items.push(if le3 > sadp && le3 > 0.0 {
+        CheckItem::pass(
+            "write_time.le3-penalty-dominates",
+            format!(
+                "worst twp @ n={}: LE3 {le3:.2}% > SADP {sadp:.2}%",
+                wt.sizes[last]
+            ),
+        )
+    } else {
+        CheckItem::fail(
+            "write_time.le3-penalty-dominates",
+            format!("LE3 twp {le3:.2}% no longer dominates SADP {sadp:.2}%"),
+        )
+    });
+    items
+}
+
+/// Write-margin claims: the LE3 write-time-penalty spread is more than
+/// double SADP's (the Table IV family carries over to the write path)
+/// and above EUV's.
+pub fn write_margin_invariants(wm: &WriteMargin) -> Vec<CheckItem> {
+    let le3 = wm.of(PatterningOption::Le3).1;
+    let sadp = wm.of(PatterningOption::Sadp).1;
+    let euv = wm.of(PatterningOption::Euv).1;
+    let factor = le3 / sadp.max(1e-9);
+    let mut items = Vec::new();
+    items.push(if factor > 2.0 {
+        CheckItem::pass(
+            "write_margin.le3-spread-family",
+            format!("sigma twp LE3 / SADP = {factor:.2} (n = {})", wm.n),
+        )
+    } else {
+        CheckItem::fail(
+            "write_margin.le3-spread-family",
+            format!("sigma factor fell to {factor:.2} (claim: more than double)"),
+        )
+    });
+    items.push(if le3 > euv {
+        CheckItem::pass(
+            "write_margin.le3-above-euv",
+            format!("sigma twp LE3 {le3:.3}% > EUV {euv:.3}%"),
+        )
+    } else {
+        CheckItem::fail(
+            "write_margin.le3-above-euv",
+            format!("sigma twp LE3 {le3:.3}% fell below EUV {euv:.3}%"),
+        )
+    });
+    items
+}
+
+/// Sense-margin claims: failures are driven by the RC tail against the
+/// offset tail (LE3 fails at least as often as SADP and with a
+/// strictly wider margin spread), and the periphery works at nominal
+/// (positive mean margin, sub-half failure fraction everywhere).
+pub fn sense_margin_invariants(sm: &SenseMargin) -> Vec<CheckItem> {
+    let le3 = sm.of(PatterningOption::Le3);
+    let sadp = sm.of(PatterningOption::Sadp);
+    let mut items = Vec::new();
+    items.push(if le3.1 >= sadp.1 && le3.3 > sadp.3 {
+        CheckItem::pass(
+            "sense_margin.le3-fails-most",
+            format!(
+                "LE3 fails {:.4} (sigma {:.2} mV) vs SADP {:.4} ({:.2} mV)",
+                le3.1,
+                le3.3 * 1e3,
+                sadp.1,
+                sadp.3 * 1e3
+            ),
+        )
+    } else {
+        CheckItem::fail(
+            "sense_margin.le3-fails-most",
+            format!(
+                "LE3 frac {:.4} / sigma {:.2} mV vs SADP {:.4} / {:.2} mV lost the ordering",
+                le3.1,
+                le3.3 * 1e3,
+                sadp.1,
+                sadp.3 * 1e3
+            ),
+        )
+    });
+    let mut nominal = Vec::new();
+    for (option, frac, mean, _) in &sm.rows {
+        if *mean <= 0.0 || *frac >= 0.5 {
+            nominal.push(format!(
+                "{option}: mean margin {:.2} mV, failure fraction {frac:.4}",
+                mean * 1e3
+            ));
+        }
+    }
+    items.push(CheckItem::from_violations(
+        "sense_margin.periphery-works-at-nominal",
+        "every option keeps a positive mean margin and fails less than half the time",
+        &nominal,
+    ));
+    items
+}
+
+/// Word-line claims: the far column always waits at least as long as
+/// the near column (nominal and per worst corner), and LE3's far-column
+/// penalty dominates SADP's.
+pub fn wl_delay_invariants(wl: &WlDelay) -> Vec<CheckItem> {
+    let mut items = Vec::new();
+    let mut ordering = Vec::new();
+    if wl.far_nominal_s < wl.near_nominal_s {
+        ordering.push(format!(
+            "nominal: far {:.3e}s < near {:.3e}s",
+            wl.far_nominal_s, wl.near_nominal_s
+        ));
+    }
+    for (option, near, far, _) in &wl.rows {
+        if far < near {
+            ordering.push(format!("{option}: far {far:.3e}s < near {near:.3e}s"));
+        }
+    }
+    items.push(CheckItem::from_violations(
+        "wl_delay.far-at-least-near",
+        &format!(
+            "far-column delay at or above near-column over {} columns",
+            wl.columns
+        ),
+        &ordering,
+    ));
+    let le3 = wl.of(PatterningOption::Le3).3;
+    let sadp = wl.of(PatterningOption::Sadp).3;
+    items.push(if le3 > sadp {
+        CheckItem::pass(
+            "wl_delay.le3-penalty-dominates",
+            format!("far penalty LE3 {le3:.2}% > SADP {sadp:.2}%"),
+        )
+    } else {
+        CheckItem::fail(
+            "wl_delay.le3-penalty-dominates",
+            format!("far penalty LE3 {le3:.2}% no longer exceeds SADP {sadp:.2}%"),
+        )
+    });
+    items
+}
+
+/// Write-yield claims: LE3's write-failure probability dominates the
+/// single-exposure options at every margin, deeper margins never fail
+/// more often, and every CI brackets its estimate inside [0, 1].
+pub fn write_yield_invariants(wy: &WriteYieldTable) -> Vec<CheckItem> {
+    let mut items = Vec::new();
+
+    let mut ordering = Vec::new();
+    let margins: Vec<f64> = wy
+        .rows_of(PatterningOption::Le3)
+        .map(|r| r.margin_percent)
+        .collect();
+    for &margin in &margins {
+        let at = |option: PatterningOption| wy.rows_of(option).find(|r| r.margin_percent == margin);
+        match (
+            at(PatterningOption::Le3),
+            at(PatterningOption::Sadp),
+            at(PatterningOption::Euv),
+        ) {
+            (Some(le3), Some(sadp), Some(euv)) => {
+                if sadp.write_p_fail > le3.write_p_fail || euv.write_p_fail > le3.write_p_fail {
+                    ordering.push(format!(
+                        "at {margin:.1}%: LE3 {:.3e} vs SADP {:.3e} / EUV {:.3e}",
+                        le3.write_p_fail, sadp.write_p_fail, euv.write_p_fail
+                    ));
+                }
+            }
+            _ => ordering.push(format!("at {margin:.1}%: option row missing")),
+        }
+    }
+    items.push(CheckItem::from_violations(
+        "write_yield.le3-dominates",
+        "write P_fail(SADP) and P_fail(EUV) at or below P_fail(LE3) at every margin",
+        &ordering,
+    ));
+
+    let mut monotone = Vec::new();
+    for option in PatterningOption::ALL {
+        let rows: Vec<_> = wy.rows_of(option).collect();
+        for pair in rows.windows(2) {
+            let (shallow, deep) = if pair[0].margin_percent <= pair[1].margin_percent {
+                (pair[0], pair[1])
+            } else {
+                (pair[1], pair[0])
+            };
+            if deep.write_p_fail > shallow.write_p_fail {
+                monotone.push(format!(
+                    "{option}: {:.1}% margin fails {:.3e} > {:.1}% margin {:.3e}",
+                    deep.margin_percent,
+                    deep.write_p_fail,
+                    shallow.margin_percent,
+                    shallow.write_p_fail
+                ));
+            }
+        }
+    }
+    items.push(CheckItem::from_violations(
+        "write_yield.margin-monotone",
+        "a deeper margin never fails more often, per option",
+        &monotone,
+    ));
+
+    let mut sane = Vec::new();
+    for r in &wy.rows {
+        let ordered = r.ci_lo <= r.write_p_fail && r.write_p_fail <= r.ci_hi;
+        let bounded = (0.0..=1.0).contains(&r.ci_lo) && (0.0..=1.0).contains(&r.ci_hi);
+        let finite = r.write_p_fail.is_finite() && r.ci_lo.is_finite() && r.ci_hi.is_finite();
+        let read_ok = (0.0..=1.0).contains(&r.read_p_fail);
+        if !(ordered && bounded && finite && read_ok && r.trials > 0) {
+            sane.push(format!(
+                "{} at {:.1}%: p {:.3e} in [{:.3e}, {:.3e}], read p {:.3e}, trials {}",
+                r.option.paper_label(),
+                r.margin_percent,
+                r.write_p_fail,
+                r.ci_lo,
+                r.ci_hi,
+                r.read_p_fail,
+                r.trials
+            ));
+        }
+    }
+    items.push(CheckItem::from_violations(
+        "write_yield.ci-well-formed",
+        "every row's CI brackets its estimate and both probabilities lie in [0,1]",
+        &sane,
+    ));
+    items
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -662,6 +920,78 @@ mod tests {
         assert!(items
             .iter()
             .any(|i| i.name == "yield.weight-oracle-near-one" && !i.passed));
+    }
+
+    #[test]
+    fn write_family_claims_hold_on_quick_context() {
+        let mut c = ctx();
+        c.write_settings.margin_trials = 800;
+        c.write_settings.sense_trials = 600;
+        let t1 = mpvar_core::experiments::table1(&c).unwrap();
+        let wt = mpvar_core::writeexp::write_time(&c, &t1).unwrap();
+        for item in write_time_invariants(&wt) {
+            assert!(item.passed, "{}: {}", item.name, item.detail);
+        }
+        let wm = mpvar_core::writeexp::write_margin(&c).unwrap();
+        for item in write_margin_invariants(&wm) {
+            assert!(item.passed, "{}: {}", item.name, item.detail);
+        }
+        let sm = mpvar_core::writeexp::sense_margin(&c).unwrap();
+        for item in sense_margin_invariants(&sm) {
+            assert!(item.passed, "{}: {}", item.name, item.detail);
+        }
+        let wl = mpvar_core::writeexp::wl_delay(&c, &t1).unwrap();
+        for item in wl_delay_invariants(&wl) {
+            assert!(item.passed, "{}: {}", item.name, item.detail);
+        }
+    }
+
+    #[test]
+    fn write_yield_claims_pass_and_trip_on_synthetic_tables() {
+        use mpvar_core::writeexp::WriteYieldRow;
+
+        let row = |option, margin_percent: f64, p: f64| WriteYieldRow {
+            option,
+            margin_percent,
+            write_p_fail: p,
+            ci_lo: p * 0.8,
+            ci_hi: (p * 1.2).max(1e-12),
+            trials: 4096,
+            converged: true,
+            read_p_fail: p * 0.5,
+        };
+        let table = WriteYieldTable {
+            n: 64,
+            rows: vec![
+                row(PatterningOption::Le3, 8.0, 2e-3),
+                row(PatterningOption::Le3, 14.0, 1e-6),
+                row(PatterningOption::Sadp, 8.0, 1e-5),
+                row(PatterningOption::Sadp, 14.0, 0.0),
+                row(PatterningOption::Euv, 8.0, 4e-5),
+                row(PatterningOption::Euv, 14.0, 0.0),
+            ],
+        };
+        for item in write_yield_invariants(&table) {
+            assert!(item.passed, "{}: {}", item.name, item.detail);
+        }
+
+        // SADP overtaking LE3 must trip the dominance claim.
+        let mut broken = table.clone();
+        broken.rows[2].write_p_fail = 5e-3;
+        broken.rows[2].ci_hi = 6e-3;
+        let items = write_yield_invariants(&broken);
+        assert!(items
+            .iter()
+            .any(|i| i.name == "write_yield.le3-dominates" && !i.passed));
+
+        // A deeper margin failing more often must trip monotonicity.
+        let mut inverted = table;
+        inverted.rows[1].write_p_fail = 5e-3;
+        inverted.rows[1].ci_hi = 6e-3;
+        let items = write_yield_invariants(&inverted);
+        assert!(items
+            .iter()
+            .any(|i| i.name == "write_yield.margin-monotone" && !i.passed));
     }
 
     #[test]

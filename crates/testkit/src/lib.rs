@@ -21,7 +21,10 @@
 //! * [`oracle`] — differential oracles cross-validating the three
 //!   independent delay paths (analytical formula of eqs. 1–5, Elmore
 //!   RC, SPICE transient) on randomized small arrays with documented
-//!   mutual-error bounds.
+//!   mutual-error bounds;
+//! * [`write_oracle`] — the write-side mirror: the write-route formula
+//!   against the scalar and batched SPICE write transients, including
+//!   the batch-vs-scalar bit-identity and thread-invariance contracts.
 //!
 //! Everything here is deterministic: the oracles and invariants are
 //! seed-stable and thread-count invariant, so two `check` runs on the
@@ -35,11 +38,13 @@ pub mod csv;
 pub mod invariants;
 pub mod oracle;
 pub mod report;
+pub mod write_oracle;
 
 pub use compare::{compare_tables, ColumnSpec, Policy, TableSpec};
 pub use csv::{parse_interval, parse_number, CsvTable};
 pub use oracle::{run_delay_oracles, OracleConfig, OracleReport};
 pub use report::{CheckItem, CheckReport};
+pub use write_oracle::{run_write_oracles, WriteOracleConfig, WriteOracleReport};
 
 /// Errors surfaced by the verification toolkit.
 #[derive(Debug, Clone, PartialEq)]

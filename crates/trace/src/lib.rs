@@ -84,6 +84,8 @@ pub mod names {
     pub const SPAN_SPICE_TRANSIENT: &str = "spice_transient";
     /// Span: one SRAM read testbench simulation.
     pub const SPAN_SRAM_READ: &str = "sram_read";
+    /// Span: one SRAM write testbench simulation.
+    pub const SPAN_SRAM_WRITE: &str = "sram_write";
     /// Span: one batched multi-trial transient analysis.
     pub const SPAN_SPICE_BATCH: &str = "spice_batch_transient";
     /// Span: one `Study::materialize` request.

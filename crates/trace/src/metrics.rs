@@ -93,20 +93,30 @@ impl HistogramMetric {
     /// interpolated inside the bucket the target rank lands in (the
     /// values of a bucket are assumed uniform over `[lo, hi)`).
     ///
-    /// Defined behavior at the edges:
+    /// Defined behavior at the edges (p0/p100 semantics pinned):
     ///
     /// * empty histogram (`count == 0`), no bucket geometry
     ///   (`bounds.len() < 2`), or a NaN `q` → `None`;
     /// * `q` outside `[0, 1]` is clamped;
     /// * a rank landing in the **underflow** tally returns the first
     ///   edge (an upper bound on the true quantile — the histogram only
-    ///   knows those values were below it);
+    ///   knows those values were below it); an all-underflow histogram
+    ///   therefore returns the first edge for *every* `q`, p0 and p100
+    ///   included;
     /// * a rank landing in the **overflow** tally returns the last
-    ///   edge (a lower bound, symmetrically).
+    ///   edge (a lower bound, symmetrically); an all-overflow histogram
+    ///   returns the last edge for every `q`;
+    /// * `q = 0.0` with `underflow == 0` returns the lower edge of the
+    ///   first populated bucket, and `q = 1.0` with `overflow == 0`
+    ///   returns the upper edge of the last populated bucket — the walk
+    ///   never escapes past a populated bucket unless real overflow
+    ///   mass exists, even when floating-point accumulation or an
+    ///   inconsistent parsed entry (`count` ≠ tallies) would otherwise
+    ///   push the target rank beyond the cumulative sum.
     ///
     /// Monotone in `q` by construction: the target rank is monotone,
     /// buckets are walked in ascending-edge order, and interpolation
-    /// inside a bucket is monotone.
+    /// inside a bucket is monotone (clamped to the bucket).
     pub fn quantile(&self, q: f64) -> Option<f64> {
         interpolated_quantile(&self.bounds, &self.counts, self.underflow, self.count, q)
     }
@@ -130,19 +140,31 @@ pub(crate) fn interpolated_quantile(
     if underflow > 0 && target <= cum {
         return Some(bounds[0]);
     }
+    let mut last_upper = None;
     for (i, &c) in counts.iter().enumerate() {
         if c == 0 {
             continue;
         }
         let next = cum + c as f64;
         if target <= next {
-            let frac = (target - cum) / c as f64;
+            // Clamped so an inconsistent `count` (parsed entries) can't
+            // extrapolate past the bucket.
+            let frac = ((target - cum) / c as f64).clamp(0.0, 1.0);
             return Some(bounds[i] + frac * (bounds[i + 1] - bounds[i]));
         }
         cum = next;
+        last_upper = Some(bounds[i + 1]);
     }
-    // Whatever rank is left lives in the overflow tally.
-    bounds.last().copied()
+    // The walk is exhausted. The remaining rank lives in the overflow
+    // tally only if one actually exists (implied by the tallies, which
+    // keeps parsed entries honest); otherwise the top of the last
+    // populated bucket is the tightest defensible answer, falling back
+    // to the first edge for all-underflow histograms.
+    let in_buckets: u64 = counts.iter().sum();
+    if count > underflow.saturating_add(in_buckets) {
+        return bounds.last().copied();
+    }
+    last_upper.or(Some(bounds[0]))
 }
 
 /// The cumulative metrics of one collector session, name-keyed.
@@ -280,6 +302,49 @@ mod tests {
         h.record(2.5);
         assert_eq!(h.quantile(0.0), Some(2.0));
         assert_eq!(h.quantile(1.0), Some(3.0));
+    }
+
+    #[test]
+    fn all_underflow_pins_every_quantile_to_the_first_edge() {
+        let mut h = HistogramMetric::with_bounds(&[0.0, 1.0, 2.0]);
+        h.record(-3.0);
+        h.record(-1.0);
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), Some(0.0), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn all_overflow_pins_every_quantile_to_the_last_edge() {
+        let mut h = HistogramMetric::with_bounds(&[0.0, 1.0, 2.0]);
+        h.record(5.0);
+        h.record(9.0);
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), Some(2.0), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn p100_without_overflow_tops_the_last_populated_bucket() {
+        // Last *populated* bucket is [1, 2); the empty [2, 3) bucket
+        // beyond it must not pull p100 out to the global last edge.
+        let mut h = HistogramMetric::with_bounds(&[0.0, 1.0, 2.0, 3.0]);
+        h.record(0.5);
+        h.record(1.5);
+        assert_eq!(h.quantile(1.0), Some(2.0));
+        assert_eq!(h.overflow, 0);
+    }
+
+    #[test]
+    fn inconsistent_parsed_count_cannot_extrapolate_past_the_buckets() {
+        // A hand-built (parsed) entry whose `count` exceeds its tallies:
+        // the leftover rank implies overflow, so the walk pins to the
+        // last edge instead of running off the end or extrapolating.
+        let q = interpolated_quantile(&[0.0, 1.0, 2.0], &[1, 0], 0, 5, 1.0);
+        assert_eq!(q, Some(2.0));
+        // And mid-bucket ranks stay clamped inside their bucket.
+        let q = interpolated_quantile(&[0.0, 1.0, 2.0], &[1, 0], 0, 5, 0.2);
+        assert_eq!(q, Some(1.0));
     }
 
     #[test]

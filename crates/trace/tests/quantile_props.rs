@@ -93,6 +93,47 @@ proptest! {
         prop_assert!(est >= exact_lo - 1.0 && est <= exact_hi + 1.0);
     }
 
+    /// Pinned edge semantics: with no overflow mass, p100 never escapes
+    /// the top of the last populated bucket, and p0/p100 bracket every
+    /// other quantile. Data may spill into underflow.
+    #[test]
+    fn p0_and_p100_bracket_and_respect_populated_buckets(
+        data in prop::collection::vec(-2.0f64..10.0, 1..60),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut h = HistogramMetric::with_bounds(&unit_bounds(10));
+        for &v in &data {
+            h.record(v);
+        }
+        let p0 = h.quantile(0.0).expect("non-empty");
+        let p100 = h.quantile(1.0).expect("non-empty");
+        let mid = h.quantile(q).expect("non-empty");
+        prop_assert!(p0 <= mid && mid <= p100, "p0 {p0} <= q{q} {mid} <= p100 {p100}");
+        // No overflow by construction (data < 10), so p100 must sit at
+        // or below the top of the last populated bucket.
+        let top = data
+            .iter()
+            .map(|v| v.floor() + 1.0)
+            .fold(1.0f64, f64::max)
+            .min(10.0);
+        prop_assert!(p100 <= top, "p100 {p100} escaped last populated bucket top {top}");
+    }
+
+    /// Any non-empty histogram with bucket geometry yields Some for
+    /// every q — including all-underflow and all-overflow layouts.
+    #[test]
+    fn nonempty_histograms_always_answer(
+        data in prop::collection::vec(-5.0f64..15.0, 1..40),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut h = HistogramMetric::with_bounds(&unit_bounds(10));
+        for &v in &data {
+            h.record(v);
+        }
+        let est = h.quantile(q).expect("non-empty histogram must answer");
+        prop_assert!((0.0..=10.0).contains(&est), "estimate {est} outside edge range");
+    }
+
     /// Degenerate histograms never panic: empty data, empty bounds,
     /// NaN q.
     #[test]
